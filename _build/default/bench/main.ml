@@ -1,0 +1,147 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Reproduction: regenerate every table and figure of the paper's
+      evaluation (Table 1, Figure 2, Figures 5/7/8/9, Tables 2a-2c)
+      side by side with the published numbers, plus an ablation table
+      for the design choices called out in DESIGN.md.
+   2. Performance: Bechamel micro-benchmarks of the synthesis kernels,
+      one per experiment workload.
+
+   Run everything:      dune exec bench/main.exe
+   Reproduction only:   dune exec bench/main.exe -- repro
+   Performance only:    dune exec bench/main.exe -- perf
+   One experiment:      dune exec bench/main.exe -- repro table2a *)
+
+module Experiments = Rchls_experiments.Experiments
+module Rc = Rchls_core.Reliability_centric
+module Design = Rchls_core.Design
+module Benchmarks = Rchls_dfg.Benchmarks
+module Library = Rchls_charlib.Library
+module Tablefmt = Rchls_util.Tablefmt
+
+(* --- ablation: the documented algorithm variants ------------------- *)
+
+let ablation () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "\n=== Ablation: algorithm variants (DESIGN.md par. 8) ===\n";
+  let cases =
+    [
+      ("fir16", Benchmarks.fir16, 11, 9);
+      ("fir16", Benchmarks.fir16, 12, 13);
+      ("ewf", Benchmarks.ewf, 14, 9);
+      ("diffeq", Benchmarks.diffeq, 6, 13);
+      ("diffeq", Benchmarks.diffeq, 7, 7);
+    ]
+  in
+  let variants =
+    [
+      ( "fig6/no-refine",
+        fun g ld ad ->
+          Rc.synthesize ~strategy:`Figure6 ~refine:false g Library.table1 ~ld ~ad );
+      ("fig6+refine", fun g ld ad -> Rc.synthesize ~strategy:`Figure6 g Library.table1 ~ld ~ad);
+      ("bottom-up", fun g ld ad -> Rc.synthesize ~strategy:`Bottom_up g Library.table1 ~ld ~ad);
+      ("best(default)", fun g ld ad -> Rc.synthesize g Library.table1 ~ld ~ad);
+      ( "force-directed",
+        fun g ld ad -> Rc.synthesize ~scheduler:`Force_directed g Library.table1 ~ld ~ad );
+    ]
+  in
+  let t = Tablefmt.create ([ "Benchmark"; "Ld"; "Ad" ] @ List.map fst variants) in
+  List.iter
+    (fun (name, g, ld, ad) ->
+      let cells =
+        List.map
+          (fun (_, f) ->
+            match f g ld ad with
+            | Ok d -> Tablefmt.float_cell (Design.reliability d)
+            | Error _ -> "-")
+          variants
+      in
+      Tablefmt.add_row t ([ name; string_of_int ld; string_of_int ad ] @ cells))
+    cases;
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.contents buf
+
+let reproduction which =
+  let experiments =
+    Experiments.all
+    @ [
+        ("table1-measured", fun () -> Experiments.table1_measured ());
+        ("ablation", ablation);
+      ]
+  in
+  match which with
+  | None ->
+    List.iter (fun (_, f) -> print_string (f ())) experiments;
+    print_newline ()
+  | Some id -> (
+    match List.assoc_opt id experiments with
+    | Some f -> print_string (f ())
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" id
+        (String.concat ", " (List.map fst experiments));
+      exit 1)
+
+(* --- Bechamel performance benchmarks -------------------------------- *)
+
+let perf () =
+  let open Bechamel in
+  let synth g ld ad () =
+    match Rc.synthesize g Library.table1 ~ld ~ad with
+    | Ok d -> ignore (Design.reliability d)
+    | Error _ -> ()
+  in
+  let baseline g ld ad () =
+    ignore (Rchls_redundancy.Orailoglu.synthesize g Library.table1 ~ld ~ad)
+  in
+  let characterize () =
+    ignore
+      (Rchls_soft_error.Ser.analyze
+         ~fault_config:{ Rchls_soft_error.Fault_sim.default_config with vectors = 8 }
+         (Rchls_circuits.Adder_brent_kung.netlist ~width:8 ()))
+  in
+  let tests =
+    [
+      (* one kernel per reproduced table/figure workload *)
+      Test.make ~name:"table1/characterize-bk8" (Staged.stage characterize);
+      Test.make ~name:"fig5/synth-fig4" (Staged.stage (synth Benchmarks.example_fig4 6 4));
+      Test.make ~name:"fig7/synth-fir16" (Staged.stage (synth Benchmarks.fir16 11 8));
+      Test.make ~name:"fig8/synth-fir16-wide" (Staged.stage (synth Benchmarks.fir16 14 12));
+      Test.make ~name:"table2a/fir16" (Staged.stage (synth Benchmarks.fir16 11 11));
+      Test.make ~name:"table2a/fir16-baseline"
+        (Staged.stage (baseline Benchmarks.fir16 11 11));
+      Test.make ~name:"table2b/ewf" (Staged.stage (synth Benchmarks.ewf 14 9));
+      Test.make ~name:"table2b/ewf-baseline" (Staged.stage (baseline Benchmarks.ewf 14 9));
+      Test.make ~name:"table2c/diffeq" (Staged.stage (synth Benchmarks.diffeq 6 13));
+      Test.make ~name:"table2c/diffeq-baseline"
+        (Staged.stage (baseline Benchmarks.diffeq 6 13));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  print_endline "\n=== Performance (Bechamel, monotonic clock) ===";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ v ] -> Printf.printf "%-28s %14.1f ns/run\n%!" name v
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "repro" :: rest -> reproduction (match rest with [] -> None | id :: _ -> Some id)
+  | _ :: "perf" :: _ -> perf ()
+  | _ ->
+    reproduction None;
+    perf ()

@@ -1,0 +1,256 @@
+(* rchls — reliability-centric high-level synthesis CLI.
+
+   Subcommands:
+     synth        synthesize a benchmark or .dfg file under bounds
+     sweep        explore a bounds grid for one approach
+     characterize run the component characterization (Table 1)
+     library      print or validate a resource library
+     bench        list / dump the built-in benchmark DFGs
+     experiment   regenerate one of the paper's tables/figures *)
+
+open Cmdliner
+module Library = Rchls_charlib.Library
+module Benchmarks = Rchls_dfg.Benchmarks
+module Dfg = Rchls_dfg.Dfg
+module Parse = Rchls_dfg.Parse
+module Rc = Rchls_core.Reliability_centric
+module Design = Rchls_core.Design
+module Experiments = Rchls_experiments.Experiments
+module Sweep = Rchls_experiments.Sweep
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_graph spec =
+  match Benchmarks.find spec with
+  | Some g -> Ok g
+  | None ->
+    if Sys.file_exists spec then Parse.of_text (read_file spec)
+    else
+      Error
+        (Printf.sprintf "unknown benchmark %S (known: %s) and no such file" spec
+           (String.concat ", " (List.map fst Benchmarks.all)))
+
+let load_library = function
+  | None -> Ok Library.table1
+  | Some path ->
+    if Sys.file_exists path then Library.of_text (read_file path)
+    else Error (Printf.sprintf "no such library file %S" path)
+
+(* --- common args --- *)
+
+let graph_arg =
+  let doc = "Benchmark name (fig4, fir16, ewf, diffeq, iir, ar) or path to a .dfg file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let library_arg =
+  let doc = "Resource library file (defaults to the paper's Table 1)." in
+  Arg.(value & opt (some string) None & info [ "library"; "L" ] ~docv:"FILE" ~doc)
+
+let ld_arg =
+  let doc = "Latency bound in clock cycles." in
+  Arg.(required & opt (some int) None & info [ "ld" ] ~docv:"CYCLES" ~doc)
+
+let ad_arg =
+  let doc = "Area bound in library units." in
+  Arg.(required & opt (some int) None & info [ "ad" ] ~docv:"UNITS" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "rchls: %s\n" e;
+    exit 1
+
+(* --- synth --- *)
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum [ ("best", `Best); ("figure6", `Figure6); ("bottom-up", `Bottom_up) ]
+  in
+  Arg.(value & opt strategy_conv `Best & info [ "strategy" ] ~docv:"STRATEGY"
+         ~doc:"Search strategy: best (default), figure6, bottom-up.")
+
+let scheduler_arg =
+  let scheduler_conv =
+    Arg.enum [ ("density", `Density); ("force-directed", `Force_directed) ]
+  in
+  Arg.(value & opt scheduler_conv `Density & info [ "scheduler" ] ~docv:"SCHED"
+         ~doc:"Scheduler: density (the paper's) or force-directed.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+         ~doc:"Write the scheduled data-flow graph as Graphviz to $(docv).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the algorithm's decisions.")
+
+let synth_cmd =
+  let run graph_spec lib_file ld ad strategy scheduler dot trace =
+    let g = or_die (load_graph graph_spec) in
+    let lib = or_die (load_library lib_file) in
+    let trace_fn =
+      if not trace then fun _ -> ()
+      else fun (ev : Rc.trace_event) ->
+        match ev with
+        | Rc.Initial { latency } -> Printf.printf "* initial latency %d\n" latency
+        | Rc.Latency_downgrade { node; from_version; to_version; latency } ->
+          Printf.printf "* latency: %s %s -> %s (L=%d)\n" node from_version to_version
+            latency
+        | Rc.Slack_exploited { latency; area } ->
+          Printf.printf "* slack: reschedule at L=%d (area %d)\n" latency area
+        | Rc.Area_downgrade { nodes; from_version; to_version; area } ->
+          Printf.printf "* area: [%s] %s -> %s (area %d)\n" (String.concat "," nodes)
+            from_version to_version area
+        | Rc.Refinement_upgrade { node; from_version; to_version; reliability } ->
+          Printf.printf "* refine: [%s] %s -> %s (R=%.5f)\n" node from_version to_version
+            reliability
+    in
+    match Rc.synthesize ~scheduler ~strategy ~trace:trace_fn g lib ~ld ~ad with
+    | Error f ->
+      Format.printf "%a@." Rc.pp_failure f;
+      exit 2
+    | Ok d ->
+      Format.printf "%a" Design.pp_report d;
+      Option.iter
+        (fun path ->
+          let sched = Design.schedule d in
+          Rchls_dfg.Dot.write_file
+            ~step:(fun nd -> Some (Rchls_sched.Schedule.start sched nd.Dfg.id))
+            g path;
+          Printf.printf "wrote %s\n" path)
+        dot
+  in
+  let doc = "Synthesize a data-flow graph under latency and area bounds." in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const run $ graph_arg $ library_arg $ ld_arg $ ad_arg $ strategy_arg
+      $ scheduler_arg $ dot_arg $ trace_arg)
+
+(* --- sweep --- *)
+
+let ints_arg name docv doc =
+  let arg_info = Arg.info [ name ] ~docv ~doc in
+  Arg.(required & opt (some (list int)) None & arg_info)
+
+let approach_arg =
+  let approach_conv =
+    Arg.enum
+      [ ("ours", Sweep.Ours); ("baseline", Sweep.Baseline); ("combined", Sweep.Combined) ]
+  in
+  Arg.(value & opt approach_conv Sweep.Ours & info [ "approach" ] ~docv:"A"
+         ~doc:"Approach: ours (default), baseline (ref [3] NMR), combined.")
+
+let sweep_cmd =
+  let run graph_spec lib_file lds ads approach =
+    let g = or_die (load_graph graph_spec) in
+    let lib = or_die (load_library lib_file) in
+    let cells = Sweep.run approach g lib ~lds ~ads in
+    let t = Rchls_util.Tablefmt.create [ "Ld"; "Ad"; "Reliability"; "Area" ] in
+    List.iter
+      (fun (c : Sweep.cell) ->
+        Rchls_util.Tablefmt.add_row t
+          [
+            string_of_int c.ld;
+            string_of_int c.ad;
+            (match c.reliability with
+            | Some r -> Rchls_util.Tablefmt.float_cell r
+            | None -> "-");
+            (match c.area with Some a -> string_of_int a | None -> "-");
+          ])
+      cells;
+    Rchls_util.Tablefmt.print t
+  in
+  let doc = "Sweep a latency x area bounds grid." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ graph_arg $ library_arg
+      $ ints_arg "lds" "L1,L2,..." "Latency bounds to sweep."
+      $ ints_arg "ads" "A1,A2,..." "Area bounds to sweep."
+      $ approach_arg)
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let run measured width vectors =
+    if measured then print_string (Experiments.table1_measured ~width ~vectors ())
+    else begin
+      print_string (Experiments.table1 ());
+      print_string (Experiments.fig2 ())
+    end
+  in
+  let measured =
+    Arg.(value & flag & info [ "measured" ]
+           ~doc:"Run the full substitute pipeline (netlist generation + fault \
+                 injection) instead of the published Qcritical inputs.")
+  in
+  let width =
+    Arg.(value & opt int 12 & info [ "width" ] ~docv:"BITS" ~doc:"Adder bit width.")
+  in
+  let vectors =
+    Arg.(value & opt int 48 & info [ "vectors" ] ~docv:"N" ~doc:"Vectors per node.")
+  in
+  let doc = "Regenerate the component characterization (Table 1 / Figure 2)." in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ measured $ width $ vectors)
+
+(* --- library --- *)
+
+let library_cmd =
+  let run lib_file =
+    let lib = or_die (load_library lib_file) in
+    print_string (Library.to_text lib)
+  in
+  let doc = "Print (and thereby validate) a resource library." in
+  Cmd.v (Cmd.info "library" ~doc) Term.(const run $ library_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let run which =
+    match which with
+    | None ->
+      List.iter
+        (fun (name, g) -> Format.printf "%-8s %a@." name Dfg.pp_summary g)
+        Benchmarks.all
+    | Some name -> (
+      match Benchmarks.find name with
+      | Some g -> print_string (Parse.to_text g)
+      | None ->
+        Printf.eprintf "unknown benchmark %S\n" name;
+        exit 1)
+  in
+  let which =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark to dump in .dfg form; omit to list all.")
+  in
+  let doc = "List the built-in benchmarks or dump one as .dfg text." in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ which)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let run id =
+    match List.assoc_opt id Experiments.all with
+    | Some f -> print_string (f ())
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" id
+        (String.concat ", " (List.map fst Experiments.all));
+      exit 1
+  in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id: table1, fig2, fig5, fig7, fig8a, fig8b, table2a, \
+                 table2b, table2c, fig9.")
+  in
+  let doc = "Regenerate one of the paper's tables or figures." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id)
+
+let () =
+  let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in
+  let info = Cmd.info "rchls" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; sweep_cmd; characterize_cmd; library_cmd; bench_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_library.ml: Format List Printf Rchls_charlib Rchls_core Rchls_dfg

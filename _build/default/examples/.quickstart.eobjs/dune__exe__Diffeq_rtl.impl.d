@@ -1,0 +1,1 @@
+examples/diffeq_rtl.ml: Format Printf Rchls_charlib Rchls_core Rchls_dfg Rchls_rtl

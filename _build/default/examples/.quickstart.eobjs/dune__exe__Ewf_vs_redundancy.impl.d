@@ -1,0 +1,1 @@
+examples/ewf_vs_redundancy.ml: List Printf Rchls_charlib Rchls_dfg Rchls_experiments Rchls_util

@@ -1,0 +1,1 @@
+examples/ewf_vs_redundancy.mli:

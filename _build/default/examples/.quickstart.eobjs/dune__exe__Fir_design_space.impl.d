@@ -1,0 +1,1 @@
+examples/fir_design_space.ml: List Printf Rchls_charlib Rchls_core Rchls_dfg Rchls_util String

@@ -1,0 +1,1 @@
+examples/pipelined_fir.ml: Analysis Benchmarks Dfg List Op Printf Rchls_charlib Rchls_dfg Rchls_sched Rchls_util

@@ -1,0 +1,1 @@
+examples/pipelined_fir.mli:

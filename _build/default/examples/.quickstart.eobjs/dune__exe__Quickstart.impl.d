@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Rchls_charlib Rchls_core Rchls_dfg Rchls_redundancy

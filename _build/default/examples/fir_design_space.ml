@@ -1,0 +1,55 @@
+(* Design-space exploration of the 16-point symmetric FIR filter:
+   the reliability / latency / area trade-off of the paper's Figure 8,
+   over a denser grid, with the winning resource mix per point.
+
+   Run with: dune exec examples/fir_design_space.exe *)
+
+module Benchmarks = Rchls_dfg.Benchmarks
+module Library = Rchls_charlib.Library
+module Resource = Rchls_charlib.Resource
+module Rc = Rchls_core.Reliability_centric
+module Design = Rchls_core.Design
+module Tablefmt = Rchls_util.Tablefmt
+
+let mix d =
+  String.concat " "
+    (List.map
+       (fun ((r : Resource.t), n) -> Printf.sprintf "%dx%s" n r.id)
+       (Design.instance_histogram d))
+
+let () =
+  let g = Benchmarks.fir16 in
+  let lib = Library.table1 in
+  print_endline "FIR16 design space (reliability-centric synthesis):";
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Right; Right; Right; Right; Right; Left ]
+      [ "Ld"; "Ad"; "L"; "A"; "Reliability"; "Winning mix" ]
+  in
+  List.iter
+    (fun ld ->
+      List.iter
+        (fun ad ->
+          match Rc.synthesize g lib ~ld ~ad with
+          | Ok d ->
+            Tablefmt.add_row t
+              [
+                string_of_int ld;
+                string_of_int ad;
+                string_of_int (Design.latency d);
+                string_of_int (Design.area d);
+                Tablefmt.float_cell (Design.reliability d);
+                mix d;
+              ]
+          | Error _ ->
+            Tablefmt.add_row t
+              [ string_of_int ld; string_of_int ad; "-"; "-"; "infeasible"; "" ])
+        [ 8; 10; 12; 14 ])
+    [ 9; 10; 11; 12; 14; 16; 18 ];
+  Tablefmt.print t;
+  print_endline "";
+  print_endline "Reading the table:";
+  print_endline "- reliability never decreases as either bound loosens;";
+  print_endline "- at tight latency the fast Brent-Kung adders dominate the mix;";
+  print_endline
+    "- as slack appears, operations migrate to the slow, reliable ripple-carry units."

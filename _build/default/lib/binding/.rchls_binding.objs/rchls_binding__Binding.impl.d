@@ -1,0 +1,1 @@
+lib/binding/binding.ml: Array Dfg Format Hashtbl Left_edge List Printf Rchls_charlib Rchls_dfg Rchls_sched String

@@ -1,0 +1,1 @@
+lib/binding/binding.mli: Dfg Format Rchls_charlib Rchls_dfg Rchls_sched

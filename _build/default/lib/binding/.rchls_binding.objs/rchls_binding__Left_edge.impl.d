@@ -1,0 +1,1 @@
+lib/binding/left_edge.ml: List Option Printf

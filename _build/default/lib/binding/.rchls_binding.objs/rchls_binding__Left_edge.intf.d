@@ -1,0 +1,1 @@
+lib/binding/left_edge.mli:

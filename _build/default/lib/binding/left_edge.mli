@@ -1,0 +1,22 @@
+(** Left-edge interval assignment.
+
+    Given half-open execution intervals [\[start, stop)], assigns each
+    to the lowest-numbered track (functional-unit instance) whose
+    previous interval has ended — the classic left-edge algorithm,
+    which uses the minimum possible number of tracks for interval
+    graphs. *)
+
+type interval = { key : int; start : int; stop : int }
+(** [key] identifies the client (node id); [start < stop]. *)
+
+val assign : interval list -> (int * interval list) list
+(** Track index (0-based) to the intervals it hosts, each track's
+    intervals in start order.  Raises [Invalid_argument] on an empty
+    interval ([start >= stop]). *)
+
+val track_count : interval list -> int
+(** Number of tracks {!assign} uses. *)
+
+val max_overlap : interval list -> int
+(** Maximum number of intervals covering any single point — equals
+    {!track_count} (checked by the property tests). *)

@@ -1,0 +1,1 @@
+lib/charlib/characterize.ml: Float Library List Rchls_circuits Rchls_soft_error Resource

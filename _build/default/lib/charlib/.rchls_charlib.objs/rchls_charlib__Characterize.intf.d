@@ -1,0 +1,1 @@
+lib/charlib/characterize.mli: Library Rchls_soft_error Resource

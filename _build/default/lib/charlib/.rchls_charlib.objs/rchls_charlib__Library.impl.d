@@ -1,0 +1,1 @@
+lib/charlib/library.ml: Buffer Format List Printf Resource String

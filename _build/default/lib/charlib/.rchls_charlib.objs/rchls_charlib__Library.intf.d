@@ -1,0 +1,1 @@
+lib/charlib/library.mli: Format Resource

@@ -1,0 +1,1 @@
+lib/charlib/resource.ml: Format String

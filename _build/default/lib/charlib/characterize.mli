@@ -1,0 +1,56 @@
+(** The paper's three-step library characterization (Figure 2):
+
+    1. critical charge from circuit simulation,
+    2. SER from the Hazucha model (step 2 of Figure 2: SER = lambda),
+    3. reliability from R(t) = exp(-lambda t),
+
+    anchored by fixing the ripple-carry adder's reliability at 0.999.
+
+    Two entry points: {!from_paper_inputs} drives the chain with the
+    paper's published HSPICE Qcritical values (regenerating Table 1
+    exactly), while {!from_measurement} drives it with effective
+    Qcriticals measured on our generated netlists by the fault-injection
+    engine — the full substitute pipeline. *)
+
+type chain = {
+  resource_id : string;
+  display : string;
+  op_class : Resource.op_class;
+  architecture : string;
+  qcritical : float;  (** step-1 input, coulombs *)
+  ser : float;  (** step-2 output (= failure rate), relative to anchor *)
+  reliability : float;  (** step-3 output *)
+  area : int;  (** abstract units for the library *)
+  delay : int;  (** clock cycles for the library *)
+}
+
+val anchor_reliability : float
+(** 0.999 — the ripple-carry adder's pinned reliability. *)
+
+val reliability_of_qcritical :
+  env:Rchls_soft_error.Hazucha.env -> anchor_qc:float -> float -> float
+(** Steps 2+3 for a component with the given Qcritical, anchored so
+    that [anchor_qc] maps to {!anchor_reliability}. *)
+
+val from_paper_inputs : unit -> chain list * Library.t
+(** Run the chain on the published Qcritical values (adders: 59.460,
+    29.701, 37.291 e-21 C; multipliers anchored to the same reliability
+    endpoints as in Table 1).  The resulting library equals
+    {!Library.table1} up to float rounding. *)
+
+type measurement = {
+  chain : chain;
+  measured : Rchls_soft_error.Ser.t;  (** raw netlist analysis *)
+}
+
+val from_measurement :
+  ?width:int ->
+  ?fault_config:Rchls_soft_error.Fault_sim.config ->
+  unit ->
+  measurement list * Library.t
+(** Characterize the five Table-1 architectures from scratch on
+    generated netlists of the given [width] (default 16; multipliers
+    use [width/2] to bound simulation cost, with node sampling).  Area
+    units are normalized to the ripple-carry adder = 1; delays are
+    quantized to clock cycles with the clock period set so the fastest
+    adder fits one cycle. *)

@@ -1,0 +1,191 @@
+type t = { items : Resource.t list }
+
+let of_resources rs =
+  let rec check_dup seen = function
+    | [] -> Ok ()
+    | (r : Resource.t) :: rest ->
+      if List.mem r.id seen then Error ("duplicate resource id " ^ r.id)
+      else check_dup (r.id :: seen) rest
+  in
+  if rs = [] then Error "library must contain at least one resource"
+  else
+    let rec validate_all = function
+      | [] -> Ok ()
+      | r :: rest -> (
+        match Resource.validate r with Ok () -> validate_all rest | Error _ as e -> e)
+    in
+    match validate_all rs with
+    | Error e -> Error e
+    | Ok () -> (
+      match check_dup [] rs with Error e -> Error e | Ok () -> Ok { items = rs })
+
+let of_resources_exn rs =
+  match of_resources rs with Ok t -> t | Error e -> failwith ("Library: " ^ e)
+
+let table1 =
+  of_resources_exn
+    [
+      {
+        Resource.id = "add1";
+        display = "Adder 1";
+        op_class = Add;
+        architecture = "rca";
+        area = 1;
+        delay = 2;
+        reliability = 0.999;
+      };
+      {
+        Resource.id = "add2";
+        display = "Adder 2";
+        op_class = Add;
+        architecture = "bk";
+        area = 2;
+        delay = 1;
+        reliability = 0.969;
+      };
+      {
+        Resource.id = "add3";
+        display = "Adder 3";
+        op_class = Add;
+        architecture = "ks";
+        area = 4;
+        delay = 1;
+        reliability = 0.987;
+      };
+      {
+        Resource.id = "mul1";
+        display = "Multiplier 1";
+        op_class = Mul;
+        architecture = "csmul";
+        area = 2;
+        delay = 2;
+        reliability = 0.999;
+      };
+      {
+        Resource.id = "mul2";
+        display = "Multiplier 2";
+        op_class = Mul;
+        architecture = "lfmul";
+        area = 4;
+        delay = 1;
+        reliability = 0.969;
+      };
+    ]
+
+let resources t = t.items
+
+let find t id = List.find_opt (fun (r : Resource.t) -> r.id = id) t.items
+
+let find_exn t id =
+  match find t id with
+  | Some r -> r
+  | None -> raise Not_found
+
+let versions t cls =
+  List.sort Resource.compare_by_reliability
+    (List.filter (fun (r : Resource.t) -> r.op_class = cls) t.items)
+
+let most_reliable t cls =
+  match versions t cls with [] -> raise Not_found | r :: _ -> r
+
+let best_by cmp t cls =
+  match versions t cls with
+  | [] -> raise Not_found
+  | r :: rest -> List.fold_left (fun acc x -> if cmp x acc < 0 then x else acc) r rest
+
+let fastest =
+  best_by (fun (a : Resource.t) b ->
+      let c = compare a.delay b.delay in
+      if c <> 0 then c
+      else
+        let c = compare b.reliability a.reliability in
+        if c <> 0 then c else compare a.area b.area)
+
+let smallest =
+  best_by (fun (a : Resource.t) b ->
+      let c = compare a.area b.area in
+      if c <> 0 then c
+      else
+        let c = compare b.reliability a.reliability in
+        if c <> 0 then c else compare a.delay b.delay)
+
+let faster_versions t ~than:(r : Resource.t) =
+  List.filter (fun (x : Resource.t) -> x.delay < r.delay) (versions t r.op_class)
+
+let smaller_versions t ~than:(r : Resource.t) =
+  List.filter
+    (fun (x : Resource.t) -> x.area < r.area && x.delay <= r.delay)
+    (versions t r.op_class)
+
+let min_delay t cls = (fastest t cls).delay
+
+let quote s = "\"" ^ s ^ "\""
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# id display class arch area delay reliability\n";
+  List.iter
+    (fun (r : Resource.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s %d %d %g\n" r.id (quote r.display)
+           (Resource.class_name r.op_class) r.architecture r.area r.delay r.reliability))
+    t.items;
+  Buffer.contents buf
+
+(* Tokenizer supporting double-quoted display names. *)
+let tokens_of_line line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if line.[i] = ' ' || line.[i] = '\t' then go (i + 1) acc
+    else if line.[i] = '"' then begin
+      match String.index_from_opt line (i + 1) '"' with
+      | None -> raise Exit
+      | Some j -> go (j + 1) (String.sub line (i + 1) (j - i - 1) :: acc)
+    end
+    else begin
+      let j = ref i in
+      while !j < n && line.[!j] <> ' ' && line.[!j] <> '\t' do incr j done;
+      go !j (String.sub line i (!j - i) :: acc)
+    end
+  in
+  go 0 []
+
+let parse_line lineno line =
+  match tokens_of_line line with
+  | exception Exit -> Error (Printf.sprintf "line %d: unterminated quote" lineno)
+  | [] -> Ok None
+  | [ id; display; cls; arch; area; delay; rel ] -> (
+    match
+      ( Resource.class_of_name cls,
+        int_of_string_opt area,
+        int_of_string_opt delay,
+        float_of_string_opt rel )
+    with
+    | Some op_class, Some area, Some delay, Some reliability ->
+      Ok
+        (Some
+           { Resource.id; display; op_class; architecture = arch; area; delay; reliability })
+    | None, _, _, _ -> Error (Printf.sprintf "line %d: unknown class %S" lineno cls)
+    | _ -> Error (Printf.sprintf "line %d: malformed numeric field" lineno))
+  | _ -> Error (Printf.sprintf "line %d: expected 7 fields" lineno)
+
+let of_text text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let stripped = String.trim line in
+      if stripped = "" || stripped.[0] = '#' then go (lineno + 1) acc rest
+      else (
+        match parse_line lineno stripped with
+        | Error e -> Error e
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some r) -> go (lineno + 1) (r :: acc) rest)
+  in
+  match go 1 [] lines with
+  | Error e -> Error e
+  | Ok rs -> of_resources rs
+
+let pp ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." Resource.pp r) t.items

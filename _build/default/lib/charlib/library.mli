@@ -1,0 +1,70 @@
+(** Resource libraries: sets of characterized versions, queried by the
+    synthesis algorithm.
+
+    The built-in {!table1} library is the paper's Table 1; custom
+    libraries can be constructed programmatically or parsed from the
+    textual format below:
+
+    {v
+    # id display class arch area delay reliability
+    add1 "Adder 1" add rca 1 2 0.999
+    mul1 "Multiplier 1" mul csmul 2 2 0.999
+    v} *)
+
+type t
+
+val of_resources : Resource.t list -> (t, string) result
+(** Validates every resource, rejects duplicate ids and requires at
+    least one version per class that appears. *)
+
+val of_resources_exn : Resource.t list -> t
+(** [of_resources] or [Failure]. *)
+
+val table1 : t
+(** The paper's library: Adder 1 (ripple-carry, 1 unit, 2 cc, 0.999),
+    Adder 2 (Brent–Kung, 2, 1, 0.969), Adder 3 (Kogge–Stone, 4, 1,
+    0.987), Multiplier 1 (carry-save, 2, 2, 0.999), Multiplier 2
+    (leapfrog, 4, 1, 0.969). *)
+
+val resources : t -> Resource.t list
+(** All versions, stable order. *)
+
+val find : t -> string -> Resource.t option
+(** Lookup by id. *)
+
+val find_exn : t -> string -> Resource.t
+
+val versions : t -> Resource.op_class -> Resource.t list
+(** Versions of a class, most reliable first
+    ({!Resource.compare_by_reliability} order).  Empty if the class has
+    no version. *)
+
+val most_reliable : t -> Resource.op_class -> Resource.t
+(** Head of {!versions}.  Raises [Not_found] on an empty class. *)
+
+val fastest : t -> Resource.op_class -> Resource.t
+(** Minimum delay; ties broken by higher reliability then smaller
+    area.  Raises [Not_found] on an empty class. *)
+
+val smallest : t -> Resource.op_class -> Resource.t
+(** Minimum area; ties broken by higher reliability then smaller
+    delay.  Raises [Not_found] on an empty class. *)
+
+val faster_versions : t -> than:Resource.t -> Resource.t list
+(** Same class, strictly smaller delay; most reliable first. *)
+
+val smaller_versions : t -> than:Resource.t -> Resource.t list
+(** Same class, strictly smaller area and delay not worse; most
+    reliable first (the area-reduction victims of the paper's
+    algorithm, line 26: [ar > ar'] and [tr >= tr']). *)
+
+val min_delay : t -> Resource.op_class -> int
+(** Delay of {!fastest}. *)
+
+val to_text : t -> string
+(** Render in the textual format. *)
+
+val of_text : string -> (t, string) result
+(** Parse the textual format; reports the offending line on error. *)
+
+val pp : Format.formatter -> t -> unit

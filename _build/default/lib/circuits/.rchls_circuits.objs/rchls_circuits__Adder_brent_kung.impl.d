@@ -1,0 +1,1 @@
+lib/circuits/adder_brent_kung.ml: Array Netlist Option Prefix Printf Rchls_netlist Word

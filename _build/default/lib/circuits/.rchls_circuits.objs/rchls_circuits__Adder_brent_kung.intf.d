@@ -1,0 +1,1 @@
+lib/circuits/adder_brent_kung.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/adder_carry_select.ml: Array Gate List Netlist Option Printf Rchls_netlist Word

@@ -1,0 +1,1 @@
+lib/circuits/adder_carry_select.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/adder_carry_skip.ml: Array Gate List Netlist Option Printf Rchls_netlist Word

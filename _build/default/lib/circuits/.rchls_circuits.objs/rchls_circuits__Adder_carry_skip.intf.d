@@ -1,0 +1,1 @@
+lib/circuits/adder_carry_skip.mli: Rchls_netlist

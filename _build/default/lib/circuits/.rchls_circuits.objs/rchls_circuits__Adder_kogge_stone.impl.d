@@ -1,0 +1,1 @@
+lib/circuits/adder_kogge_stone.ml: Array Netlist Option Prefix Printf Rchls_netlist Word

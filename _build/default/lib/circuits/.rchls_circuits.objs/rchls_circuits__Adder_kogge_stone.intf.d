@@ -1,0 +1,1 @@
+lib/circuits/adder_kogge_stone.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/adder_ripple.ml: Array Netlist Option Printf Rchls_netlist Word

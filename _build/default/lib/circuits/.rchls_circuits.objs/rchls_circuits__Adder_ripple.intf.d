@@ -1,0 +1,1 @@
+lib/circuits/adder_ripple.mli: Rchls_netlist

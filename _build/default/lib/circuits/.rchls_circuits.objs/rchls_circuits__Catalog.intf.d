@@ -1,0 +1,1 @@
+lib/circuits/catalog.mli: Netlist Rchls_netlist

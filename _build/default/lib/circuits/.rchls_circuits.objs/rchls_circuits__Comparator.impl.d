@@ -1,0 +1,1 @@
+lib/circuits/comparator.ml: Array Gate List Netlist Option Printf Rchls_netlist Word

@@ -1,0 +1,1 @@
+lib/circuits/comparator.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/csa.ml: Array Fun List Netlist Rchls_netlist Word

@@ -1,0 +1,1 @@
+lib/circuits/csa.mli: Netlist Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/mult_carry_save.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/mult_leapfrog.ml: Array Csa Gate Netlist Option Printf Rchls_netlist Word

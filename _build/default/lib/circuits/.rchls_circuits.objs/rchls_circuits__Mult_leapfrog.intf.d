@@ -1,0 +1,1 @@
+lib/circuits/mult_leapfrog.mli: Rchls_netlist

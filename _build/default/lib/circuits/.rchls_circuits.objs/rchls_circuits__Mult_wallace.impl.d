@@ -1,0 +1,1 @@
+lib/circuits/mult_wallace.ml: Array Csa Gate List Netlist Option Printf Rchls_netlist Word

@@ -1,0 +1,1 @@
+lib/circuits/mult_wallace.mli: Rchls_netlist

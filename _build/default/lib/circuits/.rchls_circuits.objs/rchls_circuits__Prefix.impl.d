@@ -1,0 +1,1 @@
+lib/circuits/prefix.ml: Array Gate Netlist Rchls_netlist Word

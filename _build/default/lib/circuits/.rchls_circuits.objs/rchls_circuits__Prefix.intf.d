@@ -1,0 +1,1 @@
+lib/circuits/prefix.mli: Netlist Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/sim.ml: Array Eval Hashtbl List Netlist Option Printf Rchls_netlist String

@@ -1,0 +1,1 @@
+lib/circuits/sim.mli: Netlist Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/subtractor.ml: Array Gate Netlist Option Printf Rchls_netlist Word

@@ -1,0 +1,1 @@
+lib/circuits/subtractor.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/circuits/word.ml: Array Gate Netlist Printf Rchls_netlist

@@ -1,0 +1,39 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Adder_brent_kung.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "bk%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let cin = Netlist.input b "cin" in
+  let p, g = Word.propagate_generate b a bb in
+  let prefix = Array.init width (fun i -> (g.(i), p.(i))) in
+  (* Up-sweep: positions 2^k-1, 2*2^k-1, ... accumulate spans of 2^k. *)
+  let d = ref 1 in
+  while !d < width do
+    let step = 2 * !d in
+    let i = ref (step - 1) in
+    while !i < width do
+      prefix.(!i) <- Prefix.combine b prefix.(!i) prefix.(!i - !d);
+      i := !i + step
+    done;
+    d := step
+  done;
+  (* Down-sweep: fill in the remaining positions from coarse to fine. *)
+  let d = ref (!d / 2) in
+  while !d >= 1 do
+    let step = 2 * !d in
+    let i = ref (step + !d - 1) in
+    while !i < width do
+      prefix.(!i) <- Prefix.combine b prefix.(!i) prefix.(!i - !d);
+      i := !i + step
+    done;
+    d := !d / 2
+  done;
+  let prefix_g = Array.map fst prefix in
+  let prefix_p = Array.map snd prefix in
+  let sums, cout = Prefix.sum_from_carries b ~p ~prefix_g ~prefix_p ~cin in
+  Word.output_bus b "s" sums;
+  Netlist.output b "cout" cout;
+  Netlist.finalize b

@@ -1,0 +1,9 @@
+(** Brent–Kung parallel-prefix adder — sparse prefix tree, roughly
+    2·log depth with far fewer prefix cells than Kogge–Stone ("Adder 2"
+    in the paper's library: fast, small nodes, lowest reliability).
+
+    Interface: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit Brent–Kung adder.  Raises [Invalid_argument]
+    if [width < 1]. *)

@@ -1,0 +1,43 @@
+open Rchls_netlist
+
+let ripple_block b a bb lo hi cin =
+  let carry = ref cin in
+  let sums = ref [] in
+  for i = lo to hi do
+    let s, c = Word.full_adder b a.(i) bb.(i) !carry in
+    sums := s :: !sums;
+    carry := c
+  done;
+  (List.rev !sums, !carry)
+
+let netlist ?name ?(block = 4) ~width () =
+  if width < 1 then invalid_arg "Adder_carry_select.netlist: width must be >= 1";
+  if block < 1 then invalid_arg "Adder_carry_select.netlist: block must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "csl%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let cin = Netlist.input b "cin" in
+  let zero = Netlist.constant b false in
+  let one = Netlist.constant b true in
+  let sums = Array.make width cin in
+  (* First block ripples directly from cin; later blocks speculate. *)
+  let first_hi = min (width - 1) (block - 1) in
+  let s0, c0 = ripple_block b a bb 0 first_hi cin in
+  List.iteri (fun i s -> sums.(i) <- s) s0;
+  let carry = ref c0 in
+  let lo = ref (first_hi + 1) in
+  while !lo < width do
+    let hi = min (width - 1) (!lo + block - 1) in
+    let s_when0, c_when0 = ripple_block b a bb !lo hi zero in
+    let s_when1, c_when1 = ripple_block b a bb !lo hi one in
+    List.iteri
+      (fun i (sz, so) ->
+        sums.(!lo + i) <- Netlist.add_gate b Gate.Mux2 [ !carry; sz; so ])
+      (List.combine s_when0 s_when1);
+    carry := Netlist.add_gate b Gate.Mux2 [ !carry; c_when0; c_when1 ];
+    lo := hi + 1
+  done;
+  Word.output_bus b "s" sums;
+  Netlist.output b "cout" !carry;
+  Netlist.finalize b

@@ -1,0 +1,11 @@
+(** Carry-select adder (extension architecture): each block computes
+    both carry-in hypotheses with duplicated ripple chains and selects
+    with the resolved carry.
+
+    Interface: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val netlist :
+  ?name:string -> ?block:int -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit carry-select adder with [block]-bit blocks
+    (default 4).  Raises [Invalid_argument] if [width < 1] or
+    [block < 1]. *)

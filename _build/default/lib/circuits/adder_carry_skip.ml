@@ -1,0 +1,43 @@
+open Rchls_netlist
+
+let and_reduce b nets =
+  match nets with
+  | [] -> invalid_arg "Adder_carry_skip: empty block"
+  | [ n ] -> n
+  | first :: rest ->
+    List.fold_left (fun acc n -> Netlist.add_gate b Gate.And2 [ acc; n ]) first rest
+
+let netlist ?name ?(block = 4) ~width () =
+  if width < 1 then invalid_arg "Adder_carry_skip.netlist: width must be >= 1";
+  if block < 1 then invalid_arg "Adder_carry_skip.netlist: block must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "csk%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let cin = Netlist.input b "cin" in
+  let sums = Array.make width cin in
+  let block_cin = ref cin in
+  let lo = ref 0 in
+  while !lo < width do
+    let hi = min (width - 1) (!lo + block - 1) in
+    (* Ripple within the block from the block carry-in. *)
+    let carry = ref !block_cin in
+    let props = ref [] in
+    for i = !lo to hi do
+      let pi = Netlist.add_gate b Gate.Xor2 [ a.(i); bb.(i) ] in
+      props := pi :: !props;
+      let s = Netlist.add_gate b Gate.Xor2 [ pi; !carry ] in
+      let c = Netlist.add_gate b Gate.Maj3 [ a.(i); bb.(i); !carry ] in
+      sums.(i) <- s;
+      carry := c
+    done;
+    (* Bypass: when every bit propagates, the block carry-out equals the
+       block carry-in; the mux provides the fast skip path. *)
+    let bp = and_reduce b (List.rev !props) in
+    let skip = Netlist.add_gate b Gate.Mux2 [ bp; !carry; !block_cin ] in
+    block_cin := skip;
+    lo := hi + 1
+  done;
+  Word.output_bus b "s" sums;
+  Netlist.output b "cout" !block_cin;
+  Netlist.finalize b

@@ -1,0 +1,10 @@
+(** Carry-skip adder (extension architecture, not in the paper's
+    Table 1): ripple blocks with a block-propagate bypass mux.
+
+    Interface: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val netlist :
+  ?name:string -> ?block:int -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit carry-skip adder with [block]-bit skip blocks
+    (default 4).  Raises [Invalid_argument] if [width < 1] or
+    [block < 1]. *)

@@ -1,0 +1,29 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Adder_kogge_stone.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "ks%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let cin = Netlist.input b "cin" in
+  let p, g = Word.propagate_generate b a bb in
+  (* Kogge-Stone: at distance d every position i >= d combines with
+     position i-d, so after ceil(log2 w) levels position i holds the
+     inclusive prefix over [0, i]. *)
+  let prefix = Array.init width (fun i -> (g.(i), p.(i))) in
+  let d = ref 1 in
+  while !d < width do
+    let next = Array.copy prefix in
+    for i = width - 1 downto !d do
+      next.(i) <- Prefix.combine b prefix.(i) prefix.(i - !d)
+    done;
+    Array.blit next 0 prefix 0 width;
+    d := !d * 2
+  done;
+  let prefix_g = Array.map fst prefix in
+  let prefix_p = Array.map snd prefix in
+  let sums, cout = Prefix.sum_from_carries b ~p ~prefix_g ~prefix_p ~cin in
+  Word.output_bus b "s" sums;
+  Netlist.output b "cout" cout;
+  Netlist.finalize b

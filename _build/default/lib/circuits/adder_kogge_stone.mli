@@ -1,0 +1,9 @@
+(** Kogge–Stone parallel-prefix adder — log-depth carry network with
+    maximal wiring/node count ("Adder 3" in the paper's library:
+    fast, large, intermediate reliability).
+
+    Interface: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit Kogge–Stone adder.  Raises [Invalid_argument]
+    if [width < 1]. *)

@@ -1,0 +1,19 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Adder_ripple.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "rca%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let cin = Netlist.input b "cin" in
+  let sums = Array.make width cin in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let s, c = Word.full_adder b a.(i) bb.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  Word.output_bus b "s" sums;
+  Netlist.output b "cout" !carry;
+  Netlist.finalize b

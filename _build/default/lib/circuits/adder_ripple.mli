@@ -1,0 +1,8 @@
+(** Ripple-carry adder — the slowest, smallest and (per the paper's
+    characterization) most reliable adder implementation ("Adder 1").
+
+    Interface: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit ripple-carry adder.  Raises [Invalid_argument]
+    if [width < 1]. *)

@@ -1,0 +1,95 @@
+open Rchls_netlist
+
+type family = Adder | Multiplier | Subtractor | Comparator
+
+type entry = {
+  id : string;
+  description : string;
+  family : family;
+  paper_component : string option;
+  build : width:int -> Netlist.t;
+}
+
+let all =
+  [
+    {
+      id = "rca";
+      description = "ripple-carry adder";
+      family = Adder;
+      paper_component = Some "Adder 1";
+      build = (fun ~width -> Adder_ripple.netlist ~width ());
+    };
+    {
+      id = "bk";
+      description = "Brent-Kung parallel-prefix adder";
+      family = Adder;
+      paper_component = Some "Adder 2";
+      build = (fun ~width -> Adder_brent_kung.netlist ~width ());
+    };
+    {
+      id = "ks";
+      description = "Kogge-Stone parallel-prefix adder";
+      family = Adder;
+      paper_component = Some "Adder 3";
+      build = (fun ~width -> Adder_kogge_stone.netlist ~width ());
+    };
+    {
+      id = "csk";
+      description = "carry-skip adder (extension)";
+      family = Adder;
+      paper_component = None;
+      build = (fun ~width -> Adder_carry_skip.netlist ~width ());
+    };
+    {
+      id = "csl";
+      description = "carry-select adder (extension)";
+      family = Adder;
+      paper_component = None;
+      build = (fun ~width -> Adder_carry_select.netlist ~width ());
+    };
+    {
+      id = "csmul";
+      description = "carry-save array multiplier";
+      family = Multiplier;
+      paper_component = Some "Multiplier 1";
+      build = (fun ~width -> Mult_carry_save.netlist ~width ());
+    };
+    {
+      id = "lfmul";
+      description = "leapfrog (interleaved-row) multiplier";
+      family = Multiplier;
+      paper_component = Some "Multiplier 2";
+      build = (fun ~width -> Mult_leapfrog.netlist ~width ());
+    };
+    {
+      id = "wmul";
+      description = "Wallace-tree multiplier (extension)";
+      family = Multiplier;
+      paper_component = None;
+      build = (fun ~width -> Mult_wallace.netlist ~width ());
+    };
+    {
+      id = "sub";
+      description = "ripple-borrow subtractor";
+      family = Subtractor;
+      paper_component = None;
+      build = (fun ~width -> Subtractor.netlist ~width ());
+    };
+    {
+      id = "cmp";
+      description = "unsigned magnitude comparator";
+      family = Comparator;
+      paper_component = None;
+      build = (fun ~width -> Comparator.netlist ~width ());
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let of_family f = List.filter (fun e -> e.family = f) all
+
+let family_name = function
+  | Adder -> "adder"
+  | Multiplier -> "multiplier"
+  | Subtractor -> "subtractor"
+  | Comparator -> "comparator"

@@ -1,0 +1,27 @@
+(** Named catalog of the arithmetic component generators, used by the
+    characterization pipeline, the CLI and the tests to iterate over
+    every implemented architecture. *)
+
+open Rchls_netlist
+
+type family = Adder | Multiplier | Subtractor | Comparator
+
+type entry = {
+  id : string;          (** short id, e.g. ["rca"] *)
+  description : string;
+  family : family;
+  paper_component : string option;
+      (** the paper's Table-1 row this architecture realizes, when any
+          (e.g. ["Adder 1"] for the ripple-carry adder) *)
+  build : width:int -> Netlist.t;
+}
+
+val all : entry list
+(** Every generator, stable order. *)
+
+val find : string -> entry option
+(** Lookup by [id]. *)
+
+val of_family : family -> entry list
+
+val family_name : family -> string

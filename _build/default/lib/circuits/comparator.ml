@@ -1,0 +1,29 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Comparator.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "cmp%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  (* a < b  <=>  no carry out of a + ~b + 1. *)
+  let one = Netlist.constant b true in
+  let carry = ref one in
+  for i = 0 to width - 1 do
+    let nb = Netlist.add_gate b Gate.Inv [ bb.(i) ] in
+    carry := Netlist.add_gate b Gate.Maj3 [ a.(i); nb; !carry ]
+  done;
+  let lt = Netlist.add_gate b Gate.Inv [ !carry ] in
+  Netlist.output b "lt" lt;
+  let eq_bits =
+    Array.to_list (Array.map2 (fun x y -> Netlist.add_gate b Gate.Xnor2 [ x; y ]) a bb)
+  in
+  let eq =
+    match eq_bits with
+    | [] -> assert false
+    | [ e ] -> e
+    | first :: rest ->
+      List.fold_left (fun acc e -> Netlist.add_gate b Gate.And2 [ acc; e ]) first rest
+  in
+  Netlist.output b "eq" eq;
+  Netlist.finalize b

@@ -1,0 +1,9 @@
+(** Unsigned magnitude comparator (used for the DiffEq benchmark's [<]
+    operation).
+
+    Interface: inputs [a0..], [b0..]; outputs [lt] ([a < b]) and [eq]
+    ([a = b]). *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit comparator.  Raises [Invalid_argument] if
+    [width < 1]. *)

@@ -1,0 +1,63 @@
+open Rchls_netlist
+
+type t = {
+  width : int;
+  save : Netlist.net option array;
+  carry : Netlist.net option array;
+}
+
+let create width =
+  if width < 1 then invalid_arg "Csa.create: width must be >= 1";
+  { width; save = Array.make width None; carry = Array.make width None }
+
+(* Place a bit at weight [k], compressing with whatever is pending
+   there.  A full slot pair (save+carry) plus the new bit becomes a
+   full adder; overflow carries recurse to weight k+1. *)
+let rec place b acc k bit =
+  if k >= acc.width then
+    invalid_arg "Csa.add_row: bit beyond accumulator width"
+  else
+    match (acc.save.(k), acc.carry.(k)) with
+    | None, _ -> acc.save.(k) <- Some bit
+    | Some _, None -> acc.carry.(k) <- Some bit
+    | Some s, Some c ->
+      let sum, carry_out = Word.full_adder b s c bit in
+      acc.save.(k) <- Some sum;
+      acc.carry.(k) <- None;
+      place b acc (k + 1) carry_out
+
+let add_row b acc ~offset bits =
+  if offset < 0 then invalid_arg "Csa.add_row: negative offset";
+  Array.iteri (fun j bit -> place b acc (offset + j) bit) bits
+
+let occupancy acc =
+  Array.init acc.width (fun k ->
+      (match acc.save.(k) with Some _ -> 1 | None -> 0)
+      + match acc.carry.(k) with Some _ -> 1 | None -> 0)
+
+let resolve b acc =
+  let result = Array.make acc.width (Netlist.constant b false) in
+  let ripple = ref None in
+  for k = 0 to acc.width - 1 do
+    let bits =
+      List.filter_map Fun.id [ acc.save.(k); acc.carry.(k); !ripple ]
+    in
+    match bits with
+    | [] -> result.(k) <- Netlist.constant b false
+    | [ x ] ->
+      result.(k) <- x;
+      ripple := None
+    | [ x; y ] ->
+      let s, c = Word.half_adder b x y in
+      result.(k) <- s;
+      ripple := Some c
+    | [ x; y; z ] ->
+      let s, c = Word.full_adder b x y z in
+      result.(k) <- s;
+      ripple := Some c
+    | _ -> assert false
+  done;
+  (match !ripple with
+  | None -> ()
+  | Some _ -> invalid_arg "Csa.resolve: accumulated value overflows width");
+  result

@@ -1,0 +1,27 @@
+(** Carry-save accumulation of weighted bit vectors, the common core of
+    the array multipliers.
+
+    An accumulator holds a redundant (save, carry) representation of a
+    partial sum; absent bits are implicit zeros, so compressors are only
+    instantiated where real bits exist. *)
+
+open Rchls_netlist
+
+type t
+(** Accumulator over a fixed weight range [0, width). *)
+
+val create : int -> t
+(** [create width] is an empty accumulator of [width] bit positions. *)
+
+val add_row : Netlist.builder -> t -> offset:int -> Netlist.net array -> unit
+(** [add_row b acc ~offset bits] adds [bits.(j)] at weight
+    [offset + j] using half/full-adder compressors.  Raises
+    [Invalid_argument] if any bit falls outside the weight range. *)
+
+val occupancy : t -> int array
+(** Number of pending bits at each weight (0, 1 or 2 after compression;
+    used by tests to check the carry-save invariant). *)
+
+val resolve : Netlist.builder -> t -> Netlist.net array
+(** Collapse the redundant form with a ripple vector-merge adder and
+    return one net per weight. *)

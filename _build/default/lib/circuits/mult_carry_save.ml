@@ -1,0 +1,19 @@
+open Rchls_netlist
+
+let partial_product_row b a bi =
+  Array.map (fun aj -> Netlist.add_gate b Gate.And2 [ aj; bi ]) a
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Mult_carry_save.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "csmul%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let acc = Csa.create (2 * width) in
+  for i = 0 to width - 1 do
+    let row = partial_product_row b a bb.(i) in
+    Csa.add_row b acc ~offset:i row
+  done;
+  let product = Csa.resolve b acc in
+  Word.output_bus b "p" product;
+  Netlist.finalize b

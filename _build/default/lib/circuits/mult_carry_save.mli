@@ -1,0 +1,11 @@
+(** Carry-save array multiplier ("Multiplier 1" in the paper's library:
+    the regular, conservative, most reliable implementation).
+
+    Unsigned [width] x [width] -> [2*width] multiplication: each
+    partial-product row is absorbed by a row of carry-save compressors;
+    a ripple vector-merge adder resolves the redundant form.
+
+    Interface: inputs [a0..], [b0..]; outputs [p0..p{2*width-1}]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build the multiplier.  Raises [Invalid_argument] if [width < 1]. *)

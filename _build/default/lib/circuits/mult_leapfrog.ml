@@ -1,0 +1,25 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Mult_leapfrog.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "lfmul%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  (* Two slack weights absorb structural (logically-zero) carries that
+     the merge of the two redundant forms can create at the top. *)
+  let even = Csa.create ((2 * width) + 2) in
+  let odd = Csa.create (2 * width) in
+  for i = 0 to width - 1 do
+    let row = Array.map (fun aj -> Netlist.add_gate b Gate.And2 [ aj; bb.(i) ]) a in
+    let acc = if i mod 2 = 0 then even else odd in
+    Csa.add_row b acc ~offset:i row
+  done;
+  (* Merge: fold the odd array's redundant vectors into the even array,
+     then resolve once. *)
+  let odd_vec = Csa.resolve b odd in
+  Csa.add_row b even ~offset:0 odd_vec;
+  let merged = Csa.resolve b even in
+  let product = Array.sub merged 0 (2 * width) in
+  Word.output_bus b "p" product;
+  Netlist.finalize b

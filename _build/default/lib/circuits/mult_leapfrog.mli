@@ -1,0 +1,15 @@
+(** "Leapfrog" multiplier ("Multiplier 2" in the paper's library: the
+    fast, less reliable implementation).
+
+    The paper cites a leap-frog multiplier without a public netlist; we
+    build the closest structural equivalent (documented in DESIGN.md):
+    partial-product rows are split into interleaved even/odd groups that
+    are accumulated by two independent carry-save arrays operating in
+    parallel — each array "leapfrogs" over the other's rows, halving
+    the accumulation depth — and the two redundant results are merged
+    by a 3:2 reduction plus a final adder.
+
+    Interface: inputs [a0..], [b0..]; outputs [p0..p{2*width-1}]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build the multiplier.  Raises [Invalid_argument] if [width < 1]. *)

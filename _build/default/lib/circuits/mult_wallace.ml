@@ -1,0 +1,50 @@
+open Rchls_netlist
+
+(* Column-wise Wallace reduction: every layer compresses each weight
+   column in groups of three with full adders until no column holds
+   more than two bits, then a final carry-propagate merge resolves the
+   remaining redundant pair of rows. *)
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Mult_wallace.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "wmul%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let out_width = 2 * width in
+  let columns = Array.make (out_width + 1) [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let pp = Netlist.add_gate b Gate.And2 [ a.(j); bb.(i) ] in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let next = Array.make (out_width + 1) [] in
+    Array.iteri
+      (fun w col ->
+        let rec compress = function
+          | x :: y :: z :: rest ->
+            let s, c = Word.full_adder b x y z in
+            next.(w) <- s :: next.(w);
+            if w + 1 <= out_width then next.(w + 1) <- c :: next.(w + 1);
+            progress := true;
+            compress rest
+          | remainder -> next.(w) <- List.rev_append remainder next.(w)
+        in
+        compress col)
+      columns;
+    Array.blit next 0 columns 0 (out_width + 1)
+  done;
+  (* Final carry-propagate merge of the (at most two) remaining rows. *)
+  let acc = Csa.create (out_width + 2) in
+  Array.iteri
+    (fun w col ->
+      if w < out_width then
+        List.iter (fun bit -> Csa.add_row b acc ~offset:w [| bit |]) col)
+    columns;
+  let merged = Csa.resolve b acc in
+  Word.output_bus b "p" (Array.sub merged 0 out_width);
+  Netlist.finalize b

@@ -1,0 +1,9 @@
+(** Wallace-tree multiplier (extension architecture, not in the paper's
+    Table 1): log-depth column compression of the partial products with
+    3:2 counters, then a carry-propagate merge.  Included so the
+    characterization pipeline has a third multiplier design point.
+
+    Interface: inputs [a0..], [b0..]; outputs [p0..p{2*width-1}]. *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build the multiplier.  Raises [Invalid_argument] if [width < 1]. *)

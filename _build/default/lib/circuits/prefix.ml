@@ -1,0 +1,15 @@
+open Rchls_netlist
+
+let combine b (g_hi, p_hi) (g_lo, p_lo) =
+  let g = Word.carry_in_merge b g_hi p_hi g_lo in
+  let p = Netlist.add_gate b Gate.And2 [ p_hi; p_lo ] in
+  (g, p)
+
+let sum_from_carries b ~p ~prefix_g ~prefix_p ~cin =
+  let width = Array.length p in
+  let carries = Array.make (width + 1) cin in
+  for i = 0 to width - 1 do
+    carries.(i + 1) <- Word.carry_in_merge b prefix_g.(i) prefix_p.(i) cin
+  done;
+  let sums = Array.init width (fun i -> Netlist.add_gate b Gate.Xor2 [ p.(i); carries.(i) ]) in
+  (sums, carries.(width))

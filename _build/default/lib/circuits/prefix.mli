@@ -1,0 +1,30 @@
+(** Shared carry-prefix machinery for parallel-prefix adders
+    (Kogge–Stone, Brent–Kung).
+
+    A prefix pair [(g, p)] spanning bit range [\[lo, hi\]] means: the
+    range generates a carry ([g]) or propagates an incoming carry
+    ([p]).  {!combine} merges a higher range with the adjacent lower
+    range. *)
+
+open Rchls_netlist
+
+val combine :
+  Netlist.builder ->
+  Netlist.net * Netlist.net ->
+  Netlist.net * Netlist.net ->
+  Netlist.net * Netlist.net
+(** [combine b (g_hi, p_hi) (g_lo, p_lo)] is
+    [(g_hi or (p_hi and g_lo), p_hi and p_lo)]. *)
+
+val sum_from_carries :
+  Netlist.builder ->
+  p:Netlist.net array ->
+  prefix_g:Netlist.net array ->
+  prefix_p:Netlist.net array ->
+  cin:Netlist.net ->
+  Netlist.net array * Netlist.net
+(** Given bitwise propagate [p] and inclusive prefix pairs
+    [(prefix_g.(i), prefix_p.(i))] spanning bits [0..i], derive the sum
+    bits and carry-out with the external carry folded in:
+    [c.(0) = cin], [c.(i+1) = prefix_g.(i) or (prefix_p.(i) and cin)],
+    [s.(i) = p.(i) xor c.(i)]. *)

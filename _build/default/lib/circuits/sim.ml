@@ -1,0 +1,58 @@
+open Rchls_netlist
+
+let split_port name =
+  let n = String.length name in
+  let rec first_digit i =
+    if i = 0 then 0
+    else
+      let c = name.[i - 1] in
+      if c >= '0' && c <= '9' then first_digit (i - 1) else i
+  in
+  let cut = first_digit n in
+  if cut = n || cut = 0 then (name, None)
+  else (String.sub name 0 cut, Some (int_of_string (String.sub name cut (n - cut))))
+
+let encode_inputs nl bindings =
+  let lookup prefix =
+    match List.assoc_opt prefix bindings with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Sim.encode_inputs: no binding for %S" prefix)
+  in
+  let used = Hashtbl.create 8 in
+  let vec =
+    Array.map
+      (fun (name, _) ->
+        let prefix, idx = split_port name in
+        Hashtbl.replace used prefix ();
+        let v = lookup prefix in
+        match idx with
+        | None -> v land 1 = 1
+        | Some i -> (v lsr i) land 1 = 1)
+      (Netlist.inputs nl)
+  in
+  List.iter
+    (fun (prefix, _) ->
+      if not (Hashtbl.mem used prefix) then
+        invalid_arg (Printf.sprintf "Sim.encode_inputs: unknown input %S" prefix))
+    bindings;
+  vec
+
+let decode_outputs nl outs =
+  let order = ref [] in
+  let acc = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (name, _) ->
+      let prefix, idx = split_port name in
+      if not (Hashtbl.mem acc prefix) then begin
+        Hashtbl.add acc prefix 0;
+        order := prefix :: !order
+      end;
+      let bit = if outs.(i) then 1 else 0 in
+      let shift = Option.value idx ~default:0 in
+      Hashtbl.replace acc prefix (Hashtbl.find acc prefix lor (bit lsl shift)))
+    (Netlist.outputs nl);
+  List.rev_map (fun p -> (p, Hashtbl.find acc p)) !order
+
+let run nl bindings = decode_outputs nl (Eval.eval nl (encode_inputs nl bindings))
+
+let output_value nl bindings name = List.assoc name (run nl bindings)

@@ -1,0 +1,26 @@
+(** Word-level simulation convenience on top of [Rchls_netlist.Eval].
+
+    Bus ports follow the {!Word} convention: a port named ["a3"] is bit
+    3 of bus ["a"]; a port with no trailing digits is a 1-bit scalar
+    addressed by its full name.  Values are unsigned OCaml ints. *)
+
+open Rchls_netlist
+
+val split_port : string -> string * int option
+(** ["s12"] -> [("s", Some 12)]; ["cin"] -> [("cin", None)]. *)
+
+val encode_inputs : Netlist.t -> (string * int) list -> bool array
+(** Build an input vector from bus/scalar bindings.  Every primary
+    input must be covered by exactly one binding (scalars take value
+    0/1).  Raises [Invalid_argument] on missing or unknown bindings. *)
+
+val decode_outputs : Netlist.t -> bool array -> (string * int) list
+(** Group an output vector into (bus-or-scalar name, unsigned value)
+    pairs, in first-appearance order. *)
+
+val run : Netlist.t -> (string * int) list -> (string * int) list
+(** [run nl bindings] = [decode_outputs nl (Eval.eval nl (encode_inputs
+    nl bindings))]. *)
+
+val output_value : Netlist.t -> (string * int) list -> string -> int
+(** [run] then look up one output bus/scalar.  Raises [Not_found]. *)

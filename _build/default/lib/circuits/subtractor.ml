@@ -1,0 +1,21 @@
+open Rchls_netlist
+
+let netlist ?name ~width () =
+  if width < 1 then invalid_arg "Subtractor.netlist: width must be >= 1";
+  let name = Option.value name ~default:(Printf.sprintf "sub%d" width) in
+  let b = Netlist.builder name in
+  let a = Word.input_bus b "a" width in
+  let bb = Word.input_bus b "b" width in
+  let one = Netlist.constant b true in
+  let carry = ref one in
+  let diffs = Array.make width one in
+  for i = 0 to width - 1 do
+    let nb = Netlist.add_gate b Gate.Inv [ bb.(i) ] in
+    let s, c = Word.full_adder b a.(i) nb !carry in
+    diffs.(i) <- s;
+    carry := c
+  done;
+  Word.output_bus b "d" diffs;
+  let borrow = Netlist.add_gate b Gate.Inv [ !carry ] in
+  Netlist.output b "bout" borrow;
+  Netlist.finalize b

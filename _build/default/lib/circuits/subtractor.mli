@@ -1,0 +1,9 @@
+(** Ripple-borrow subtractor built as [a + not b + 1].
+
+    Interface: inputs [a0..], [b0..]; outputs [d0..] (difference,
+    two's-complement wrap on underflow) and [bout] (borrow: 1 when
+    [a < b] unsigned). *)
+
+val netlist : ?name:string -> width:int -> unit -> Rchls_netlist.Netlist.t
+(** Build a [width]-bit subtractor.  Raises [Invalid_argument] if
+    [width < 1]. *)

@@ -1,0 +1,29 @@
+open Rchls_netlist
+
+let input_bus b name width =
+  Array.init width (fun i -> Netlist.input b (Printf.sprintf "%s%d" name i))
+
+let output_bus b name nets =
+  Array.iteri (fun i n -> Netlist.output b (Printf.sprintf "%s%d" name i) n) nets
+
+let half_adder b x y =
+  let s = Netlist.add_gate b Gate.Xor2 [ x; y ] in
+  let c = Netlist.add_gate b Gate.And2 [ x; y ] in
+  (s, c)
+
+let full_adder b x y cin =
+  let t = Netlist.add_gate b Gate.Xor2 [ x; y ] in
+  let s = Netlist.add_gate b Gate.Xor2 [ t; cin ] in
+  let c = Netlist.add_gate b Gate.Maj3 [ x; y; cin ] in
+  (s, c)
+
+let propagate_generate b a bb =
+  if Array.length a <> Array.length bb then
+    invalid_arg "Word.propagate_generate: width mismatch";
+  let p = Array.map2 (fun x y -> Netlist.add_gate b Gate.Xor2 [ x; y ]) a bb in
+  let g = Array.map2 (fun x y -> Netlist.add_gate b Gate.And2 [ x; y ]) a bb in
+  (p, g)
+
+let carry_in_merge b g p cin =
+  let pc = Netlist.add_gate b Gate.And2 [ p; cin ] in
+  Netlist.add_gate b Gate.Or2 [ g; pc ]

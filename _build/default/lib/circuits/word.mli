@@ -1,0 +1,37 @@
+(** Word-level construction helpers shared by the arithmetic generators.
+
+    Bus convention: an [n]-bit bus named ["a"] is the ordered nets
+    ["a0" ... "a{n-1}"], least-significant bit first. *)
+
+open Rchls_netlist
+
+val input_bus : Netlist.builder -> string -> int -> Netlist.net array
+(** Declare an input bus, LSB first. *)
+
+val output_bus : Netlist.builder -> string -> Netlist.net array -> unit
+(** Declare each net of the array as output ["name<i>"]. *)
+
+val half_adder :
+  Netlist.builder -> Netlist.net -> Netlist.net -> Netlist.net * Netlist.net
+(** [half_adder b a b'] is [(sum, carry)] = (XOR, AND). *)
+
+val full_adder :
+  Netlist.builder ->
+  Netlist.net ->
+  Netlist.net ->
+  Netlist.net ->
+  Netlist.net * Netlist.net
+(** [full_adder b x y cin] is [(sum, carry)]; carry uses a MAJ3 cell. *)
+
+val propagate_generate :
+  Netlist.builder ->
+  Netlist.net array ->
+  Netlist.net array ->
+  Netlist.net array * Netlist.net array
+(** Bitwise [(p, g)] with [p.(i) = a.(i) xor b.(i)],
+    [g.(i) = a.(i) and b.(i)]. *)
+
+val carry_in_merge :
+  Netlist.builder -> Netlist.net -> Netlist.net -> Netlist.net -> Netlist.net
+(** [carry_in_merge b g p cin] is [g or (p and cin)] — folds an external
+    carry into a prefix (G, P) pair. *)

@@ -1,0 +1,1 @@
+lib/core/design.ml: Analysis Array Dfg Format Hashtbl List Op Option Printf Rchls_binding Rchls_charlib Rchls_dfg Rchls_sched

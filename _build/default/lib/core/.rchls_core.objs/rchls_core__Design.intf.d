@@ -1,0 +1,1 @@
+lib/core/design.mli: Dfg Format Rchls_binding Rchls_charlib Rchls_dfg Rchls_sched

@@ -1,0 +1,1 @@
+lib/core/objectives.ml: Analysis Design Dfg Format List Op Option Rchls_charlib Rchls_dfg Reliability_centric

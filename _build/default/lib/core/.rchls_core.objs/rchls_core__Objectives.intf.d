@@ -1,0 +1,1 @@
+lib/core/objectives.mli: Design Dfg Format Rchls_charlib Rchls_dfg Reliability_centric

@@ -1,0 +1,1 @@
+lib/core/reliability_centric.ml: Array Design Dfg Format List Op Printf Rchls_binding Rchls_charlib Rchls_dfg Rchls_sched String

@@ -1,0 +1,1 @@
+lib/core/reliability_centric.mli: Design Dfg Format Rchls_charlib Rchls_dfg

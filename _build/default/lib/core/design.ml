@@ -1,0 +1,134 @@
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Schedule = Rchls_sched.Schedule
+module Binding = Rchls_binding.Binding
+
+type scheduler = [ `Density | `Force_directed ]
+
+type t = {
+  graph : Dfg.t;
+  library : Library.t;
+  assignment : Resource.t array;
+  schedule : Schedule.t;
+  binding : Binding.t;
+}
+
+let check_assignment g assignment =
+  let bad =
+    List.find_opt
+      (fun (nd : Dfg.node) ->
+        (assignment nd).Resource.op_class <> Op.resource_class nd.op)
+      (Dfg.nodes g)
+  in
+  match bad with
+  | Some nd ->
+    Error
+      (Printf.sprintf "node %s (%s) assigned a %s-class version" nd.name
+         (Op.name nd.op)
+         (Resource.class_name (assignment nd).Resource.op_class))
+  | None -> Ok ()
+
+let realize ?(scheduler = `Density) g lib ~assignment ~latency =
+  match check_assignment g assignment with
+  | Error e -> Error e
+  | Ok () ->
+    let delay (nd : Dfg.node) = (assignment nd).Resource.delay in
+    let sched_result =
+      match scheduler with
+      | `Density -> Rchls_sched.Density_sched.run g ~delay ~latency
+      | `Force_directed -> Rchls_sched.Force_directed.run g ~delay ~latency
+    in
+    (match sched_result with
+    | Error e -> Error e
+    | Ok schedule ->
+      (* The area-minimizing packer sometimes beats the distribution
+         scheduler on instance count; keep whichever binds smaller.
+         Skip the packer when the first binding already reaches the
+         occupancy lower bound sum_v ceil(busy_v / latency) * area_v. *)
+      let bind s = Binding.bind s ~assignment in
+      let binding = bind schedule in
+      let lower_bound_area =
+        let busy = Hashtbl.create 8 in
+        List.iter
+          (fun (nd : Dfg.node) ->
+            let r = assignment nd in
+            let cur = Option.value (Hashtbl.find_opt busy r.Resource.id) ~default:(0, 0) in
+            Hashtbl.replace busy r.Resource.id (fst cur + r.Resource.delay, r.Resource.area))
+          (Dfg.nodes g);
+        Hashtbl.fold
+          (fun _ (cycles, area) acc -> acc + (((cycles + latency - 1) / latency) * area))
+          busy 0
+      in
+      let schedule, binding =
+        if Binding.area binding <= lower_bound_area then (schedule, binding)
+        else
+          match
+            Rchls_sched.Min_area.run g ~delay
+              ~group:(fun nd -> (assignment nd).Resource.id)
+              ~group_area:(fun id -> (Library.find_exn lib id).Resource.area)
+              ~latency
+          with
+          | Error _ -> (schedule, binding)
+          | Ok packed ->
+            let packed_binding = bind packed in
+            if Binding.area packed_binding < Binding.area binding then
+              (packed, packed_binding)
+            else (schedule, binding)
+      in
+      let arr = Array.of_list (List.map (fun nd -> assignment nd) (Dfg.nodes g)) in
+      Ok { graph = g; library = lib; assignment = arr; schedule; binding })
+
+let realize_exn ?scheduler g lib ~assignment ~latency =
+  match realize ?scheduler g lib ~assignment ~latency with
+  | Ok t -> t
+  | Error e -> failwith ("Design.realize: " ^ e)
+
+let graph t = t.graph
+let library t = t.library
+let schedule t = t.schedule
+let binding t = t.binding
+
+let version_of t id =
+  if id < 0 || id >= Array.length t.assignment then
+    invalid_arg "Design.version_of: unknown node";
+  t.assignment.(id)
+
+let latency t = Schedule.latency t.schedule
+let area t = Binding.area t.binding
+
+let reliability t =
+  Array.fold_left (fun acc (r : Resource.t) -> acc *. r.reliability) 1. t.assignment
+
+let node_reliabilities t =
+  List.map
+    (fun (nd : Dfg.node) -> (nd, t.assignment.(nd.id).Resource.reliability))
+    (Dfg.nodes t.graph)
+
+let version_histogram t =
+  let acc = ref [] in
+  Array.iter
+    (fun (r : Resource.t) ->
+      match List.assoc_opt r !acc with
+      | Some n -> acc := (r, n + 1) :: List.remove_assoc r !acc
+      | None -> acc := (r, 1) :: !acc)
+    t.assignment;
+  List.sort (fun (a, _) (b, _) -> compare a.Resource.id b.Resource.id) !acc
+
+let instance_histogram t = Binding.count_by_resource t.binding
+
+let min_feasible_latency t =
+  Analysis.asap_latency t.graph ~delay:(fun nd -> t.assignment.(nd.id).Resource.delay)
+
+let pp_report ppf t =
+  Format.fprintf ppf "design for %s@." (Dfg.name t.graph);
+  Format.fprintf ppf "  latency: %d cycles, area: %d units, reliability: %.5f@."
+    (latency t) (area t) (reliability t);
+  Format.fprintf ppf "  instances:@.";
+  List.iter
+    (fun ((r : Resource.t), n) ->
+      Format.fprintf ppf "    %dx %s (area %d, delay %d, R %.5f)@." n r.display r.area
+        r.delay r.reliability)
+    (instance_histogram t);
+  Format.fprintf ppf "  schedule:@.";
+  Schedule.pp ppf t.schedule

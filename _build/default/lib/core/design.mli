@@ -1,0 +1,65 @@
+(** A complete datapath design: a data-flow graph with a version
+    assignment, a schedule and a binding.
+
+    The design's reliability follows the paper's serial model (§5):
+    the product over all operations of the reliability of the version
+    executing them. *)
+
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+
+type scheduler = [ `Density | `Force_directed ]
+(** Which scheduler realizes designs; [`Density] is the paper's. *)
+
+type t
+
+val realize :
+  ?scheduler:scheduler ->
+  Dfg.t ->
+  Library.t ->
+  assignment:(Dfg.node -> Resource.t) ->
+  latency:int ->
+  (t, string) result
+(** Schedule the graph within [latency] steps under the given version
+    assignment, bind, and package.  Fails if the latency is infeasible
+    or a version belongs to the wrong class. *)
+
+val realize_exn :
+  ?scheduler:scheduler ->
+  Dfg.t ->
+  Library.t ->
+  assignment:(Dfg.node -> Resource.t) ->
+  latency:int ->
+  t
+
+val graph : t -> Dfg.t
+val library : t -> Library.t
+val schedule : t -> Rchls_sched.Schedule.t
+val binding : t -> Rchls_binding.Binding.t
+
+val version_of : t -> Dfg.node_id -> Resource.t
+(** Version assigned to a node. *)
+
+val latency : t -> int
+(** Achieved schedule latency (steps). *)
+
+val area : t -> int
+(** Total bound-instance area (units). *)
+
+val reliability : t -> float
+(** Serial product over operation nodes. *)
+
+val node_reliabilities : t -> (Dfg.node * float) list
+
+val version_histogram : t -> (Resource.t * int) list
+(** Nodes per version (not instances). *)
+
+val instance_histogram : t -> (Resource.t * int) list
+(** Instances per version — the "two adders of type 2" accounting. *)
+
+val min_feasible_latency : t -> int
+(** ASAP latency under the design's assignment. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

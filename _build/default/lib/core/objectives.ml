@@ -1,0 +1,76 @@
+open Rchls_dfg
+module Library = Rchls_charlib.Library
+module Resource = Rchls_charlib.Resource
+module Rc = Reliability_centric
+
+type failure = No_feasible_design | Synthesis of Rc.failure
+
+let pp_failure ppf = function
+  | No_feasible_design ->
+    Format.fprintf ppf "no design meets the reliability target in the search range"
+  | Synthesis f -> Rc.pp_failure ppf f
+
+let classes_used g = List.map fst (Dfg.count_by_class g)
+
+let min_conceivable_area g lib =
+  List.fold_left
+    (fun acc cls -> acc + (Library.smallest lib cls).Resource.area)
+    0 (classes_used g)
+
+let max_useful_area g lib =
+  List.fold_left
+    (fun acc (nd : Dfg.node) ->
+      acc + (Library.most_reliable lib (Op.resource_class nd.op)).Resource.area)
+    0 (Dfg.nodes g)
+
+let min_conceivable_latency g lib =
+  Analysis.asap_latency g ~delay:(fun nd ->
+      (Library.fastest lib (Op.resource_class nd.op)).Resource.delay)
+
+let max_useful_latency g lib =
+  (* Fully serialized execution on the slowest versions. *)
+  List.fold_left
+    (fun acc (nd : Dfg.node) ->
+      let versions = Library.versions lib (Op.resource_class nd.op) in
+      acc
+      + List.fold_left (fun m (v : Resource.t) -> max m v.Resource.delay) 1 versions)
+    0 (Dfg.nodes g)
+
+let check_rmin rmin =
+  if rmin <= 0. || rmin > 1. then
+    invalid_arg "Objectives: reliability target must lie in (0, 1]"
+
+let minimize_area ?scheduler ?max_area g lib ~ld ~rmin =
+  if ld <= 0 then invalid_arg "Objectives.minimize_area: non-positive latency bound";
+  check_rmin rmin;
+  let hi = Option.value max_area ~default:(max_useful_area g lib) in
+  let lo = min_conceivable_area g lib in
+  (* Reliability is monotone in the area bound only through the sweep
+     envelope, so scan upward and stop at the first hit — that hit is
+     area-minimal by construction. *)
+  let rec scan ad last_failure =
+    if ad > hi then
+      Error (match last_failure with Some f -> Synthesis f | None -> No_feasible_design)
+    else
+      match Rc.synthesize ?scheduler g lib ~ld ~ad with
+      | Ok d when Design.reliability d >= rmin -. 1e-12 -> Ok d
+      | Ok _ -> scan (ad + 1) None
+      | Error f -> scan (ad + 1) (Some f)
+  in
+  scan lo None
+
+let minimize_latency ?scheduler ?max_latency g lib ~ad ~rmin =
+  if ad <= 0 then invalid_arg "Objectives.minimize_latency: non-positive area bound";
+  check_rmin rmin;
+  let hi = Option.value max_latency ~default:(max_useful_latency g lib) in
+  let lo = min_conceivable_latency g lib in
+  let rec scan ld last_failure =
+    if ld > hi then
+      Error (match last_failure with Some f -> Synthesis f | None -> No_feasible_design)
+    else
+      match Rc.synthesize ?scheduler g lib ~ld ~ad with
+      | Ok d when Design.reliability d >= rmin -. 1e-12 -> Ok d
+      | Ok _ -> scan (ld + 1) None
+      | Error f -> scan (ld + 1) (Some f)
+  in
+  scan lo None

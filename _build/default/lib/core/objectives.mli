@@ -1,0 +1,45 @@
+(** Alternate optimization objectives — the paper's stated future work
+    ("optimizing area under reliability and performance constraints, or
+    optimizing performance under reliability and area constraints"),
+    built on top of the reliability-centric engine.
+
+    Both searches sweep the bound of the freed dimension and keep the
+    best design whose reliability meets the target. *)
+
+open Rchls_dfg
+module Library = Rchls_charlib.Library
+
+type failure =
+  | No_feasible_design
+      (** no bound meets the reliability target within the search range *)
+  | Synthesis of Reliability_centric.failure
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val minimize_area :
+  ?scheduler:Design.scheduler ->
+  ?max_area:int ->
+  Dfg.t ->
+  Library.t ->
+  ld:int ->
+  rmin:float ->
+  (Design.t, failure) result
+(** Smallest-area design with latency within [ld] and reliability at
+    least [rmin].  Searches areas from the cheapest conceivable
+    (one smallest instance per class used) up to [max_area] (default:
+    the area of one most-reliable instance per operation — beyond that
+    no sharing pressure remains).  Raises [Invalid_argument] on
+    non-positive [ld] or [rmin] outside (0, 1]. *)
+
+val minimize_latency :
+  ?scheduler:Design.scheduler ->
+  ?max_latency:int ->
+  Dfg.t ->
+  Library.t ->
+  ad:int ->
+  rmin:float ->
+  (Design.t, failure) result
+(** Fastest design with area within [ad] and reliability at least
+    [rmin].  Searches latencies from the all-fastest ASAP bound up to
+    [max_latency] (default: the fully-serialized slowest-version
+    latency). *)

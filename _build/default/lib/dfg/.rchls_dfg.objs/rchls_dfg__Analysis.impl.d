@@ -1,0 +1,1 @@
+lib/dfg/analysis.ml: Array Dfg List Printf

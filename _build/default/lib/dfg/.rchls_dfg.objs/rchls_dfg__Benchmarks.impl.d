@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.ml: Dfg List Op Option Printf

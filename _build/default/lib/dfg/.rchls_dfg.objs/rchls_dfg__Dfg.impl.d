@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Format Hashtbl List Op Printf Queue Rchls_charlib String

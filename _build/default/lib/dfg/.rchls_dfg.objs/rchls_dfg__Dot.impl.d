@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Buffer Dfg Fun Hashtbl List Op Option Printf String

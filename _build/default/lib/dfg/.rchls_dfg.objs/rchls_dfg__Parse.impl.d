@@ -1,0 +1,1 @@
+lib/dfg/parse.ml: Buffer Dfg List Op Printf String

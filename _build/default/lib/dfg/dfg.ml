@@ -1,0 +1,145 @@
+type node_id = int
+
+type node = { id : node_id; name : string; op : Op.t }
+
+type t = {
+  g_name : string;
+  g_nodes : node array;
+  g_preds : node_id list array;
+  g_succs : node_id list array;
+  g_edge_count : int;
+  g_topo : node_id list;
+}
+
+let create ~name ~nodes ~edges =
+  if nodes = [] then Error "graph must contain at least one node"
+  else begin
+    let by_name = Hashtbl.create 64 in
+    let dup = ref None in
+    List.iteri
+      (fun i (n, _) ->
+        if Hashtbl.mem by_name n && !dup = None then dup := Some n
+        else Hashtbl.replace by_name n i)
+      nodes;
+    match !dup with
+    | Some n -> Error (Printf.sprintf "duplicate node name %S" n)
+    | None ->
+      let node_arr =
+        Array.of_list (List.mapi (fun i (n, op) -> { id = i; name = n; op }) nodes)
+      in
+      let count = Array.length node_arr in
+      let preds = Array.make count [] in
+      let succs = Array.make count [] in
+      let edge_set = Hashtbl.create 64 in
+      let rec add_edges = function
+        | [] -> Ok ()
+        | (u, v) :: rest -> (
+          match (Hashtbl.find_opt by_name u, Hashtbl.find_opt by_name v) with
+          | None, _ -> Error (Printf.sprintf "edge references unknown node %S" u)
+          | _, None -> Error (Printf.sprintf "edge references unknown node %S" v)
+          | Some ui, Some vi ->
+            if ui = vi then Error (Printf.sprintf "self-edge on %S" u)
+            else if Hashtbl.mem edge_set (ui, vi) then
+              Error (Printf.sprintf "duplicate edge %S -> %S" u v)
+            else begin
+              Hashtbl.add edge_set (ui, vi) ();
+              succs.(ui) <- vi :: succs.(ui);
+              preds.(vi) <- ui :: preds.(vi);
+              add_edges rest
+            end)
+      in
+      (match add_edges edges with
+      | Error e -> Error e
+      | Ok () ->
+        Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+        Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+        (* Kahn's algorithm: topological order + cycle detection. *)
+        let indeg = Array.map List.length preds in
+        let queue = Queue.create () in
+        Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+        let topo = ref [] in
+        let visited = ref 0 in
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          topo := u :: !topo;
+          incr visited;
+          List.iter
+            (fun v ->
+              indeg.(v) <- indeg.(v) - 1;
+              if indeg.(v) = 0 then Queue.add v queue)
+            succs.(u)
+        done;
+        if !visited <> count then Error "graph contains a cycle"
+        else
+          Ok
+            {
+              g_name = name;
+              g_nodes = node_arr;
+              g_preds = preds;
+              g_succs = succs;
+              g_edge_count = List.length edges;
+              g_topo = List.rev !topo;
+            })
+  end
+
+let create_exn ~name ~nodes ~edges =
+  match create ~name ~nodes ~edges with
+  | Ok t -> t
+  | Error e -> failwith (Printf.sprintf "Dfg.create (%s): %s" name e)
+
+let name t = t.g_name
+let node_count t = Array.length t.g_nodes
+let edge_count t = t.g_edge_count
+let nodes t = Array.to_list t.g_nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.g_nodes then
+    invalid_arg (Printf.sprintf "Dfg.node: unknown id %d" id);
+  t.g_nodes.(id)
+
+let find t n = Array.find_opt (fun x -> x.name = n) t.g_nodes
+
+let find_exn t n =
+  match find t n with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "Dfg.find_exn: no node %S in %s" n t.g_name)
+
+let preds t id =
+  ignore (node t id);
+  t.g_preds.(id)
+
+let succs t id =
+  ignore (node t id);
+  t.g_succs.(id)
+
+let sources t = List.filter (fun n -> t.g_preds.(n.id) = []) (nodes t)
+let sinks t = List.filter (fun n -> t.g_succs.(n.id) = []) (nodes t)
+
+let topological t = List.map (fun id -> t.g_nodes.(id)) t.g_topo
+
+let count_by_op t =
+  List.filter_map
+    (fun op ->
+      let c = Array.fold_left (fun acc n -> if n.op = op then acc + 1 else acc) 0 t.g_nodes in
+      if c > 0 then Some (op, c) else None)
+    Op.all
+
+let count_by_class t =
+  let tally cls =
+    Array.fold_left
+      (fun acc n -> if Op.resource_class n.op = cls then acc + 1 else acc)
+      0 t.g_nodes
+  in
+  List.filter_map
+    (fun cls ->
+      let c = tally cls in
+      if c > 0 then Some (cls, c) else None)
+    [ Rchls_charlib.Resource.Add; Rchls_charlib.Resource.Mul ]
+
+let pp_summary ppf t =
+  let ops =
+    String.concat ", "
+      (List.map (fun (op, c) -> Printf.sprintf "%d%s" c (Op.symbol op)) (count_by_op t))
+  in
+  Format.fprintf ppf "%s: %d nodes (%s), %d edges" t.g_name (node_count t) ops
+    t.g_edge_count

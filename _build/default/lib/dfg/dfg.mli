@@ -1,0 +1,63 @@
+(** Data-flow graphs: the behavioural input of the synthesis flow.
+
+    Nodes are operations; a directed edge [u -> v] means [v] consumes
+    the value produced by [u].  Graphs are immutable after
+    construction and guaranteed acyclic. *)
+
+type node_id = int
+(** Dense node identifier, 0-based in creation order. *)
+
+type node = { id : node_id; name : string; op : Op.t }
+
+type t
+
+val create :
+  name:string ->
+  nodes:(string * Op.t) list ->
+  edges:(string * string) list ->
+  (t, string) result
+(** Build a graph from named nodes and name-pair edges.  Fails on
+    duplicate node names, unknown edge endpoints, self-edges, duplicate
+    edges, cycles, or an empty node list. *)
+
+val create_exn :
+  name:string -> nodes:(string * Op.t) list -> edges:(string * string) list -> t
+(** [create] or [Failure]. *)
+
+val name : t -> string
+val node_count : t -> int
+val edge_count : t -> int
+
+val nodes : t -> node list
+(** In id order. *)
+
+val node : t -> node_id -> node
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val find : t -> string -> node option
+(** Lookup by name. *)
+
+val find_exn : t -> string -> node
+
+val preds : t -> node_id -> node_id list
+(** Immediate predecessors, ascending. *)
+
+val succs : t -> node_id -> node_id list
+(** Immediate successors, ascending. *)
+
+val sources : t -> node list
+(** Nodes with no predecessors. *)
+
+val sinks : t -> node list
+(** Nodes with no successors. *)
+
+val topological : t -> node list
+(** A topological order (creation order is one, by construction). *)
+
+val count_by_op : t -> (Op.t * int) list
+(** Operation histogram, only ops present, in {!Op.all} order. *)
+
+val count_by_class : t -> (Rchls_charlib.Resource.op_class * int) list
+(** Histogram by functional-unit class. *)
+
+val pp_summary : Format.formatter -> t -> unit

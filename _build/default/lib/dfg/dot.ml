@@ -1,0 +1,46 @@
+let default_label (n : Dfg.node) = Op.symbol n.op ^ n.name
+
+let to_dot ?label ?step g =
+  let label = Option.value label ~default:default_label in
+  let step = Option.value step ~default:(fun _ -> None) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  node [shape=circle];\n" (Dfg.name g));
+  List.iter
+    (fun (n : Dfg.node) ->
+      let text =
+        match step n with
+        | None -> label n
+        | Some s -> Printf.sprintf "%s@%d" (label n) (s + 1)
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" n.id text))
+    (Dfg.nodes g);
+  List.iter
+    (fun (n : Dfg.node) ->
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" n.id s))
+        (Dfg.succs g n.id))
+    (Dfg.nodes g);
+  (* Group nodes scheduled at the same step on one rank. *)
+  let by_step = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Dfg.node) ->
+      match step n with
+      | None -> ()
+      | Some s -> Hashtbl.replace by_step s (n.id :: (Option.value (Hashtbl.find_opt by_step s) ~default:[])))
+    (Dfg.nodes g);
+  let steps = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_step []) in
+  List.iter
+    (fun s ->
+      let ids = List.rev (Hashtbl.find by_step s) in
+      Buffer.add_string buf
+        (Printf.sprintf "  { rank=same; %s }\n"
+           (String.concat " " (List.map (Printf.sprintf "n%d;") ids))))
+    steps;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?label ?step g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?label ?step g))

@@ -1,0 +1,14 @@
+(** Graphviz export of data-flow graphs, optionally annotated with a
+    schedule (step ranks, as in the paper's Figures 5 and 7). *)
+
+val to_dot :
+  ?label:(Dfg.node -> string) ->
+  ?step:(Dfg.node -> int option) ->
+  Dfg.t ->
+  string
+(** Render as a [digraph].  [label] defaults to ["<symbol><name>"]
+    (e.g. ["+A"]); when [step] yields ranks, nodes of the same step are
+    grouped with [rank=same] and the step is appended to the label. *)
+
+val write_file :
+  ?label:(Dfg.node -> string) -> ?step:(Dfg.node -> int option) -> Dfg.t -> string -> unit

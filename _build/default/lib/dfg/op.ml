@@ -1,0 +1,19 @@
+type t = Add | Sub | Mul | Comp
+
+let all = [ Add; Sub; Mul; Comp ]
+
+let symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Comp -> "<"
+
+let name = function Add -> "add" | Sub -> "sub" | Mul -> "mul" | Comp -> "comp"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "add" | "+" -> Some Add
+  | "sub" | "-" -> Some Sub
+  | "mul" | "*" -> Some Mul
+  | "comp" | "<" | "cmp" -> Some Comp
+  | _ -> None
+
+let resource_class = function
+  | Add | Sub | Comp -> Rchls_charlib.Resource.Add
+  | Mul -> Rchls_charlib.Resource.Mul

@@ -1,0 +1,20 @@
+(** Operation kinds appearing in data-flow graphs. *)
+
+type t = Add | Sub | Mul | Comp
+
+val all : t list
+
+val symbol : t -> string
+(** DFG drawing symbol: "+", "-", "*", "<". *)
+
+val name : t -> string
+(** Lowercase keyword used by the textual DFG format. *)
+
+val of_name : string -> t option
+(** Accepts the keyword or the symbol, case-insensitive. *)
+
+val resource_class : t -> Rchls_charlib.Resource.op_class
+(** The functional-unit class executing the operation: subtractions and
+    comparisons run on adder-class units (ripple/borrow and magnitude
+    comparison share the carry chain), multiplications on multipliers —
+    the standard mapping for these benchmarks. *)

@@ -1,0 +1,55 @@
+let of_text text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let nodes = ref [] in
+  let edges = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then begin
+        let lineno = i + 1 in
+        let stripped = String.trim line in
+        if stripped = "" || stripped.[0] = '#' then ()
+        else
+          let words =
+            List.filter (fun w -> w <> "") (String.split_on_char ' ' stripped)
+          in
+          match words with
+          | [ "dfg"; n ] ->
+            if !name = None then name := Some n
+            else err := Some (Printf.sprintf "line %d: duplicate dfg directive" lineno)
+          | [ "node"; n; op ] -> (
+            match Op.of_name op with
+            | Some op -> nodes := (n, op) :: !nodes
+            | None -> err := Some (Printf.sprintf "line %d: unknown op %S" lineno op))
+          | [ "edge"; u; v ] -> edges := (u, v) :: !edges
+          | _ -> err := Some (Printf.sprintf "line %d: unrecognized line %S" lineno stripped)
+      end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+    match !name with
+    | None -> Error "missing 'dfg <name>' directive"
+    | Some n -> Dfg.create ~name:n ~nodes:(List.rev !nodes) ~edges:(List.rev !edges))
+
+let of_text_exn text =
+  match of_text text with
+  | Ok g -> g
+  | Error e -> failwith ("Parse.of_text: " ^ e)
+
+let to_text g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "dfg %s\n" (Dfg.name g));
+  List.iter
+    (fun (n : Dfg.node) ->
+      Buffer.add_string buf (Printf.sprintf "node %s %s\n" n.name (Op.name n.op)))
+    (Dfg.nodes g);
+  List.iter
+    (fun (n : Dfg.node) ->
+      List.iter
+        (fun s ->
+          Buffer.add_string buf (Printf.sprintf "edge %s %s\n" n.name (Dfg.node g s).name))
+        (Dfg.succs g n.id))
+    (Dfg.nodes g);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Textual data-flow-graph format.
+
+    {v
+    # comment
+    dfg fir16
+    node p1 add
+    node m1 mul
+    edge p1 m1
+    v}
+
+    Node lines must precede the edges that reference them only
+    logically, not lexically — the whole file is collected before the
+    graph is built. *)
+
+val of_text : string -> (Dfg.t, string) result
+(** Parse; errors carry the offending line number. *)
+
+val of_text_exn : string -> Dfg.t
+
+val to_text : Dfg.t -> string
+(** Render; [of_text (to_text g)] reconstructs an identical graph. *)

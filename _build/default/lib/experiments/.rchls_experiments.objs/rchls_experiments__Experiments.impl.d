@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Buffer Format List Paper_data Printf Rchls_charlib Rchls_core Rchls_dfg Rchls_redundancy Rchls_sched Rchls_soft_error Rchls_util String Sweep

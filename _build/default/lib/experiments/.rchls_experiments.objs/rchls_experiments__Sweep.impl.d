@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: List Rchls_charlib Rchls_core Rchls_redundancy

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Rchls_charlib Rchls_core Rchls_dfg

@@ -1,0 +1,40 @@
+(** One generator per table/figure of the paper's evaluation.  Each
+    returns printable text containing the regenerated data side by side
+    with the published numbers (the EXPERIMENTS.md record is produced
+    from these).
+
+    Experiment index (DESIGN.md §3):
+    - {!table1}: component characterization;
+    - {!fig2}: the Qcritical → SER → failure-rate → reliability chain;
+    - {!fig5}: the two schedules of the Figure-4(a) example;
+    - {!fig7}: single-version vs reliability-centric FIR designs;
+    - {!fig8a}, {!fig8b}: FIR reliability vs latency / area bound;
+    - {!table2a}, {!table2b}, {!table2c}: the three benchmark grids;
+    - {!fig9}: per-benchmark averages of the three approaches. *)
+
+val table1 : unit -> string
+(** Characterization driven by the paper's published Qcritical values
+    (exact regeneration).  *)
+
+val table1_measured : ?vectors:int -> ?width:int -> unit -> string
+(** Characterization measured from scratch on our generated netlists
+    with Monte-Carlo fault injection (the full substitute pipeline);
+    slower, numbers land close to but not exactly on Table 1. *)
+
+val fig2 : unit -> string
+val fig5 : unit -> string
+val fig7 : unit -> string
+val fig8a : unit -> string
+val fig8b : unit -> string
+val table2a : unit -> string
+val table2b : unit -> string
+val table2c : unit -> string
+val fig9 : unit -> string
+
+val all : (string * (unit -> string)) list
+(** Every experiment by id: table1, fig2, fig5, fig7, fig8a, fig8b,
+    table2a, table2b, table2c, fig9 (the measured table1 variant is
+    separate: table1-measured). *)
+
+val run_all : unit -> string
+(** Concatenate every generator's output. *)

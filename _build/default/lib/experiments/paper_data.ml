@@ -1,0 +1,78 @@
+type table2_row = { ld : int; ad : int; ref3 : float; ours : float; combined : float }
+
+let table1 =
+  [
+    ("Adder 1", 1, 2, 0.999);
+    ("Adder 2", 2, 1, 0.969);
+    ("Adder 3", 4, 1, 0.987);
+    ("Multiplier 1", 2, 2, 0.999);
+    ("Multiplier 2", 4, 1, 0.969);
+  ]
+
+let row ld ad ref3 ours combined = { ld; ad; ref3; ours; combined }
+
+let table2a_fir =
+  [
+    row 10 9 0.48467 0.59998 0.59998;
+    row 10 11 0.61856 0.69516 0.76572;
+    row 10 13 0.76572 0.69516 0.77187;
+    row 11 9 0.48467 0.78943 0.79497;
+    row 11 11 0.61856 0.89798 0.98411;
+    row 11 13 0.76572 0.89798 0.99102;
+    row 12 9 0.61856 0.81387 0.81959;
+    row 12 11 0.76572 0.90890 0.98411;
+    row 12 13 0.78943 0.90890 0.99301;
+  ]
+
+let table2b_ewf =
+  [
+    row 13 7 0.45509 0.70260 0.81225;
+    row 13 9 0.67645 0.78463 0.97530;
+    row 13 11 0.89005 0.78463 0.98805;
+    row 14 7 0.45509 0.71114 0.83739;
+    row 14 9 0.69739 0.79417 0.97530;
+    row 14 11 0.94641 0.79417 0.98805;
+    row 15 5 0.45509 0.69739 0.69739;
+    row 15 7 0.71899 0.80383 0.81225;
+    row 15 9 0.97530 0.80383 0.97530;
+  ]
+
+let table2c_diffeq =
+  [
+    row 5 11 0.70723 0.77497 0.77497;
+    row 5 13 0.82370 0.80403 0.82370;
+    row 5 15 0.82783 0.80645 0.84920;
+    row 6 11 0.70723 0.82370 0.82700;
+    row 6 13 0.82370 0.82370 0.82783;
+    row 6 15 0.82783 0.90260 0.90712;
+    row 7 7 0.70723 0.90260 0.90260;
+    row 7 9 0.82370 0.93054 0.93054;
+    row 7 11 0.82783 0.95935 0.95935;
+  ]
+
+let fig5_all_type2 = 0.82783
+let fig5_mixed = 0.90713
+let fig7_single_version = 0.48467
+let fig7_ours = 0.78943
+
+(* Figure 8 series: the 10/11 points coincide with Table 2(a); the
+   rest are read off the published plot. *)
+let fig8a_latency =
+  [ (10, 0.60); (11, 0.79); (12, 0.81); (14, 0.90); (16, 0.91); (18, 0.96) ]
+
+let fig8b_area =
+  [ (8, 0.48); (10, 0.60); (12, 0.70); (13, 0.70); (14, 0.79); (15, 0.79); (16, 0.90) ]
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let averages rows =
+  ( mean (List.map (fun r -> r.ref3) rows),
+    mean (List.map (fun r -> r.ours) rows),
+    mean (List.map (fun r -> r.combined) rows) )
+
+let fig9_averages =
+  List.map
+    (fun (name, rows) ->
+      let a, b, c = averages rows in
+      (name, a, b, c))
+    [ ("FIR", table2a_fir); ("EW", table2b_ewf); ("DiffEq", table2c_diffeq) ]

@@ -1,0 +1,61 @@
+module Library = Rchls_charlib.Library
+module Rc = Rchls_core.Reliability_centric
+module Design = Rchls_core.Design
+
+type approach = Baseline | Ours | Combined
+
+type cell = { ld : int; ad : int; reliability : float option; area : int option }
+
+let raw_cell ?scheduler ?refine approach g lib ~ld ~ad =
+  match approach with
+  | Baseline -> (
+    match Rchls_redundancy.Orailoglu.synthesize ?scheduler g lib ~ld ~ad with
+    | Ok t ->
+      ( Some (Rchls_redundancy.Nmr_design.reliability t),
+        Some (Rchls_redundancy.Nmr_design.area t) )
+    | Error _ -> (None, None))
+  | Ours -> (
+    match Rc.synthesize ?scheduler ?refine g lib ~ld ~ad with
+    | Ok d -> (Some (Design.reliability d), Some (Design.area d))
+    | Error _ -> (None, None))
+  | Combined -> (
+    match Rchls_redundancy.Combined.synthesize ?scheduler g lib ~ld ~ad with
+    | Ok t ->
+      ( Some (Rchls_redundancy.Nmr_design.reliability t),
+        Some (Rchls_redundancy.Nmr_design.area t) )
+    | Error _ -> (None, None))
+
+let run ?scheduler ?refine approach g lib ~lds ~ads =
+  let lds = List.sort_uniq compare lds in
+  let ads = List.sort_uniq compare ads in
+  let raw =
+    List.concat_map
+      (fun ld ->
+        List.map
+          (fun ad ->
+            let r, a = raw_cell ?scheduler ?refine approach g lib ~ld ~ad in
+            ((ld, ad), (r, a)))
+          ads)
+      lds
+  in
+  (* Monotone envelope: a cell inherits any dominated cell's better
+     result. *)
+  List.map
+    (fun ((ld, ad), (r0, a0)) ->
+      let best =
+        List.fold_left
+          (fun (br, ba) ((ld', ad'), (r', a')) ->
+            if ld' <= ld && ad' <= ad then
+              match (br, r') with
+              | None, _ -> (r', a')
+              | Some _, None -> (br, ba)
+              | Some b, Some v -> if v > b then (r', a') else (br, ba)
+            else (br, ba))
+          (r0, a0) raw
+      in
+      { ld; ad; reliability = fst best; area = snd best })
+    raw
+
+let cell_at cells ~ld ~ad = List.find (fun c -> c.ld = ld && c.ad = ad) cells
+
+let improvement_pct base v = (v -. base) /. base *. 100.

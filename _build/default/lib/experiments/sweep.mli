@@ -1,0 +1,40 @@
+(** Design-space sweep driver used by the benchmark harness and the
+    CLI.
+
+    Because the synthesis greedy is bound-path-dependent, a raw cell
+    can occasionally come out below a cell with strictly tighter
+    bounds, which is physically meaningless — any design feasible at
+    (Ld', Ad') with Ld' <= Ld and Ad' <= Ad is feasible at (Ld, Ad).
+    The driver therefore applies the {e monotone envelope} over the
+    swept grid: each cell reports the best result among itself and all
+    dominated grid cells. *)
+
+
+module Library = Rchls_charlib.Library
+
+type approach = Baseline  (** ref [3] *) | Ours | Combined
+
+type cell = {
+  ld : int;
+  ad : int;
+  reliability : float option;  (** [None] when infeasible *)
+  area : int option;  (** achieved area of the winning design *)
+}
+
+val run :
+  ?scheduler:Rchls_core.Design.scheduler ->
+  ?refine:bool ->
+  approach ->
+  Rchls_dfg.Dfg.t ->
+  Library.t ->
+  lds:int list ->
+  ads:int list ->
+  cell list
+(** Sweep the full [lds] x [ads] product (row-major: all areas for the
+    first latency first) with the monotone envelope applied. *)
+
+val cell_at : cell list -> ld:int -> ad:int -> cell
+(** Raises [Not_found]. *)
+
+val improvement_pct : float -> float -> float
+(** [improvement_pct base v] = (v - base) / base * 100. *)

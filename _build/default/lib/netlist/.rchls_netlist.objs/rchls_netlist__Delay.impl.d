@@ -1,0 +1,1 @@
+lib/netlist/delay.ml: Array Float Gate List Netlist

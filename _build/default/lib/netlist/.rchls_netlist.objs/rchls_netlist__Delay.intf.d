@@ -1,0 +1,1 @@
+lib/netlist/delay.mli: Netlist

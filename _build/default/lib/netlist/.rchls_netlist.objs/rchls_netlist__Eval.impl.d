@@ -1,0 +1,1 @@
+lib/netlist/eval.ml: Array Gate List Netlist Printf

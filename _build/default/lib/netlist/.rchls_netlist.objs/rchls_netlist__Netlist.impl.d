@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Gate Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Fun Gate List Netlist Printf String

@@ -1,0 +1,69 @@
+let wire_capacitance_per_fanout = 0.9
+let output_pin_capacitance = 4.0
+let input_pad_capacitance = 3.0
+
+let load_capacitance nl net =
+  let drv_cap =
+    match Netlist.driver nl net with
+    | Some g -> Gate.output_capacitance g.kind
+    | None -> input_pad_capacitance
+  in
+  let readers = Netlist.fanout nl net in
+  let pin_cap =
+    List.fold_left (fun acc (g : Netlist.instance) ->
+        (* A gate may read the same net on several pins. *)
+        let pins = Array.fold_left (fun c n -> if n = net then c + 1 else c) 0 g.fanins in
+        acc +. (float_of_int pins *. Gate.input_capacitance g.kind))
+      0. readers
+  in
+  let is_out = Array.exists (fun (_, m) -> m = net) (Netlist.outputs nl) in
+  let out_cap = if is_out then output_pin_capacitance else 0. in
+  let wire = float_of_int (Netlist.fanout_count nl net) *. wire_capacitance_per_fanout in
+  drv_cap +. pin_cap +. out_cap +. wire
+
+let node_collected_capacitance = load_capacitance
+
+type timing = {
+  arrival : float array;
+  critical_path_ps : float;
+  critical_output : string;
+}
+
+let gate_delay nl (g : Netlist.instance) =
+  Gate.intrinsic_delay g.kind +. (Gate.load_delay_factor g.kind *. load_capacitance nl g.out)
+
+let analyze nl =
+  let arrival = Array.make (Netlist.net_count nl) 0. in
+  Array.iter
+    (fun (g : Netlist.instance) ->
+      let a = Array.fold_left (fun acc n -> Float.max acc arrival.(n)) 0. g.fanins in
+      arrival.(g.out) <- a +. gate_delay nl g)
+    (Netlist.gates nl);
+  let critical_output, worst =
+    Array.fold_left
+      (fun (bn, bv) (name, net) ->
+        if arrival.(net) > bv then (name, arrival.(net)) else (bn, bv))
+      ("", neg_infinity) (Netlist.outputs nl)
+  in
+  { arrival; critical_path_ps = worst; critical_output }
+
+let critical_path_ps nl = (analyze nl).critical_path_ps
+
+let critical_path_nets nl =
+  let t = analyze nl in
+  let out_net = Netlist.find_output nl t.critical_output in
+  (* Walk backwards through worst-arrival fanins. *)
+  let rec back net acc =
+    match Netlist.driver nl net with
+    | None -> net :: acc
+    | Some g ->
+      if Array.length g.fanins = 0 then net :: acc
+      else
+        let worst_in =
+          Array.fold_left
+            (fun best n -> if t.arrival.(n) > t.arrival.(best) then n else best)
+            g.fanins.(0) g.fanins
+        in
+        back worst_in (net :: acc)
+  in
+  back out_net []

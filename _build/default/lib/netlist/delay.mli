@@ -1,0 +1,39 @@
+(** Static timing analysis with a linear fanout-load delay model.
+
+    The delay of a gate is [intrinsic + load_factor * C_load] where
+    [C_load] sums the input capacitances of all fanout pins plus a
+    per-connection wire capacitance.  Primary inputs arrive at time 0.
+    This plays the role of the paper's HSPICE delay extraction and also
+    provides the node-capacitance query used by the critical-charge
+    model. *)
+
+val wire_capacitance_per_fanout : float
+(** Estimated wire capacitance added per fanout connection (fF). *)
+
+val output_pin_capacitance : float
+(** Load presented by a primary-output pin (fF). *)
+
+val load_capacitance : Netlist.t -> Netlist.net -> float
+(** Total capacitance on a net: driver output diffusion + fanout input
+    pins + wire estimate.  For primary-input nets the driver term is a
+    default pad capacitance. *)
+
+val node_collected_capacitance : Netlist.t -> Netlist.net -> float
+(** The capacitance relevant to particle-strike charge collection at
+    the net's driving node — the same as {!load_capacitance}; exposed
+    under its physical name for the soft-error engine. *)
+
+type timing = {
+  arrival : float array;        (** per-net arrival time, ps *)
+  critical_path_ps : float;     (** worst output arrival, ps *)
+  critical_output : string;     (** name of the slowest output *)
+}
+
+val analyze : Netlist.t -> timing
+(** Compute arrival times for every net. *)
+
+val critical_path_ps : Netlist.t -> float
+(** Shortcut for [(analyze t).critical_path_ps]. *)
+
+val critical_path_nets : Netlist.t -> Netlist.net list
+(** Nets along one worst path, input to output order. *)

@@ -1,0 +1,64 @@
+type state = {
+  nl : Netlist.t;
+  values : bool array;
+  mutable valid : bool;
+}
+
+let create nl = { nl; values = Array.make (Netlist.net_count nl) false; valid = false }
+
+let load_inputs st ins =
+  let inputs = Netlist.inputs st.nl in
+  if Array.length ins <> Array.length inputs then
+    invalid_arg
+      (Printf.sprintf "Eval.run: expected %d inputs, got %d" (Array.length inputs)
+         (Array.length ins));
+  Array.iteri (fun i (_, net) -> st.values.(net) <- ins.(i)) inputs;
+  List.iter (fun (net, v) -> st.values.(net) <- v) (Netlist.constants st.nl)
+
+let read_outputs st =
+  Array.map (fun (_, net) -> st.values.(net)) (Netlist.outputs st.nl)
+
+let eval_gate st (g : Netlist.instance) =
+  let ins = Array.map (fun n -> st.values.(n)) g.fanins in
+  st.values.(g.out) <- Gate.eval g.kind ins
+
+let run st ins =
+  load_inputs st ins;
+  Array.iter (eval_gate st) (Netlist.gates st.nl);
+  st.valid <- true;
+  read_outputs st
+
+let run_with_flip st ins ~flip_net =
+  load_inputs st ins;
+  (* Evaluate in topological order; immediately after the flipped net
+     obtains its fault-free value, complement it.  Gates downstream see
+     the upset value — pure logical propagation (logical masking only;
+     electrical/latching-window masking are applied analytically by the
+     soft-error engine). *)
+  let gates = Netlist.gates st.nl in
+  let flipped = ref false in
+  let flip_if_ready () =
+    if not !flipped then begin
+      st.values.(flip_net) <- not st.values.(flip_net);
+      flipped := true
+    end
+  in
+  (* Inputs and constants are already loaded; if the flip target is one
+     of them, flip before any gate evaluates. *)
+  (match Netlist.driver st.nl flip_net with
+  | None -> flip_if_ready ()
+  | Some _ -> ());
+  Array.iter
+    (fun (g : Netlist.instance) ->
+      eval_gate st g;
+      if g.out = flip_net then flip_if_ready ())
+    gates;
+  st.valid <- true;
+  read_outputs st
+
+let net_value st n =
+  if not st.valid then invalid_arg "Eval.net_value: no simulation run yet";
+  if n < 0 || n >= Array.length st.values then invalid_arg "Eval.net_value: unknown net";
+  st.values.(n)
+
+let eval nl ins = run (create nl) ins

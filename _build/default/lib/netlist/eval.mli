@@ -1,0 +1,24 @@
+(** Logic simulation of finalized netlists. *)
+
+type state
+(** Reusable simulation state (net value array) for one netlist. *)
+
+val create : Netlist.t -> state
+(** Allocate simulation state. *)
+
+val run : state -> bool array -> bool array
+(** [run st ins] applies the input vector (in {!Netlist.inputs} order)
+    and returns the output vector (in {!Netlist.outputs} order).
+    Raises [Invalid_argument] on input-width mismatch. *)
+
+val run_with_flip : state -> bool array -> flip_net:Netlist.net -> bool array
+(** Like {!run} but forces the value of [flip_net] to its complement
+    after its driver has evaluated, then continues evaluation — a
+    single-event-upset at that node.  Used by the fault injector. *)
+
+val net_value : state -> Netlist.net -> bool
+(** Value of a net after the last [run].  Raises [Invalid_argument] if
+    nothing has been simulated yet. *)
+
+val eval : Netlist.t -> bool array -> bool array
+(** One-shot convenience: [run (create t) ins]. *)

@@ -1,0 +1,131 @@
+type kind =
+  | Inv
+  | Buf
+  | And2
+  | Nand2
+  | Or2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | And3
+  | Nand3
+  | Or3
+  | Nor3
+  | Mux2
+  | Maj3
+
+let all =
+  [ Inv; Buf; And2; Nand2; Or2; Nor2; Xor2; Xnor2; And3; Nand3; Or3; Nor3; Mux2; Maj3 ]
+
+let name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | And2 -> "AND2"
+  | Nand2 -> "NAND2"
+  | Or2 -> "OR2"
+  | Nor2 -> "NOR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | And3 -> "AND3"
+  | Nand3 -> "NAND3"
+  | Or3 -> "OR3"
+  | Nor3 -> "NOR3"
+  | Mux2 -> "MUX2"
+  | Maj3 -> "MAJ3"
+
+let of_name s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun k -> name k = s) all
+
+let arity = function
+  | Inv | Buf -> 1
+  | And2 | Nand2 | Or2 | Nor2 | Xor2 | Xnor2 -> 2
+  | And3 | Nand3 | Or3 | Nor3 | Mux2 | Maj3 -> 3
+
+let eval k ins =
+  if Array.length ins <> arity k then
+    invalid_arg (Printf.sprintf "Gate.eval: %s expects %d inputs" (name k) (arity k));
+  match k with
+  | Inv -> not ins.(0)
+  | Buf -> ins.(0)
+  | And2 -> ins.(0) && ins.(1)
+  | Nand2 -> not (ins.(0) && ins.(1))
+  | Or2 -> ins.(0) || ins.(1)
+  | Nor2 -> not (ins.(0) || ins.(1))
+  | Xor2 -> ins.(0) <> ins.(1)
+  | Xnor2 -> ins.(0) = ins.(1)
+  | And3 -> ins.(0) && ins.(1) && ins.(2)
+  | Nand3 -> not (ins.(0) && ins.(1) && ins.(2))
+  | Or3 -> ins.(0) || ins.(1) || ins.(2)
+  | Nor3 -> not (ins.(0) || ins.(1) || ins.(2))
+  | Mux2 -> if ins.(0) then ins.(2) else ins.(1)
+  | Maj3 -> (ins.(0) && ins.(1)) || (ins.(1) && ins.(2)) || (ins.(0) && ins.(2))
+
+(* Area in NAND2 gate equivalents; typical standard-cell ratios. *)
+let area = function
+  | Inv -> 0.67
+  | Buf -> 1.0
+  | And2 -> 1.33
+  | Nand2 -> 1.0
+  | Or2 -> 1.33
+  | Nor2 -> 1.0
+  | Xor2 -> 2.33
+  | Xnor2 -> 2.33
+  | And3 -> 1.67
+  | Nand3 -> 1.33
+  | Or3 -> 1.67
+  | Nor3 -> 1.33
+  | Mux2 -> 2.33
+  | Maj3 -> 2.67
+
+(* Input pin capacitance in fF; complex static gates stack transistors
+   and present more load per pin. *)
+let input_capacitance = function
+  | Inv -> 1.8
+  | Buf -> 1.8
+  | And2 | Nand2 -> 2.0
+  | Or2 | Nor2 -> 2.0
+  | Xor2 | Xnor2 -> 3.2
+  | And3 | Nand3 -> 2.4
+  | Or3 | Nor3 -> 2.4
+  | Mux2 -> 2.8
+  | Maj3 -> 3.0
+
+(* Output diffusion capacitance in fF. *)
+let output_capacitance = function
+  | Inv -> 1.2
+  | Buf -> 2.0
+  | And2 | Nand2 | Or2 | Nor2 -> 1.6
+  | Xor2 | Xnor2 -> 2.4
+  | And3 | Nand3 | Or3 | Nor3 -> 2.0
+  | Mux2 -> 2.4
+  | Maj3 -> 2.6
+
+(* Intrinsic delay in ps. *)
+let intrinsic_delay = function
+  | Inv -> 8.
+  | Buf -> 14.
+  | And2 -> 18.
+  | Nand2 -> 12.
+  | Or2 -> 20.
+  | Nor2 -> 14.
+  | Xor2 -> 28.
+  | Xnor2 -> 28.
+  | And3 -> 22.
+  | Nand3 -> 16.
+  | Or3 -> 24.
+  | Nor3 -> 18.
+  | Mux2 -> 26.
+  | Maj3 -> 30.
+
+(* Load sensitivity in ps/fF. *)
+let load_delay_factor = function
+  | Inv -> 1.0
+  | Buf -> 0.6
+  | And2 | Nand2 -> 1.2
+  | Or2 | Nor2 -> 1.3
+  | Xor2 | Xnor2 -> 1.6
+  | And3 | Nand3 -> 1.4
+  | Or3 | Nor3 -> 1.5
+  | Mux2 -> 1.5
+  | Maj3 -> 1.7

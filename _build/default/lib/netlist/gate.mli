@@ -1,0 +1,59 @@
+(** Logic-gate cell model.
+
+    The cell library is deliberately small and technology-neutral: each
+    kind carries a logic function, a relative area (in NAND2-equivalent
+    "gate equivalents"), a per-input capacitance and an intrinsic delay.
+    The capacitance numbers feed the critical-charge model in
+    [Rchls_soft_error.Charge]; the delays feed static timing in
+    {!Delay}.  The absolute values are synthetic (we have no real
+    process data) but their ratios follow standard-cell folklore:
+    complex cells are bigger, slower and present more input load. *)
+
+type kind =
+  | Inv
+  | Buf
+  | And2
+  | Nand2
+  | Or2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | And3
+  | Nand3
+  | Or3
+  | Nor3
+  | Mux2  (** inputs: [sel; a; b]; output [a] when [sel] is false, else [b] *)
+  | Maj3  (** 3-input majority, the carry function of a full adder *)
+
+val all : kind list
+(** Every cell kind, for exhaustive iteration in tests. *)
+
+val name : kind -> string
+(** Short cell name, e.g. ["NAND2"]. *)
+
+val of_name : string -> kind option
+(** Inverse of {!name} (case-insensitive). *)
+
+val arity : kind -> int
+(** Number of inputs the cell expects. *)
+
+val eval : kind -> bool array -> bool
+(** [eval k ins] computes the cell function.  Raises [Invalid_argument]
+    if [Array.length ins <> arity k]. *)
+
+val area : kind -> float
+(** Relative cell area in gate equivalents (NAND2 = 1.0). *)
+
+val input_capacitance : kind -> float
+(** Capacitance presented by one input pin, in femtofarads. *)
+
+val output_capacitance : kind -> float
+(** Diffusion capacitance of the output node, in femtofarads.  This is
+    the part of the node capacitance present even with no fanout. *)
+
+val intrinsic_delay : kind -> float
+(** Unloaded cell delay, in picoseconds. *)
+
+val load_delay_factor : kind -> float
+(** Additional delay per femtofarad of output load, in ps/fF.  Weaker
+    (smaller) cells have larger factors. *)

@@ -1,0 +1,196 @@
+type net = int
+
+type instance = {
+  gate_id : int;
+  kind : Gate.kind;
+  fanins : net array;
+  out : net;
+}
+
+type t = {
+  nl_name : string;
+  nl_gates : instance array; (* topological order *)
+  nl_inputs : (string * net) array;
+  nl_outputs : (string * net) array;
+  nl_constants : (net * bool) list;
+  nl_net_count : int;
+  nl_driver : instance option array; (* indexed by net *)
+  nl_fanout : instance list array;   (* indexed by net, gate readers only *)
+  nl_depth : int;
+}
+
+type builder = {
+  b_name : string;
+  mutable b_next_net : int;
+  mutable b_gates : instance list; (* reversed insertion order *)
+  mutable b_inputs : (string * net) list; (* reversed *)
+  mutable b_outputs : (string * net) list; (* reversed *)
+  mutable b_const_true : net option;
+  mutable b_const_false : net option;
+}
+
+let builder name =
+  {
+    b_name = name;
+    b_next_net = 0;
+    b_gates = [];
+    b_inputs = [];
+    b_outputs = [];
+    b_const_true = None;
+    b_const_false = None;
+  }
+
+let fresh_net b =
+  let n = b.b_next_net in
+  b.b_next_net <- n + 1;
+  n
+
+let input b name =
+  let n = fresh_net b in
+  b.b_inputs <- (name, n) :: b.b_inputs;
+  n
+
+let constant b v =
+  let cached = if v then b.b_const_true else b.b_const_false in
+  match cached with
+  | Some n -> n
+  | None ->
+    let n = fresh_net b in
+    if v then b.b_const_true <- Some n else b.b_const_false <- Some n;
+    n
+
+let add_gate b kind fanins =
+  let fanins = Array.of_list fanins in
+  if Array.length fanins <> Gate.arity kind then
+    invalid_arg
+      (Printf.sprintf "Netlist.add_gate: %s expects %d fanins, got %d"
+         (Gate.name kind) (Gate.arity kind) (Array.length fanins));
+  Array.iter
+    (fun n ->
+      if n < 0 || n >= b.b_next_net then
+        invalid_arg (Printf.sprintf "Netlist.add_gate: unknown net %d" n))
+    fanins;
+  let out = fresh_net b in
+  let inst = { gate_id = List.length b.b_gates; kind; fanins; out } in
+  b.b_gates <- inst :: b.b_gates;
+  out
+
+let output b name net =
+  if net < 0 || net >= b.b_next_net then
+    invalid_arg (Printf.sprintf "Netlist.output: unknown net %d" net);
+  b.b_outputs <- (name, net) :: b.b_outputs
+
+let check_unique what names =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then failwith (Printf.sprintf "Netlist: duplicate %s %S" what n);
+      Hashtbl.add tbl n ())
+    names
+
+let finalize b =
+  let gates = List.rev b.b_gates in
+  let inputs = List.rev b.b_inputs in
+  let outputs = List.rev b.b_outputs in
+  if outputs = [] then failwith "Netlist: no outputs declared";
+  check_unique "input" (List.map fst inputs);
+  check_unique "output" (List.map fst outputs);
+  let n_nets = b.b_next_net in
+  let driver = Array.make n_nets None in
+  let driven = Array.make n_nets false in
+  List.iter (fun (_, n) -> driven.(n) <- true) inputs;
+  let constants =
+    List.filter_map
+      (fun (net_opt, v) -> Option.map (fun n -> (n, v)) net_opt)
+      [ (b.b_const_true, true); (b.b_const_false, false) ]
+  in
+  List.iter (fun (n, _) -> driven.(n) <- true) constants;
+  List.iter
+    (fun g ->
+      if driven.(g.out) then
+        failwith (Printf.sprintf "Netlist: net %d driven more than once" g.out);
+      driven.(g.out) <- true;
+      driver.(g.out) <- Some g)
+    gates;
+  (* Builder discipline (gates only read already-created nets) guarantees
+     acyclicity, but gates may still read undriven nets. *)
+  List.iter
+    (fun g ->
+      Array.iter
+        (fun n ->
+          if not driven.(n) then
+            failwith
+              (Printf.sprintf "Netlist: gate %d (%s) reads undriven net %d" g.gate_id
+                 (Gate.name g.kind) n))
+        g.fanins)
+    gates;
+  List.iter
+    (fun (name, n) ->
+      if not driven.(n) then
+        failwith (Printf.sprintf "Netlist: output %S reads undriven net %d" name n))
+    outputs;
+  let fanout = Array.make n_nets [] in
+  List.iter
+    (fun g -> Array.iter (fun n -> fanout.(n) <- g :: fanout.(n)) g.fanins)
+    gates;
+  Array.iteri (fun i l -> fanout.(i) <- List.rev l) fanout;
+  (* Since every gate's fanins are nets created before its output, the
+     insertion order is already a valid topological order. *)
+  let gates_arr = Array.of_list gates in
+  let depth = Array.make n_nets 0 in
+  Array.iter
+    (fun g ->
+      let d = Array.fold_left (fun acc n -> max acc depth.(n)) 0 g.fanins in
+      depth.(g.out) <- d + 1)
+    gates_arr;
+  let nl_depth = List.fold_left (fun acc (_, n) -> max acc depth.(n)) 0 outputs in
+  {
+    nl_name = b.b_name;
+    nl_gates = gates_arr;
+    nl_inputs = Array.of_list inputs;
+    nl_outputs = Array.of_list outputs;
+    nl_constants = constants;
+    nl_net_count = n_nets;
+    nl_driver = driver;
+    nl_fanout = fanout;
+    nl_depth;
+  }
+
+let name t = t.nl_name
+let gate_count t = Array.length t.nl_gates
+let net_count t = t.nl_net_count
+let gates t = t.nl_gates
+let inputs t = t.nl_inputs
+let outputs t = t.nl_outputs
+let constants t = t.nl_constants
+
+let driver t n =
+  if n < 0 || n >= t.nl_net_count then invalid_arg "Netlist.driver: unknown net";
+  t.nl_driver.(n)
+
+let fanout t n =
+  if n < 0 || n >= t.nl_net_count then invalid_arg "Netlist.fanout: unknown net";
+  t.nl_fanout.(n)
+
+let is_output t n = Array.exists (fun (_, m) -> m = n) t.nl_outputs
+
+let fanout_count t n =
+  List.length (fanout t n) + if is_output t n then 1 else 0
+
+let area t =
+  Array.fold_left (fun acc g -> acc +. Gate.area g.kind) 0. t.nl_gates
+
+let logic_depth t = t.nl_depth
+
+let find_named arr name =
+  match Array.find_opt (fun (n, _) -> n = name) arr with
+  | Some (_, net) -> net
+  | None -> raise Not_found
+
+let find_input t n = find_named t.nl_inputs n
+let find_output t n = find_named t.nl_outputs n
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d in, %d out, %d gates, area %.1f GE, depth %d" t.nl_name
+    (Array.length t.nl_inputs) (Array.length t.nl_outputs) (gate_count t) (area t)
+    t.nl_depth

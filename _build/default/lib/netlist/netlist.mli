@@ -1,0 +1,94 @@
+(** Combinational gate netlists.
+
+    A netlist is a DAG of {!Gate} instances over single-bit nets.  Every
+    net is driven either by exactly one primary input, a constant, or
+    exactly one gate output.  Netlists are constructed through a mutable
+    {!builder} and frozen by {!finalize}, which validates single-driver
+    and acyclicity invariants and caches a topological order.
+
+    This module is the substrate on which the arithmetic component
+    generators ([Rchls_circuits]) and the soft-error engine
+    ([Rchls_soft_error]) operate — it plays the role of the cell-level
+    netlists the paper characterizes with layout + HSPICE. *)
+
+type net = int
+(** Net identifier, dense from 0. *)
+
+type instance = {
+  gate_id : int;        (** dense gate identifier, 0-based *)
+  kind : Gate.kind;
+  fanins : net array;   (** input nets, in pin order *)
+  out : net;            (** output net driven by this gate *)
+}
+
+type t
+(** A finalized, validated netlist. *)
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : string -> builder
+(** [builder name] starts an empty netlist called [name]. *)
+
+val input : builder -> string -> net
+(** Declare a named primary input and return its net. *)
+
+val constant : builder -> bool -> net
+(** Net holding a constant value.  Constants are deduplicated. *)
+
+val add_gate : builder -> Gate.kind -> net list -> net
+(** [add_gate b kind fanins] instantiates a gate and returns its output
+    net.  Raises [Invalid_argument] on arity mismatch or an unknown
+    fanin net. *)
+
+val output : builder -> string -> net -> unit
+(** Mark [net] as a named primary output.  A net may feed several
+    outputs; output names must be unique. *)
+
+val finalize : builder -> t
+(** Validate and freeze.  Raises [Failure] if any gate reads an
+    undriven net, if the netlist has no outputs, or on duplicate
+    input/output names. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val gate_count : t -> int
+val net_count : t -> int
+val gates : t -> instance array
+(** Gates in topological (evaluation) order. *)
+
+val inputs : t -> (string * net) array
+(** Primary inputs in declaration order. *)
+
+val outputs : t -> (string * net) array
+(** Primary outputs in declaration order. *)
+
+val constants : t -> (net * bool) list
+(** Constant nets and their values. *)
+
+val driver : t -> net -> instance option
+(** The gate driving a net, or [None] for inputs and constants. *)
+
+val fanout : t -> net -> instance list
+(** Gates reading a net. *)
+
+val fanout_count : t -> net -> int
+(** [List.length (fanout t n)] plus 1 if the net is a primary output
+    (the output pin presents load too). *)
+
+val area : t -> float
+(** Total cell area in gate equivalents. *)
+
+val logic_depth : t -> int
+(** Longest input-to-output path measured in gate count. *)
+
+val find_input : t -> string -> net
+(** Raises [Not_found]. *)
+
+val find_output : t -> string -> net
+(** Raises [Not_found]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, #inputs, #outputs, #gates, area, depth. *)

@@ -1,0 +1,65 @@
+let sanitize s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') s
+
+let net_name nl net =
+  match Array.find_opt (fun (_, n) -> n = net) (Netlist.inputs nl) with
+  | Some (name, _) -> sanitize name
+  | None -> Printf.sprintf "n%d" net
+
+let gate_expr nl (g : Netlist.instance) =
+  let pin i = net_name nl g.fanins.(i) in
+  match g.kind with
+  | Gate.Inv -> Printf.sprintf "~%s" (pin 0)
+  | Gate.Buf -> pin 0
+  | Gate.And2 -> Printf.sprintf "%s & %s" (pin 0) (pin 1)
+  | Gate.Nand2 -> Printf.sprintf "~(%s & %s)" (pin 0) (pin 1)
+  | Gate.Or2 -> Printf.sprintf "%s | %s" (pin 0) (pin 1)
+  | Gate.Nor2 -> Printf.sprintf "~(%s | %s)" (pin 0) (pin 1)
+  | Gate.Xor2 -> Printf.sprintf "%s ^ %s" (pin 0) (pin 1)
+  | Gate.Xnor2 -> Printf.sprintf "~(%s ^ %s)" (pin 0) (pin 1)
+  | Gate.And3 -> Printf.sprintf "%s & %s & %s" (pin 0) (pin 1) (pin 2)
+  | Gate.Nand3 -> Printf.sprintf "~(%s & %s & %s)" (pin 0) (pin 1) (pin 2)
+  | Gate.Or3 -> Printf.sprintf "%s | %s | %s" (pin 0) (pin 1) (pin 2)
+  | Gate.Nor3 -> Printf.sprintf "~(%s | %s | %s)" (pin 0) (pin 1) (pin 2)
+  | Gate.Mux2 -> Printf.sprintf "%s ? %s : %s" (pin 0) (pin 2) (pin 1)
+  | Gate.Maj3 ->
+    Printf.sprintf "(%s & %s) | (%s & %s) | (%s & %s)" (pin 0) (pin 1) (pin 1) (pin 2)
+      (pin 0) (pin 2)
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  let inputs = Array.to_list (Netlist.inputs nl) in
+  let outputs = Array.to_list (Netlist.outputs nl) in
+  let ports =
+    List.map (fun (n, _) -> sanitize n) inputs @ List.map (fun (n, _) -> sanitize n) outputs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" (sanitize (Netlist.name nl)) (String.concat ", " ports));
+  List.iter (fun (n, _) -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (sanitize n))) inputs;
+  List.iter (fun (n, _) -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" (sanitize n))) outputs;
+  Array.iter
+    (fun (g : Netlist.instance) ->
+      Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (net_name nl g.out)))
+    (Netlist.gates nl);
+  List.iter
+    (fun (net, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wire %s;\n  assign %s = 1'b%d;\n" (net_name nl net)
+           (net_name nl net) (if v then 1 else 0)))
+    (Netlist.constants nl);
+  Array.iter
+    (fun (g : Netlist.instance) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s; // %s g%d\n" (net_name nl g.out) (gate_expr nl g)
+           (Gate.name g.kind) g.gate_id))
+    (Netlist.gates nl);
+  List.iter
+    (fun (name, net) ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" (sanitize name) (net_name nl net)))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file nl path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string nl))

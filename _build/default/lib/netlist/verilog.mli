@@ -1,0 +1,16 @@
+(** Structural Verilog emission.
+
+    Emits a finalized netlist as a self-contained synthesizable Verilog
+    module using primitive gate instantiations ([nand], [nor], [xor],
+    ...) plus [assign]-based MUX/MAJ cells.  Useful for inspecting the
+    generated arithmetic components with external tools. *)
+
+val net_name : Netlist.t -> Netlist.net -> string
+(** Stable Verilog identifier for a net ([n<id>], or the port name for
+    primary inputs/outputs). *)
+
+val to_string : Netlist.t -> string
+(** Render the module text. *)
+
+val write_file : Netlist.t -> string -> unit
+(** [write_file t path] writes {!to_string} to [path]. *)

@@ -1,0 +1,1 @@
+lib/redundancy/combined.ml: Nmr_design Orailoglu Rchls_core

@@ -1,0 +1,1 @@
+lib/redundancy/nmr_design.ml: Array Format List Rchls_binding Rchls_charlib Rchls_core Rchls_soft_error

@@ -1,0 +1,1 @@
+lib/redundancy/nmr_design.mli: Format Rchls_binding Rchls_charlib Rchls_core

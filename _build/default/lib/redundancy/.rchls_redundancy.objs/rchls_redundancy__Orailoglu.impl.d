@@ -1,0 +1,1 @@
+lib/redundancy/orailoglu.ml: Analysis Dfg List Nmr_design Op Rchls_binding Rchls_charlib Rchls_core Rchls_dfg

@@ -1,0 +1,1 @@
+lib/redundancy/orailoglu.mli: Nmr_design Rchls_charlib Rchls_core Rchls_dfg

@@ -1,0 +1,19 @@
+(** The unified approach of the paper's §7 last experiment: run the
+    reliability-centric version selection first, then spend whatever
+    area budget remains on redundancy, duplicating each protected
+    instance with its own selected version (the paper: "when we add
+    redundancy for an operator, we use the same version selected by our
+    reliability-centric approach as duplicate(s)"). *)
+
+module Rc = Rchls_core.Reliability_centric
+
+val synthesize :
+  ?scheduler:Rchls_core.Design.scheduler ->
+  ?strategy:Rc.strategy ->
+  Rchls_dfg.Dfg.t ->
+  Rchls_charlib.Library.t ->
+  ld:int ->
+  ad:int ->
+  (Nmr_design.t, Rc.failure) result
+(** Version selection under [ld]/[ad], then greedy redundancy insertion
+    in the remaining area. *)

@@ -1,0 +1,67 @@
+module Resource = Rchls_charlib.Resource
+module Design = Rchls_core.Design
+module Binding = Rchls_binding.Binding
+module Reliability = Rchls_soft_error.Reliability
+
+type level = Simplex | Duplex | Tmr
+
+let level_copies = function Simplex -> 1 | Duplex -> 2 | Tmr -> 3
+
+let boosted level r =
+  match level with
+  | Simplex -> r
+  | Duplex -> Reliability.duplex_rollback r
+  | Tmr -> Reliability.nmr_with_voter ~n:3 r
+
+type t = { design : Design.t; levels : level array }
+
+let of_design d =
+  let n = List.length (Binding.instances (Design.binding d)) in
+  { design = d; levels = Array.make n Simplex }
+
+let design t = t.design
+
+let instances t = Binding.instances (Design.binding t.design)
+
+let levels t = List.mapi (fun i inst -> (inst, t.levels.(i))) (instances t)
+
+let rank = function Simplex -> 0 | Duplex -> 1 | Tmr -> 2
+
+let protect t ~instance_index level =
+  if instance_index < 0 || instance_index >= Array.length t.levels then
+    invalid_arg "Nmr_design.protect: bad instance index";
+  if rank level < rank t.levels.(instance_index) then
+    invalid_arg "Nmr_design.protect: cannot lower protection";
+  let levels = Array.copy t.levels in
+  levels.(instance_index) <- level;
+  { t with levels }
+
+let redundancy_area t =
+  List.fold_left
+    (fun acc (i, (inst : Binding.instance)) ->
+      acc + ((level_copies t.levels.(i) - 1) * inst.resource.Resource.area))
+    0
+    (List.mapi (fun i inst -> (i, inst)) (instances t))
+
+let area t = Design.area t.design + redundancy_area t
+
+let reliability t =
+  List.fold_left
+    (fun acc (i, (inst : Binding.instance)) ->
+      let r = boosted t.levels.(i) inst.resource.Resource.reliability in
+      let ops = List.length inst.ops in
+      acc *. (r ** float_of_int ops))
+    1.
+    (List.mapi (fun i inst -> (i, inst)) (instances t))
+
+let pp ppf t =
+  Format.fprintf ppf "protected design: area %d, reliability %.5f@." (area t)
+    (reliability t);
+  List.iteri
+    (fun i (inst : Binding.instance) ->
+      let lvl =
+        match t.levels.(i) with Simplex -> "simplex" | Duplex -> "duplex" | Tmr -> "TMR"
+      in
+      Format.fprintf ppf "  %s#%d (%d ops): %s@." inst.resource.Resource.id inst.index
+        (List.length inst.ops) lvl)
+    (instances t)

@@ -1,0 +1,50 @@
+(** Redundancy-protected designs.
+
+    Wraps a bound {!Rchls_core.Design.t} with a per-instance redundancy
+    level: each functional-unit instance may be duplicated (detection +
+    rollback recovery) or triplicated (TMR majority voting).  Every
+    operation hosted by a protected instance gets the corresponding
+    boosted per-operation reliability; the extra copies cost their
+    version's area per copy (the paper, following ref [3], excludes
+    checker/voter area from the area accounting but we degrade TMR
+    reliability by a near-unit voter factor). *)
+
+module Resource = Rchls_charlib.Resource
+module Design = Rchls_core.Design
+
+type level =
+  | Simplex  (** no redundancy *)
+  | Duplex  (** duplication with rollback recovery: 1-(1-r)^2 *)
+  | Tmr  (** triple modular redundancy with voter *)
+
+val level_copies : level -> int
+(** Total module count: 1, 2 or 3. *)
+
+val boosted : level -> float -> float
+(** Per-operation reliability under the level. *)
+
+type t
+
+val of_design : Design.t -> t
+(** All instances simplex. *)
+
+val design : t -> Design.t
+
+val levels : t -> (Rchls_binding.Binding.instance * level) list
+(** Current protection levels, in instance order. *)
+
+val protect : t -> instance_index:int -> level -> t
+(** Functional update of one instance's level (index into
+    {!levels}).  Raises [Invalid_argument] on a bad index or when
+    lowering protection. *)
+
+val area : t -> int
+(** Design area plus redundant copies. *)
+
+val reliability : t -> float
+(** Product over operations of the (possibly boosted) reliability. *)
+
+val redundancy_area : t -> int
+(** Area spent on redundant copies only. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** The comparison baseline (ref [3], Orailoglu & Karri): fixed
+    single-version allocation plus N-modular redundancy.
+
+    One version per functional-unit class (the fastest, so tight
+    latency bounds remain reachable) is used for every operation; the
+    design is scheduled and bound, and the remaining area budget is
+    spent greedily on redundancy — each step protects the instance
+    with the best reliability-gain-per-area-unit, duplex first, then
+    TMR.  This reproduces the "Ref [3]" columns of Table 2. *)
+
+module Design = Rchls_core.Design
+module Library = Rchls_charlib.Library
+module Rc = Rchls_core.Reliability_centric
+
+val base_design :
+  ?scheduler:Design.scheduler ->
+  Rchls_dfg.Dfg.t ->
+  Library.t ->
+  ld:int ->
+  (Design.t, Rc.failure) result
+(** The unprotected fixed-version design scheduled within [ld]. *)
+
+val synthesize :
+  ?scheduler:Design.scheduler ->
+  Rchls_dfg.Dfg.t ->
+  Library.t ->
+  ld:int ->
+  ad:int ->
+  (Nmr_design.t, Rc.failure) result
+(** Baseline flow: {!base_design}, then greedy redundancy insertion
+    within the area bound. *)
+
+val add_redundancy : Nmr_design.t -> ad:int -> Nmr_design.t
+(** The greedy insertion alone: repeatedly apply the protection upgrade
+    with the highest log-reliability gain per area unit that still fits
+    [ad].  Exposed for the combined approach and for tests. *)

@@ -1,0 +1,1 @@
+lib/rtl/cost.ml: Datapath Format Rchls_core

@@ -1,0 +1,1 @@
+lib/rtl/cost.mli: Datapath Format

@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Dfg Hashtbl List Option Printf Rchls_binding Rchls_charlib Rchls_core Rchls_dfg Rchls_sched

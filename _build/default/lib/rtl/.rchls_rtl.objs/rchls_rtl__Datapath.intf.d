@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Dfg Rchls_binding Rchls_core Rchls_dfg

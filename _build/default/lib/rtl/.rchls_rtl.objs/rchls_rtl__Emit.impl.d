@@ -1,0 +1,1 @@
+lib/rtl/emit.ml: Buffer Datapath Dfg Fun List Op Printf Rchls_binding Rchls_charlib Rchls_core Rchls_dfg Rchls_sched String

@@ -1,0 +1,20 @@
+type weights = { register_cost : float; mux_input_cost : float }
+
+let default_weights = { register_cost = 0.10; mux_input_cost = 0.05 }
+
+type breakdown = {
+  fu_area : int;
+  register_area : float;
+  mux_area : float;
+  total : float;
+}
+
+let evaluate ?(weights = default_weights) (dp : Datapath.t) =
+  let fu_area = Rchls_core.Design.area dp.Datapath.design in
+  let register_area = float_of_int dp.Datapath.register_count *. weights.register_cost in
+  let mux_area = float_of_int dp.Datapath.mux_inputs *. weights.mux_input_cost in
+  { fu_area; register_area; mux_area; total = float_of_int fu_area +. register_area +. mux_area }
+
+let pp ppf b =
+  Format.fprintf ppf "area: FUs %d + registers %.2f + muxes %.2f = %.2f units" b.fu_area
+    b.register_area b.mux_area b.total

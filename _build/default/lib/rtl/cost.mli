@@ -1,0 +1,25 @@
+(** Register/mux-aware area model (extension: the paper counts only
+    functional-unit area).
+
+    Costs are expressed in the same abstract units as the resource
+    library; the defaults make a register a tenth of the smallest adder
+    and a mux input half of that, the usual rough ratios. *)
+
+type weights = {
+  register_cost : float;  (** per shared register *)
+  mux_input_cost : float;  (** per multiplexer input *)
+}
+
+val default_weights : weights
+(** register 0.10, mux input 0.05. *)
+
+type breakdown = {
+  fu_area : int;  (** the paper's metric *)
+  register_area : float;
+  mux_area : float;
+  total : float;
+}
+
+val evaluate : ?weights:weights -> Datapath.t -> breakdown
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,121 @@
+open Rchls_dfg
+module Design = Rchls_core.Design
+module Binding = Rchls_binding.Binding
+module Schedule = Rchls_sched.Schedule
+module Left_edge = Rchls_binding.Left_edge
+
+type source = Primary_input of string | Register of int
+
+type value = { producer : Dfg.node_id; born : int; dies : int; register : int }
+
+type fu_port = { fu : Binding.instance; port : int; sources : source list }
+
+type t = {
+  design : Design.t;
+  values : value list;
+  register_count : int;
+  ports : fu_port list;
+  mux_inputs : int;
+}
+
+let build design =
+  let g = Design.graph design in
+  let sched = Design.schedule design in
+  let binding = Design.binding design in
+  let latency = Schedule.latency sched in
+  (* Value lifetimes: born at producer finish; die at the last consumer
+     start (sink results live to the end of the iteration). *)
+  let lifetime (nd : Dfg.node) =
+    let born = Schedule.finish sched nd.id in
+    let consumers = Dfg.succs g nd.id in
+    let dies =
+      match consumers with
+      | [] -> latency
+      | _ -> List.fold_left (fun acc c -> max acc (Schedule.start sched c)) born consumers
+    in
+    (* Left-edge needs non-empty intervals; a value consumed in its
+       birth step still occupies the register boundary. *)
+    (born, max (born + 1) (dies + 1))
+  in
+  let intervals =
+    List.map
+      (fun (nd : Dfg.node) ->
+        let born, stop = lifetime nd in
+        { Left_edge.key = nd.id; start = born; stop })
+      (Dfg.nodes g)
+  in
+  let tracks = Left_edge.assign intervals in
+  let reg_of = Hashtbl.create 32 in
+  List.iter
+    (fun (track, ivs) ->
+      List.iter (fun iv -> Hashtbl.replace reg_of iv.Left_edge.key track) ivs)
+    tracks;
+  let values =
+    List.map
+      (fun (nd : Dfg.node) ->
+        let born, stop = lifetime nd in
+        { producer = nd.id; born; dies = stop - 1; register = Hashtbl.find reg_of nd.id })
+      (Dfg.nodes g)
+  in
+  (* FU input ports: operation [op] on instance [i] reads its
+     predecessors' registers in pred order; missing operands (constants
+     or external data of source operations) are primary inputs. *)
+  let port_sources = Hashtbl.create 32 in
+  List.iter
+    (fun (inst : Binding.instance) ->
+      List.iter
+        (fun op_id ->
+          let preds = Dfg.preds g op_id in
+          let arity = max 2 (List.length preds) in
+          for port = 0 to arity - 1 do
+            let src =
+              match List.nth_opt preds port with
+              | Some p -> Register (Hashtbl.find reg_of p)
+              | None ->
+                Primary_input (Printf.sprintf "%s_in%d" (Dfg.node g op_id).name port)
+            in
+            let key = (inst.resource.Rchls_charlib.Resource.id, inst.index, port) in
+            let cur = Option.value (Hashtbl.find_opt port_sources key) ~default:[] in
+            if not (List.mem src cur) then Hashtbl.replace port_sources key (src :: cur)
+          done)
+        inst.ops)
+    (Binding.instances binding);
+  let ports =
+    List.concat_map
+      (fun (inst : Binding.instance) ->
+        List.filter_map
+          (fun port ->
+            let key = (inst.resource.Rchls_charlib.Resource.id, inst.index, port) in
+            Option.map
+              (fun sources -> { fu = inst; port; sources = List.rev sources })
+              (Hashtbl.find_opt port_sources key))
+          [ 0; 1; 2 ])
+      (Binding.instances binding)
+  in
+  let mux_inputs =
+    List.fold_left
+      (fun acc p ->
+        let n = List.length p.sources in
+        if n >= 2 then acc + n else acc)
+      0 ports
+  in
+  {
+    design;
+    values;
+    register_count = List.length tracks;
+    ports;
+    mux_inputs;
+  }
+
+let value_of t id = List.find (fun v -> v.producer = id) t.values
+
+let max_live t =
+  let latency = Schedule.latency (Design.schedule t.design) in
+  let best = ref 0 in
+  for step = 0 to latency do
+    let live =
+      List.length (List.filter (fun v -> v.born <= step && step <= v.dies) t.values)
+    in
+    if live > !best then best := live
+  done;
+  !best

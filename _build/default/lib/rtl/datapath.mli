@@ -1,0 +1,51 @@
+(** Datapath construction: turn a bound design into an RTL-level
+    structure — functional-unit instances, shared registers and input
+    multiplexers — the stage after binding in a classic HLS flow
+    (extension beyond the paper, which stops at the bound design).
+
+    Values (DFG edges plus primary outputs of sink operations) live
+    from the producer's completion to the last consumer's start; they
+    are packed onto shared registers with the left-edge algorithm.  A
+    functional-unit input port gets a multiplexer when different
+    operations executed on that unit read from different sources. *)
+
+open Rchls_dfg
+module Design = Rchls_core.Design
+module Binding = Rchls_binding.Binding
+
+type source =
+  | Primary_input of string  (** external operand of a source operation *)
+  | Register of int  (** shared register index *)
+
+type value = {
+  producer : Dfg.node_id;
+  born : int;  (** step the value becomes available (producer finish) *)
+  dies : int;  (** last step any consumer starts (inclusive); for sink
+                   values, the schedule latency *)
+  register : int;  (** shared register hosting the value *)
+}
+
+type fu_port = {
+  fu : Binding.instance;
+  port : int;  (** 0-based input port of the unit *)
+  sources : source list;  (** distinct sources feeding the port *)
+}
+
+type t = {
+  design : Design.t;
+  values : value list;  (** one per operation (its result) *)
+  register_count : int;
+  ports : fu_port list;  (** every used input port of every instance *)
+  mux_inputs : int;  (** total multiplexer fan-in over all ports
+                         needing one (ports with >= 2 sources) *)
+}
+
+val build : Design.t -> t
+(** Derive the datapath.  Total work is linear in operations x ports. *)
+
+val value_of : t -> Dfg.node_id -> value
+(** The value produced by a node.  Raises [Not_found]. *)
+
+val max_live : t -> int
+(** Maximum number of simultaneously-live values — the lower bound the
+    register count must meet (checked by the property tests). *)

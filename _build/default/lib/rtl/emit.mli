@@ -1,0 +1,13 @@
+(** RTL emission: render a datapath as a synthesizable-style Verilog
+    module with a step counter, shared registers, input multiplexers
+    and one functional unit per bound instance.
+
+    Arithmetic is emitted behaviourally ([+], [-], [*], [<]) — the
+    gate-level implementations live in [Rchls_circuits] and would be
+    substituted by a technology mapper; what this module documents is
+    the datapath structure the binder produced. *)
+
+val to_string : ?width:int -> Datapath.t -> string
+(** Render with the given datapath word width (default 16). *)
+
+val write_file : ?width:int -> Datapath.t -> string -> unit

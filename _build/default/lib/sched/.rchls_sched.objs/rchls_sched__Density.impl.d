@@ -1,0 +1,1 @@
+lib/sched/density.ml: Analysis Array Dfg Format List Op Rchls_charlib Rchls_dfg

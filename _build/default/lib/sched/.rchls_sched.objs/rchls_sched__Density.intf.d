@@ -1,0 +1,1 @@
+lib/sched/density.mli: Dfg Format Rchls_charlib Rchls_dfg

@@ -1,0 +1,1 @@
+lib/sched/density_sched.ml: Array Density Dfg List Op Printf Rchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/density_sched.mli: Dfg Rchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Array Density Dfg Float List Op Printf Rchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Analysis Array Dfg Hashtbl List Option Printf Rchls_dfg Result Schedule

@@ -1,0 +1,1 @@
+lib/sched/min_area.ml: Analysis Dfg Hashtbl List List_sched Printf Rchls_dfg Schedule

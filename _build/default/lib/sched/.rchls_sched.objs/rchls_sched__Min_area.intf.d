@@ -1,0 +1,1 @@
+lib/sched/min_area.mli: Dfg Rchls_dfg Schedule

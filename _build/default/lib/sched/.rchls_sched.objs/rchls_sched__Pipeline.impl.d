@@ -1,0 +1,1 @@
+lib/sched/pipeline.ml: Array Density Dfg Hashtbl List Op Option Printf Rchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/pipeline.mli: Dfg Rchls_dfg Schedule

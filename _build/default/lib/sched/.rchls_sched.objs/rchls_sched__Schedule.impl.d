@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dfg Format Hashtbl List Op Option Printf Rchls_dfg String

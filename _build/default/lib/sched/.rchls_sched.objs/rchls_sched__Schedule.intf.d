@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Dfg Format Rchls_dfg

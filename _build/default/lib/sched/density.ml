@@ -1,0 +1,70 @@
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+
+type t = { latency : int; add : float array; mul : float array }
+
+let row t cls = match cls with Resource.Add -> t.add | Resource.Mul -> t.mul
+
+let build ?(exclude = -1) g ~delay ~ranges ~fixed =
+  let latency = ranges.Analysis.latency in
+  let t = { latency; add = Array.make latency 0.; mul = Array.make latency 0. } in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      if nd.id = exclude then ()
+      else
+      let d = delay nd in
+      let cls = Op.resource_class nd.op in
+      let arr = row t cls in
+      let deposit p s =
+        for step = s to min (latency - 1) (s + d - 1) do
+          arr.(step) <- arr.(step) +. p
+        done
+      in
+      match fixed nd.id with
+      | Some s -> deposit 1. s
+      | None ->
+        let lo = ranges.Analysis.asap.(nd.id) and hi = ranges.Analysis.alap.(nd.id) in
+        let p = 1. /. float_of_int (hi - lo + 1) in
+        for s = lo to hi do
+          deposit p s
+        done)
+    (Dfg.nodes g);
+  t
+
+let get t cls step = if step < 0 || step >= t.latency then 0. else (row t cls).(step)
+
+let placement_cost t cls ~start ~delay =
+  let total = ref 0. in
+  for step = start to start + delay - 1 do
+    total := !total +. get t cls step
+  done;
+  !total
+
+let pp ppf t =
+  for step = 0 to t.latency - 1 do
+    Format.fprintf ppf "step %2d: add %.3f mul %.3f@." (step + 1) t.add.(step) t.mul.(step)
+  done
+
+let constrained_ranges g ~delay ~latency ~fixed =
+  let n = Dfg.node_count g in
+  let asap = Array.make n 0 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      let earliest =
+        List.fold_left
+          (fun acc p -> max acc (asap.(p) + delay (Dfg.node g p)))
+          0 (Dfg.preds g nd.id)
+      in
+      asap.(nd.id) <- (match fixed nd.id with Some s -> s | None -> earliest))
+    (Dfg.topological g);
+  let alap = Array.make n 0 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      let d = delay nd in
+      let latest =
+        List.fold_left (fun acc s -> min acc (alap.(s) - d)) (latency - d)
+          (Dfg.succs g nd.id)
+      in
+      alap.(nd.id) <- (match fixed nd.id with Some s -> s | None -> latest))
+    (List.rev (Dfg.topological g));
+  (asap, alap)

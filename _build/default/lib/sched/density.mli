@@ -1,0 +1,51 @@
+(** Partition densities (distribution graphs).
+
+    The paper's scheduler "partitions the data-flow graph into the
+    number of cycles determined by ASAP scheduling, and calculates the
+    density of each partition for a specific type of operation.  The
+    total partition density is found by adding the probabilities with
+    which a node can be scheduled within a partition."
+
+    For a node with feasible starts [asap..alap] and delay [d], each
+    start is equally likely (probability [1/(mobility+1)]), and the
+    node contributes that probability to every step the corresponding
+    execution would occupy.  Nodes already fixed contribute 1 to their
+    occupied steps. *)
+
+open Rchls_dfg
+
+type t
+(** Densities per (resource class, step). *)
+
+val build :
+  ?exclude:Dfg.node_id ->
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  ranges:Rchls_dfg.Analysis.ranges ->
+  fixed:(Dfg.node_id -> int option) ->
+  t
+(** Compute densities over [ranges.latency] steps.  [fixed] gives the
+    chosen start for already-scheduled nodes (they contribute
+    deterministically).  [exclude] omits one node — used when choosing
+    that node's own placement, so its self-contribution does not bias
+    the comparison. *)
+
+val get : t -> Rchls_charlib.Resource.op_class -> int -> float
+(** Density of a class at a step; 0 outside the horizon. *)
+
+val placement_cost :
+  t -> Rchls_charlib.Resource.op_class -> start:int -> delay:int -> float
+(** Sum of densities over the steps an execution would occupy — the
+    quantity minimized when choosing the "least dense partition". *)
+
+val pp : Format.formatter -> t -> unit
+
+val constrained_ranges :
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  latency:int ->
+  fixed:(Dfg.node_id -> int option) ->
+  int array * int array
+(** (asap, alap) start ranges with already-fixed nodes pinned to their
+    chosen steps — the range refresh both schedulers run after each
+    placement. *)

@@ -1,0 +1,59 @@
+open Rchls_dfg
+module Analysis = Rchls_dfg.Analysis
+
+let constrained_ranges = Density.constrained_ranges
+
+let run g ~delay ~latency =
+  let min_latency = Analysis.asap_latency g ~delay in
+  if latency < min_latency then
+    Error
+      (Printf.sprintf "latency bound %d below ASAP latency %d" latency min_latency)
+  else begin
+    let n = Dfg.node_count g in
+    let chosen = Array.make n (-1) in
+    let fixed id = if chosen.(id) >= 0 then Some chosen.(id) else None in
+    (* Mobility from the unconstrained ranges drives the placement
+       order: tightest operations first. *)
+    let r0 = Analysis.ranges g ~delay ~latency in
+    let order =
+      List.sort
+        (fun (a : Dfg.node) (b : Dfg.node) ->
+          let ma = Analysis.mobility r0 a.id and mb = Analysis.mobility r0 b.id in
+          let c = compare ma mb in
+          if c <> 0 then c else compare a.id b.id)
+        (Dfg.nodes g)
+    in
+    let place (nd : Dfg.node) =
+      let asap, alap = constrained_ranges g ~delay ~latency ~fixed in
+      let ranges = { Analysis.asap; alap; latency } in
+      let dens = Density.build ~exclude:nd.id g ~delay ~ranges ~fixed in
+      let d = delay nd in
+      let cls = Op.resource_class nd.op in
+      let lo = asap.(nd.id) and hi = alap.(nd.id) in
+      if lo > hi then Error (Printf.sprintf "no feasible step for node %s" nd.name)
+      else begin
+        let best = ref lo and best_cost = ref infinity in
+        for s = lo to hi do
+          let cost = Density.placement_cost dens cls ~start:s ~delay:d in
+          if cost < !best_cost -. 1e-12 then begin
+            best := s;
+            best_cost := cost
+          end
+        done;
+        chosen.(nd.id) <- !best;
+        Ok ()
+      end
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | nd :: rest -> ( match place nd with Ok () -> go rest | Error _ as e -> e)
+    in
+    match go order with
+    | Error e -> Error e
+    | Ok () -> Schedule.make g ~delay ~starts:chosen
+  end
+
+let run_exn g ~delay ~latency =
+  match run g ~delay ~latency with
+  | Ok s -> s
+  | Error e -> failwith ("Density_sched.run: " ^ e)

@@ -1,0 +1,17 @@
+(** The paper's scheduler (§6): operations are placed one at a time, in
+    increasing-mobility order, each into the least dense feasible
+    partition of its resource class, so that operations spread evenly
+    across steps and the number of functional-unit instances needed by
+    binding is minimized.
+
+    After each placement the feasible ranges of the remaining
+    operations are re-tightened against the fixed nodes. *)
+
+open Rchls_dfg
+
+val run :
+  Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> (Schedule.t, string) result
+(** Schedule within [latency] steps.  Fails if [latency] is below the
+    ASAP latency. *)
+
+val run_exn : Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> Schedule.t

@@ -1,0 +1,17 @@
+(** Force-directed scheduling (Paulin–Knight), implemented as an
+    ablation partner for the paper's density scheduler.
+
+    Each iteration evaluates, for every unscheduled operation and every
+    feasible start, the {e force} — the change the placement causes in
+    its class's distribution graph (self force plus the predecessor/
+    successor forces induced by range tightening) — and commits the
+    globally minimal one. *)
+
+open Rchls_dfg
+
+val run :
+  Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> (Schedule.t, string) result
+(** Schedule within [latency] steps.  Fails if [latency] is below the
+    ASAP latency. *)
+
+val run_exn : Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> Schedule.t

@@ -1,0 +1,88 @@
+open Rchls_dfg
+
+let priorities g ~delay =
+  (* Longest path from node start to any sink, inclusive of own delay. *)
+  let n = Dfg.node_count g in
+  let dist = Array.make n 0 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      let best = List.fold_left (fun acc s -> max acc dist.(s)) 0 (Dfg.succs g nd.id) in
+      dist.(nd.id) <- delay nd + best)
+    (List.rev (Dfg.topological g));
+  dist
+
+let run ?priority_latency g ~delay ~group ~limit =
+  let bad =
+    List.find_opt (fun (nd : Dfg.node) -> limit (group nd) <= 0) (Dfg.nodes g)
+  in
+  match bad with
+  | Some nd -> Error (Printf.sprintf "group of node %s has non-positive limit" nd.name)
+  | None ->
+    let n = Dfg.node_count g in
+    let prio =
+      (* Higher value = dispatched first. *)
+      match priority_latency with
+      | Some horizon when horizon >= Analysis.asap_latency g ~delay ->
+        Array.map (fun latest -> -latest) (Analysis.alap g ~delay ~latency:horizon)
+      | _ -> priorities g ~delay
+    in
+    let starts = Array.make n (-1) in
+    let unscheduled = ref (Dfg.node_count g) in
+    (* busy: per (group, step) occupancy, grown lazily. *)
+    let busy = Hashtbl.create 64 in
+    let occupancy k step = Option.value (Hashtbl.find_opt busy (k, step)) ~default:0 in
+    let occupy k step = Hashtbl.replace busy (k, step) (occupancy k step + 1) in
+    let horizon =
+      (* Fully sequential execution is the worst case. *)
+      List.fold_left (fun acc nd -> acc + delay nd) 1 (Dfg.nodes g)
+    in
+    let step = ref 0 in
+    while !unscheduled > 0 do
+      (* Ready: all preds finished by !step. *)
+      let ready =
+        List.filter
+          (fun (nd : Dfg.node) ->
+            starts.(nd.id) < 0
+            && List.for_all
+                 (fun p -> starts.(p) >= 0 && starts.(p) + delay (Dfg.node g p) <= !step)
+                 (Dfg.preds g nd.id))
+          (Dfg.nodes g)
+      in
+      let ready =
+        List.sort
+          (fun (a : Dfg.node) b ->
+            let c = compare prio.(b.id) prio.(a.id) in
+            if c <> 0 then c else compare a.id b.id)
+          ready
+      in
+      List.iter
+        (fun (nd : Dfg.node) ->
+          let k = group nd in
+          let d = delay nd in
+          let fits =
+            let rec check s = s >= !step + d || (occupancy k s < limit k && check (s + 1)) in
+            check !step
+          in
+          if fits then begin
+            starts.(nd.id) <- !step;
+            decr unscheduled;
+            for s = !step to !step + d - 1 do
+              occupy k s
+            done
+          end)
+        ready;
+      incr step;
+      if !step > horizon then failwith "List_sched.run: no progress (bug)"
+    done;
+    ignore n;
+    Schedule.make g ~delay ~starts
+
+let run_exn ?priority_latency g ~delay ~group ~limit =
+  match run ?priority_latency g ~delay ~group ~limit with
+  | Ok s -> s
+  | Error e -> failwith ("List_sched.run: " ^ e)
+
+let minimum_latency_with_limits g ~delay ~group ~limit =
+  Result.map Schedule.latency (run g ~delay ~group ~limit)
+
+let _ = priorities

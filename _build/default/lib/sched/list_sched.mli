@@ -1,0 +1,41 @@
+(** Resource-constrained list scheduling (baseline scheduler).
+
+    Ready operations are dispatched in priority order (longest
+    remaining path to a sink, then id) as long as the per-group
+    instance limit is not exceeded at any step the operation would
+    occupy. *)
+
+open Rchls_dfg
+
+val run :
+  ?priority_latency:int ->
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  limit:('k -> int) ->
+  (Schedule.t, string) result
+(** Schedule with at most [limit (group node)] simultaneous operations
+    of each group.  Fails if some group's limit is not positive.
+
+    Priority: by default the longest remaining path to a sink; when
+    [priority_latency] (a target the caller wants met) is given and
+    feasible, ALAP urgency against that horizon is used instead —
+    operations whose latest start is earliest go first, which resolves
+    ties the path-length heuristic gets wrong. *)
+
+val run_exn :
+  ?priority_latency:int ->
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  limit:('k -> int) ->
+  Schedule.t
+
+val minimum_latency_with_limits :
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  limit:('k -> int) ->
+  (int, string) result
+(** Latency achieved by {!run} — a (not necessarily tight) upper bound
+    on the optimum under those resource limits. *)

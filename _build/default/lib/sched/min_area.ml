@@ -1,0 +1,65 @@
+open Rchls_dfg
+
+let run g ~delay ~group ~group_area ~latency =
+  let min_latency = Analysis.asap_latency g ~delay in
+  if latency < min_latency then
+    Error (Printf.sprintf "latency bound %d below ASAP latency %d" latency min_latency)
+  else begin
+    (* Distinct groups with their op populations. *)
+    let groups = ref [] in
+    List.iter
+      (fun (nd : Dfg.node) ->
+        let k = group nd in
+        match List.assoc_opt k !groups with
+        | Some c -> groups := (k, c + delay nd) :: List.remove_assoc k !groups
+        | None -> groups := (k, delay nd) :: !groups)
+      (Dfg.nodes g);
+    let limits = Hashtbl.create 8 in
+    List.iter
+      (fun (k, busy) ->
+        Hashtbl.replace limits k (max 1 ((busy + latency - 1) / latency)))
+      !groups;
+    let schedule_with limit_fn =
+      List_sched.run_exn ~priority_latency:latency g ~delay ~group ~limit:limit_fn
+    in
+    let current () = schedule_with (fun k -> Hashtbl.find limits k) in
+    let rec fit sched =
+      if Schedule.latency sched <= latency then Ok sched
+      else begin
+        (* Tentatively raise each group's limit by one; commit the one
+           with the best latency reduction per unit area (ties: first
+           group). *)
+        let best = ref None in
+        List.iter
+          (fun (k, _) ->
+            let bump k' = if k' = k then Hashtbl.find limits k + 1 else Hashtbl.find limits k' in
+            let s = schedule_with bump in
+            let gain =
+              float_of_int (Schedule.latency sched - Schedule.latency s)
+              /. float_of_int (max 1 (group_area k))
+            in
+            match !best with
+            | Some (_, _, bg) when bg >= gain -> ()
+            | _ -> best := Some (k, s, gain))
+          !groups;
+        match !best with
+        | None -> Error "min_area: no groups (bug)"
+        | Some (k, s, gain) ->
+          if gain > 0. then begin
+            Hashtbl.replace limits k (Hashtbl.find limits k + 1);
+            fit s
+          end
+          else begin
+            (* No single bump helps (the bottleneck needs several
+               groups relaxed together): raise every group.  Once all
+               limits saturate, the list schedule equals ASAP, which
+               fits — so this terminates. *)
+            List.iter
+              (fun (k', _) -> Hashtbl.replace limits k' (Hashtbl.find limits k' + 1))
+              !groups;
+            fit (current ())
+          end
+      end
+    in
+    fit (current ())
+  end

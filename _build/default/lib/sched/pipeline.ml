@@ -1,0 +1,91 @@
+open Rchls_dfg
+module Analysis = Rchls_dfg.Analysis
+
+type t = { schedule : Schedule.t; ii : int }
+
+let run g ~delay ~ii ~latency =
+  if ii < 1 then Error "initiation interval must be >= 1"
+  else begin
+    let min_latency = Analysis.asap_latency g ~delay in
+    if latency < min_latency then
+      Error (Printf.sprintf "latency bound %d below ASAP latency %d" latency min_latency)
+    else begin
+      let n = Dfg.node_count g in
+      let chosen = Array.make n (-1) in
+      let fixed id = if chosen.(id) >= 0 then Some chosen.(id) else None in
+      (* Modulo reservation pressure per (class, slot). *)
+      let pressure = Hashtbl.create 16 in
+      let slot_pressure cls s =
+        Option.value (Hashtbl.find_opt pressure (cls, s mod ii)) ~default:0
+      in
+      let occupy cls s =
+        Hashtbl.replace pressure (cls, s mod ii) (slot_pressure cls s + 1)
+      in
+      let r0 = Analysis.ranges g ~delay ~latency in
+      let order =
+        List.stable_sort
+          (fun (a : Dfg.node) b ->
+            compare (Analysis.mobility r0 a.id) (Analysis.mobility r0 b.id))
+          (Dfg.nodes g)
+      in
+      let place (nd : Dfg.node) =
+        let asap, alap = Density.constrained_ranges g ~delay ~latency ~fixed in
+        let lo = asap.(nd.id) and hi = alap.(nd.id) in
+        if lo > hi then Error (Printf.sprintf "no feasible step for node %s" nd.name)
+        else begin
+          let d = delay nd in
+          let cls = Op.resource_class nd.op in
+          let cost s =
+            let total = ref 0 in
+            for step = s to s + d - 1 do
+              total := !total + slot_pressure cls step
+            done;
+            !total
+          in
+          let best = ref lo in
+          for s = lo + 1 to hi do
+            if cost s < cost !best then best := s
+          done;
+          chosen.(nd.id) <- !best;
+          for step = !best to !best + d - 1 do
+            occupy cls step
+          done;
+          Ok ()
+        end
+      in
+      let rec go = function
+        | [] -> Ok ()
+        | nd :: rest -> ( match place nd with Ok () -> go rest | Error _ as e -> e)
+      in
+      match go order with
+      | Error e -> Error e
+      | Ok () -> (
+        match Schedule.make g ~delay ~starts:chosen with
+        | Error e -> Error e
+        | Ok schedule -> Ok { schedule; ii })
+    end
+  end
+
+let instances_required t ~key =
+  let acc = Hashtbl.create 8 in
+  let g = Schedule.graph t.schedule in
+  (* Usage per (key, modulo slot). *)
+  let usage = Hashtbl.create 32 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      let k = key nd in
+      for step = Schedule.start t.schedule nd.id to Schedule.finish t.schedule nd.id - 1 do
+        let slot = step mod t.ii in
+        let cur = Option.value (Hashtbl.find_opt usage (k, slot)) ~default:0 in
+        Hashtbl.replace usage (k, slot) (cur + 1)
+      done)
+    (Dfg.nodes g);
+  Hashtbl.iter
+    (fun (k, _) c ->
+      let cur = Option.value (Hashtbl.find_opt acc k) ~default:0 in
+      if c > cur then Hashtbl.replace acc k c)
+    usage;
+  Hashtbl.fold (fun k c l -> (k, c) :: l) acc []
+
+let throughput_speedup t =
+  float_of_int (Schedule.latency t.schedule) /. float_of_int t.ii

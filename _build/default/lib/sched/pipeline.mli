@@ -1,0 +1,32 @@
+(** Pipelined (modulo) scheduling — the paper notes its algorithm
+    "can be used for both pipelined and non-pipelined data-paths" but
+    evaluates only the latter; this module supplies the pipelined side.
+
+    With an initiation interval [ii], a new iteration enters the
+    datapath every [ii] cycles, so two operations conflict on a unit
+    whenever their execution cycles are congruent modulo [ii].
+    Operations are placed in mobility order into the start step that
+    minimizes the modulo-slot pressure of their resource class. *)
+
+open Rchls_dfg
+
+type t = {
+  schedule : Schedule.t;
+  ii : int;
+}
+
+val run :
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  ii:int ->
+  latency:int ->
+  (t, string) result
+(** Fails if [ii < 1], if [latency] is below the ASAP latency, or if a
+    node has no feasible start. *)
+
+val instances_required : t -> key:(Dfg.node -> 'k) -> ('k * int) list
+(** Steady-state units needed per key: the maximum number of
+    operations of that key occupying any congruence class mod [ii]. *)
+
+val throughput_speedup : t -> float
+(** Latency / ii — iterations completed per non-pipelined runtime. *)

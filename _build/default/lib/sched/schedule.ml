@@ -1,0 +1,81 @@
+open Rchls_dfg
+
+type t = { graph : Dfg.t; starts : int array; delays : int array; latency : int }
+
+let make g ~delay ~starts =
+  let n = Dfg.node_count g in
+  if Array.length starts <> n then Error "start array width mismatch"
+  else begin
+    let delays = Array.make n 0 in
+    List.iter (fun (nd : Dfg.node) -> delays.(nd.id) <- delay nd) (Dfg.nodes g);
+    let bad_delay =
+      List.find_opt (fun (nd : Dfg.node) -> delays.(nd.id) <= 0) (Dfg.nodes g)
+    in
+    match bad_delay with
+    | Some nd -> Error (Printf.sprintf "node %s has non-positive delay" nd.name)
+    | None ->
+      let neg = List.find_opt (fun (nd : Dfg.node) -> starts.(nd.id) < 0) (Dfg.nodes g) in
+      (match neg with
+      | Some nd -> Error (Printf.sprintf "node %s starts before step 0" nd.name)
+      | None ->
+        let violation =
+          List.find_opt
+            (fun (nd : Dfg.node) ->
+              List.exists
+                (fun p -> starts.(nd.id) < starts.(p) + delays.(p))
+                (Dfg.preds g nd.id))
+            (Dfg.nodes g)
+        in
+        (match violation with
+        | Some nd ->
+          Error (Printf.sprintf "node %s starts before a predecessor finishes" nd.name)
+        | None ->
+          let latency =
+            Array.fold_left max 0 (Array.mapi (fun i s -> s + delays.(i)) starts)
+          in
+          Ok { graph = g; starts = Array.copy starts; delays; latency }))
+  end
+
+let make_exn g ~delay ~starts =
+  match make g ~delay ~starts with
+  | Ok t -> t
+  | Error e -> failwith ("Schedule.make: " ^ e)
+
+let graph t = t.graph
+let start t id = t.starts.(id)
+let finish t id = t.starts.(id) + t.delays.(id)
+let delay_of t id = t.delays.(id)
+let latency t = t.latency
+
+let running_at t step =
+  List.filter
+    (fun (nd : Dfg.node) -> t.starts.(nd.id) <= step && step < finish t nd.id)
+    (Dfg.nodes t.graph)
+
+let max_concurrency t ~key =
+  let acc = Hashtbl.create 8 in
+  for step = 0 to t.latency - 1 do
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun nd ->
+        let k = key nd in
+        Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+      (running_at t step);
+    Hashtbl.iter
+      (fun k c ->
+        let cur = Option.value (Hashtbl.find_opt acc k) ~default:0 in
+        if c > cur then Hashtbl.replace acc k c)
+      counts
+  done;
+  Hashtbl.fold (fun k c l -> (k, c) :: l) acc []
+
+let pp ppf t =
+  for step = 0 to t.latency - 1 do
+    let here =
+      List.filter (fun (nd : Dfg.node) -> t.starts.(nd.id) = step) (Dfg.nodes t.graph)
+    in
+    if here <> [] then
+      Format.fprintf ppf "step %2d: %s@." (step + 1)
+        (String.concat " "
+           (List.map (fun (nd : Dfg.node) -> Op.symbol nd.op ^ nd.name) here))
+  done

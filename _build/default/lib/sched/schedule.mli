@@ -1,0 +1,41 @@
+(** Schedules: a start step for every operation of a data-flow graph.
+
+    An operation starting at step [s] with delay [d] occupies steps
+    [s .. s+d-1].  Validity requires every consumer to start no earlier
+    than all its producers have finished. *)
+
+open Rchls_dfg
+
+type t
+
+val make :
+  Dfg.t -> delay:(Dfg.node -> int) -> starts:int array -> (t, string) result
+(** Validate and freeze.  Fails on width mismatch, negative starts, or
+    dependence violations. *)
+
+val make_exn : Dfg.t -> delay:(Dfg.node -> int) -> starts:int array -> t
+
+val graph : t -> Dfg.t
+
+val start : t -> Dfg.node_id -> int
+(** Start step of a node. *)
+
+val finish : t -> Dfg.node_id -> int
+(** First step after the node completes: [start + delay]. *)
+
+val delay_of : t -> Dfg.node_id -> int
+(** The delay the schedule was validated against. *)
+
+val latency : t -> int
+(** [max over nodes (start + delay)]. *)
+
+val running_at : t -> int -> Dfg.node list
+(** Operations occupying the given step. *)
+
+val max_concurrency : t -> key:(Dfg.node -> 'k) -> ('k * int) list
+(** For each key (e.g. resource class or version), the maximum number
+    of simultaneously-running operations over all steps — a lower bound
+    on required instances. *)
+
+val pp : Format.formatter -> t -> unit
+(** Step-by-step listing, 1-based as in the paper's figures. *)

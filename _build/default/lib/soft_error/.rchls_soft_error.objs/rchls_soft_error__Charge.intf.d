@@ -1,0 +1,1 @@
+lib/soft_error/charge.mli: Rchls_netlist

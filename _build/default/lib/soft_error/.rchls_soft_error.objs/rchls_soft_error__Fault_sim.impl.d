@@ -1,0 +1,1 @@
+lib/soft_error/fault_sim.ml: Array Eval Gate List Netlist Rchls_netlist Rchls_util

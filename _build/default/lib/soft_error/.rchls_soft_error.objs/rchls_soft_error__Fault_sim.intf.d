@@ -1,0 +1,1 @@
+lib/soft_error/fault_sim.mli: Rchls_netlist

@@ -1,0 +1,1 @@
+lib/soft_error/reliability.ml: List

@@ -1,0 +1,1 @@
+lib/soft_error/ser.ml: Charge Fault_sim Hazucha List Option Rchls_netlist

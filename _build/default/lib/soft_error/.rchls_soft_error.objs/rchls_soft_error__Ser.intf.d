@@ -1,0 +1,1 @@
+lib/soft_error/ser.mli: Charge Fault_sim Hazucha Rchls_netlist

@@ -1,0 +1,12 @@
+type params = { vdd : float; slope : float; scale : float }
+
+let default = { vdd = 1.2; slope = 0.5; scale = 1.2e-5 }
+
+let paper_qcritical_rca = 59.460e-21
+let paper_qcritical_bk = 29.701e-21
+let paper_qcritical_ks = 37.291e-21
+
+let node_qcritical p nl net =
+  let c_ff = Rchls_netlist.Delay.node_collected_capacitance nl net in
+  (* fF -> F, then the displaced-charge fraction and unit calibration. *)
+  p.slope *. (c_ff *. 1e-15) *. p.vdd *. p.scale

@@ -1,0 +1,35 @@
+(** Critical-charge (Qcritical) model.
+
+    A particle strike upsets a node when the collected charge exceeds
+    the node's critical charge.  The paper extracts Qcritical with
+    HSPICE on laid-out cells; we substitute the first-order model
+    [Qcrit = slope * C_node * Vdd] where [C_node] is the capacitance of
+    the struck node (driver diffusion + fanout gate + wire, from
+    [Rchls_netlist.Delay]) and [slope] captures how much of the stored
+    charge must actually be displaced to flip the node.  An overall
+    [scale] maps our synthetic femtofarad units onto the paper's
+    published coulomb range so downstream numbers are directly
+    comparable (see DESIGN.md §5). *)
+
+type params = {
+  vdd : float;  (** supply voltage, volts *)
+  slope : float;  (** fraction of stored charge that must be displaced *)
+  scale : float;  (** unit calibration from fF·V to coulombs *)
+}
+
+val default : params
+(** Vdd 1.2 V, slope 0.5, scale tuned so a 16-bit ripple-carry adder's
+    effective Qcritical lands near the paper's 59.460e-21 C. *)
+
+val node_qcritical :
+  params -> Rchls_netlist.Netlist.t -> Rchls_netlist.Netlist.net -> float
+(** Critical charge of one net, in coulombs. *)
+
+val paper_qcritical_rca : float
+(** 59.460e-21 C — the paper's HSPICE value for the ripple-carry adder. *)
+
+val paper_qcritical_bk : float
+(** 29.701e-21 C — Brent–Kung adder. *)
+
+val paper_qcritical_ks : float
+(** 37.291e-21 C — Kogge–Stone adder. *)

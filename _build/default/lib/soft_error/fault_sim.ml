@@ -1,0 +1,96 @@
+open Rchls_netlist
+
+type config = { vectors : int; seed : int; node_sample : int option }
+
+let default_config = { vectors = 128; seed = 1; node_sample = None }
+
+type node_result = {
+  net : Netlist.net;
+  kind : Gate.kind;
+  logical_derating : float;
+  observed : int;
+  injected : int;
+}
+
+type report = {
+  netlist_name : string;
+  config : config;
+  nodes : node_result list;
+  sampled_fraction : float;
+}
+
+let candidate_nets nl =
+  Array.to_list (Array.map (fun (g : Netlist.instance) -> g.out) (Netlist.gates nl))
+
+let random_vector rng n = Array.init n (fun _ -> Rchls_util.Rng.bool rng)
+
+let derating_of_net nl st_ok st_flip rng vectors net =
+  let n_in = Array.length (Netlist.inputs nl) in
+  let observed = ref 0 in
+  for _ = 1 to vectors do
+    let ins = random_vector rng n_in in
+    let good = Eval.run st_ok ins in
+    let bad = Eval.run_with_flip st_flip ins ~flip_net:net in
+    if good <> bad then incr observed
+  done;
+  !observed
+
+let node_logical_derating ?(config = default_config) nl net =
+  let rng = Rchls_util.Rng.create config.seed in
+  let st_ok = Eval.create nl and st_flip = Eval.create nl in
+  let obs = derating_of_net nl st_ok st_flip rng config.vectors net in
+  float_of_int obs /. float_of_int config.vectors
+
+let sample_nodes config nets =
+  match config.node_sample with
+  | None -> nets
+  | Some n when n <= 0 -> invalid_arg "Fault_sim: node_sample must be positive"
+  | Some n ->
+    let total = List.length nets in
+    if total <= n then nets
+    else begin
+      let arr = Array.of_list nets in
+      (* Even stride keeps the sample deterministic and spread across
+         the topological depth of the circuit. *)
+      List.init n (fun i -> arr.(i * total / n))
+    end
+
+let run ?(config = default_config) nl =
+  if config.vectors <= 0 then invalid_arg "Fault_sim.run: vectors must be positive";
+  let all = candidate_nets nl in
+  let chosen = sample_nodes config all in
+  let rng = Rchls_util.Rng.create config.seed in
+  let st_ok = Eval.create nl and st_flip = Eval.create nl in
+  let nodes =
+    List.map
+      (fun net ->
+        let kind =
+          match Netlist.driver nl net with
+          | Some g -> g.kind
+          | None -> assert false (* candidate nets are gate outputs *)
+        in
+        let rng' = Rchls_util.Rng.split rng in
+        let observed = derating_of_net nl st_ok st_flip rng' config.vectors net in
+        {
+          net;
+          kind;
+          observed;
+          injected = config.vectors;
+          logical_derating = float_of_int observed /. float_of_int config.vectors;
+        })
+      chosen
+  in
+  {
+    netlist_name = Netlist.name nl;
+    config;
+    nodes;
+    sampled_fraction =
+      (match all with
+      | [] -> 1.
+      | _ -> float_of_int (List.length chosen) /. float_of_int (List.length all));
+  }
+
+let average_derating r =
+  match r.nodes with
+  | [] -> 0.
+  | ns -> Rchls_util.Stats.mean (List.map (fun n -> n.logical_derating) ns)

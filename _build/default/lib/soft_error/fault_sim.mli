@@ -1,0 +1,50 @@
+(** Monte-Carlo single-event-upset (SEU) injection on gate netlists.
+
+    For each candidate node (gate output), random input vectors are
+    simulated twice — fault-free and with the node's value flipped —
+    and the fraction of vectors for which any primary output differs
+    estimates the node's *logical derating* (1 − logical-masking
+    probability).  This substitutes for the paper's fault-injection
+    reference [8]; electrical and latching-window masking, which need
+    analog waveforms we cannot simulate, are applied as analytic
+    derating constants in {!Ser}. *)
+
+type config = {
+  vectors : int;  (** random vectors per node *)
+  seed : int;  (** PRNG seed; results are deterministic per seed *)
+  node_sample : int option;
+      (** when [Some n], characterize a deterministic sample of at most
+          [n] nodes (evenly strided) instead of all — used to keep the
+          characterization of large multipliers fast *)
+}
+
+val default_config : config
+(** 128 vectors, seed 1, no node sampling. *)
+
+type node_result = {
+  net : Rchls_netlist.Netlist.net;
+  kind : Rchls_netlist.Gate.kind;  (** driving gate *)
+  logical_derating : float;  (** P(flip visible at an output) *)
+  observed : int;  (** vectors where the flip was visible *)
+  injected : int;  (** vectors simulated for this node *)
+}
+
+type report = {
+  netlist_name : string;
+  config : config;
+  nodes : node_result list;  (** in netlist gate order *)
+  sampled_fraction : float;  (** characterized nodes / total nodes *)
+}
+
+val candidate_nets : Rchls_netlist.Netlist.t -> Rchls_netlist.Netlist.net list
+(** All gate-output nets, in topological order. *)
+
+val node_logical_derating :
+  ?config:config -> Rchls_netlist.Netlist.t -> Rchls_netlist.Netlist.net -> float
+(** Monte-Carlo logical derating of a single node. *)
+
+val run : ?config:config -> Rchls_netlist.Netlist.t -> report
+(** Characterize every candidate node (subject to [node_sample]). *)
+
+val average_derating : report -> float
+(** Mean logical derating over characterized nodes. *)

@@ -1,0 +1,27 @@
+type env = { nflux : float; cross_section : float; qs : float; k : float }
+
+let solve_qs ~qc_ref ~r_ref ~qc_other ~r_other =
+  if r_ref <= 0. || r_ref >= 1. || r_other <= 0. || r_other >= 1. then
+    invalid_arg "Hazucha.solve_qs: reliabilities must lie in (0,1)";
+  if qc_ref = qc_other then invalid_arg "Hazucha.solve_qs: identical critical charges";
+  let lambda_ref = -.log r_ref in
+  let lambda_other = -.log r_other in
+  (* lambda_other = lambda_ref * exp((qc_ref - qc_other)/qs) *)
+  (qc_ref -. qc_other) /. log (lambda_other /. lambda_ref)
+
+let ser env ~qcritical =
+  env.k *. env.nflux *. env.cross_section *. exp (-.qcritical /. env.qs)
+
+let ser_ratio env ~qc_from ~qc_to = exp ((qc_from -. qc_to) /. env.qs)
+
+let calibrate_k env ~qc_ref ~lambda_ref =
+  let raw = ser { env with k = 1. } ~qcritical:qc_ref in
+  { env with k = lambda_ref /. raw }
+
+let default =
+  let qs =
+    solve_qs ~qc_ref:Charge.paper_qcritical_rca ~r_ref:0.999
+      ~qc_other:Charge.paper_qcritical_bk ~r_other:0.969
+  in
+  let env = { nflux = 1.; cross_section = 1.; qs; k = 1. } in
+  calibrate_k env ~qc_ref:Charge.paper_qcritical_rca ~lambda_ref:(-.log 0.999)

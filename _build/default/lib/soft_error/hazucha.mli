@@ -1,0 +1,44 @@
+(** Hazucha–Svensson soft-error-rate model (ref [9] of the paper):
+
+    [SER = K * Nflux * CS * exp(-Qcritical / Qs)]
+
+    where [Nflux] is the neutron-flux intensity, [CS] the sensitive
+    cross-section area and [Qs] the charge-collection efficiency.  For
+    two circuits in the same technology everything but the exponential
+    cancels, giving the ratio law the paper uses:
+
+    [SER1 = SER2 * exp((Qc2 - Qc1) / Qs)]. *)
+
+type env = {
+  nflux : float;  (** neutron-flux intensity (relative units) *)
+  cross_section : float;  (** sensitive area per node (relative units) *)
+  qs : float;  (** charge-collection efficiency, coulombs *)
+  k : float;  (** technology proportionality constant *)
+}
+
+val default : env
+(** [qs] solved from the paper's anchor points (see {!solve_qs}):
+    ≈ 8.627e-21 C.  The multiplicative constants are chosen so the
+    ripple-carry adder's SER equals the failure rate implied by its
+    published reliability of 0.999. *)
+
+val ser : env -> qcritical:float -> float
+(** Absolute SER of a node with the given critical charge. *)
+
+val ser_ratio : env -> qc_from:float -> qc_to:float -> float
+(** [ser_ratio env ~qc_from ~qc_to] = SER(to)/SER(from)
+    = [exp ((qc_from - qc_to) / qs)]. *)
+
+val solve_qs :
+  qc_ref:float -> r_ref:float -> qc_other:float -> r_other:float -> float
+(** Invert the ratio law: find the [qs] that maps the reference
+    component (critical charge [qc_ref], reliability [r_ref]) onto the
+    other component's published reliability.  With the paper's
+    ripple-carry (59.460e-21 C, 0.999) and Brent–Kung (29.701e-21 C,
+    0.969) anchors this returns ≈ 8.627e-21 C, which then *predicts*
+    the Kogge–Stone reliability 0.987 — the consistency check run in
+    the test suite.  Raises [Invalid_argument] unless both
+    reliabilities are in (0, 1) and distinct charges are given. *)
+
+val calibrate_k : env -> qc_ref:float -> lambda_ref:float -> env
+(** Rescale [k] so that [ser env ~qcritical:qc_ref = lambda_ref]. *)

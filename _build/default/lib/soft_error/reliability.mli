@@ -1,0 +1,61 @@
+(** Reliability mathematics (paper §5 and ref [10]).
+
+    Reliability is the probability that a component performs its
+    function over [\[t0, t\]]; with a constant failure rate [lambda] it
+    follows [R(t) = exp (-lambda * t)].  Treating every soft error as a
+    failure, a component's SER is its failure rate.  System models:
+    serial (all must succeed — also adopted by the paper for datapath
+    "parallel" structures, since every functional unit must be
+    correct), classic parallel (any-one-succeeds, shown for contrast),
+    and k-of-N majority redundancy (NMR). *)
+
+val of_failure_rate : ?t:float -> float -> float
+(** [of_failure_rate ~t lambda] is [exp (-. lambda *. t)]; [t] defaults
+    to 1 (one mission unit, as in the paper's library).  Raises
+    [Invalid_argument] on negative [lambda] or [t]. *)
+
+val failure_rate : ?t:float -> float -> float
+(** Inverse of {!of_failure_rate}: [-. log r /. t].  Raises
+    [Invalid_argument] unless [r] is in (0, 1]. *)
+
+val mttf : float -> float
+(** Mean time to failure of an exponential process: [1 /. lambda]. *)
+
+val serial : float list -> float
+(** Product of component reliabilities: all components must succeed. *)
+
+val parallel_any : float list -> float
+(** Classic redundant-parallel model: [1 - prod (1 - Ri)] — at least
+    one component succeeds.  Not used for datapath evaluation (see
+    module doc) but exposed for completeness and tests. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] = C(n,k) as a float.  Raises [Invalid_argument] on
+    negative arguments; returns 0 for [k > n]. *)
+
+val k_of_n : k:int -> n:int -> float -> float
+(** [k_of_n ~k ~n r]: probability that at least [k] of [n] independent
+    components with reliability [r] succeed.  Raises
+    [Invalid_argument] unless [1 <= k <= n] and [r] in [0, 1]. *)
+
+val nmr : n:int -> float -> float
+(** Majority voting over [n = 2k-1] modules: [k_of_n ~k:((n+1)/2) ~n].
+    Requires odd [n >= 1]. *)
+
+val tmr : float -> float
+(** [nmr ~n:3]: [3r^2 - 2r^3]. *)
+
+val duplex_rollback : float -> float
+(** Duplication with comparison and rollback recovery (paper §5: "a
+    simple duplication ... detect the fault ... rollback to recapture
+    the successful state"): the pair fails only when both copies fail,
+    [1 - (1 - r)^2]. *)
+
+val voter_reliability : float
+(** Reliability attributed to the majority voter itself (the paper
+    excludes checker area but a perfect voter would be unphysical;
+    kept very high and applied multiplicatively by the redundancy
+    baseline). *)
+
+val nmr_with_voter : n:int -> float -> float
+(** [nmr] degraded by the voter: [voter_reliability *. nmr ~n r]. *)

@@ -1,0 +1,67 @@
+type derating = { electrical : float; latching_window : float }
+
+let default_derating = { electrical = 0.6; latching_window = 0.4 }
+
+type node_ser = {
+  net : Rchls_netlist.Netlist.net;
+  qcritical : float;
+  raw_ser : float;
+  derated_ser : float;
+  logical_derating : float;
+}
+
+type t = {
+  netlist_name : string;
+  nodes : node_ser list;
+  total_ser : float;
+  mean_node_ser : float;
+  effective_qcritical : float;
+  area : float;
+  delay_ps : float;
+}
+
+let effective_qcritical_of_mean_ser (env : Hazucha.env) mean_ser =
+  (* mean_ser = k * nflux * cs * exp(-qc_eff / qs) *)
+  let base = env.k *. env.nflux *. env.cross_section in
+  if mean_ser <= 0. then invalid_arg "Ser.effective_qcritical_of_mean_ser: non-positive SER";
+  -.env.qs *. log (mean_ser /. base)
+
+let analyze ?(charge = Charge.default) ?(env = Hazucha.default)
+    ?(derating = default_derating) ?fault_config nl =
+  let config = Option.value fault_config ~default:Fault_sim.default_config in
+  let report = Fault_sim.run ~config nl in
+  let nodes =
+    List.map
+      (fun (n : Fault_sim.node_result) ->
+        let qc = Charge.node_qcritical charge nl n.net in
+        let raw = Hazucha.ser env ~qcritical:qc in
+        let derated =
+          raw *. n.logical_derating *. derating.electrical *. derating.latching_window
+        in
+        {
+          net = n.net;
+          qcritical = qc;
+          raw_ser = raw;
+          derated_ser = derated;
+          logical_derating = n.logical_derating;
+        })
+      report.nodes
+  in
+  let sum = List.fold_left (fun acc n -> acc +. n.derated_ser) 0. nodes in
+  let count = List.length nodes in
+  let mean = if count = 0 then 0. else sum /. float_of_int count in
+  let total =
+    (* When node sampling was used, extrapolate the sum to the whole
+       node population. *)
+    if report.sampled_fraction > 0. then sum /. report.sampled_fraction else sum
+  in
+  {
+    netlist_name = report.netlist_name;
+    nodes;
+    total_ser = total;
+    mean_node_ser = mean;
+    effective_qcritical =
+      (if mean > 0. then effective_qcritical_of_mean_ser env mean else infinity);
+    area = Rchls_netlist.Netlist.area nl;
+    delay_ps = Rchls_netlist.Delay.critical_path_ps nl;
+  }

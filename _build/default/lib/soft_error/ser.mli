@@ -1,0 +1,54 @@
+(** Netlist-level soft-error-rate aggregation (paper §4).
+
+    Combines the three masking effects acting on combinational logic:
+    - {b logical masking} — measured per node by {!Fault_sim};
+    - {b electrical masking} — pulse attenuation along the propagation
+      path, modeled as a constant derating factor (we have no analog
+      waveforms);
+    - {b latching-window masking} — the fraction of the clock period in
+      which an arriving pulse can be captured, also a constant factor.
+
+    The component SER is the masking-weighted sum of per-node SERs from
+    the Hazucha model; the {e effective critical charge} is the single
+    Qcritical that would give a one-average-node circuit the same
+    per-node SER — the quantity the paper reports per implementation. *)
+
+type derating = {
+  electrical : float;  (** constant electrical-masking survival factor *)
+  latching_window : float;  (** latching-window survival factor *)
+}
+
+val default_derating : derating
+(** electrical 0.6, latching window 0.4 — mid-range literature values;
+    they cancel in the SER ratios that drive the characterization. *)
+
+type node_ser = {
+  net : Rchls_netlist.Netlist.net;
+  qcritical : float;
+  raw_ser : float;  (** Hazucha SER before masking *)
+  derated_ser : float;  (** after the three masking effects *)
+  logical_derating : float;
+}
+
+type t = {
+  netlist_name : string;
+  nodes : node_ser list;
+  total_ser : float;  (** sum of derated node SERs, scaled to the full
+                          node population when sampling was used *)
+  mean_node_ser : float;
+  effective_qcritical : float;
+  area : float;
+  delay_ps : float;
+}
+
+val analyze :
+  ?charge:Charge.params ->
+  ?env:Hazucha.env ->
+  ?derating:derating ->
+  ?fault_config:Fault_sim.config ->
+  Rchls_netlist.Netlist.t ->
+  t
+(** Full characterization of one component netlist. *)
+
+val effective_qcritical_of_mean_ser : Hazucha.env -> float -> float
+(** Invert the Hazucha exponential for a per-node mean SER. *)

@@ -1,0 +1,51 @@
+let mean = function
+  | [] -> nan
+  | xs ->
+    let n = List.length xs in
+    List.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let n = List.length xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sq /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let geometric_mean = function
+  | [] -> nan
+  | xs ->
+    let n = List.length xs in
+    let s =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive sample";
+          acc +. log x)
+        0. xs
+    in
+    exp (s /. float_of_int n)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+
+let confidence_95 xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    1.96 *. stddev xs /. sqrt n

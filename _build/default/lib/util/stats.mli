@@ -1,0 +1,26 @@
+(** Summary statistics over float samples, used by the Monte-Carlo
+    soft-error engine and the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  Returns [nan] on the empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance (n-1 denominator).  Returns [0.] for lists
+    shorter than two elements. *)
+
+val stddev : float list -> float
+(** Square root of {!variance}. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean; all samples must be positive. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest sample.  Raises [Invalid_argument] on []. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]: nearest-rank percentile of the
+    sorted samples.  Raises [Invalid_argument] on []. *)
+
+val confidence_95 : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval of
+    the mean: [1.96 * stddev / sqrt n]. *)

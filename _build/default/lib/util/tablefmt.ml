@@ -1,0 +1,74 @@
+type align = Left | Right | Center
+
+type row = Data of string list | Sep
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | None -> List.init ncols (fun _ -> Left)
+    | Some a ->
+      if List.length a <> ncols then
+        invalid_arg "Tablefmt.create: aligns/header width mismatch";
+      a
+  in
+  { headers; aligns; ncols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Tablefmt.add_row: row width mismatch";
+  t.rows <- Data cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let l = fill / 2 in
+      String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Sep -> ()
+      | Data cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    let aligned =
+      List.mapi (fun i c -> pad (List.nth t.aligns i) widths.(i) c) cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " aligned ^ " |\n")
+  in
+  let emit_sep () =
+    let segs = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    Buffer.add_string buf ("+" ^ String.concat "+" segs ^ "+\n")
+  in
+  emit_sep ();
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Sep -> emit_sep () | Data cells -> emit_cells cells) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(digits = 5) v = Printf.sprintf "%.*f" digits v
+
+let pct_cell ?(digits = 2) v = Printf.sprintf "%+.*f%%" digits v

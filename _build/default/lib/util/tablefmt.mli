@@ -1,0 +1,35 @@
+(** Plain-text table rendering for CLI and benchmark output.
+
+    Produces aligned, pipe-separated tables in the style of the paper's
+    Table 1 / Table 2 so the benchmark harness can print rows that are
+    directly comparable to the published ones. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [aligns] defaults to left-alignment for every column; when supplied
+    it must have one entry per header. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] if the row width does
+    not match the header width. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render the table with every column padded to its widest cell. *)
+
+val print : t -> unit
+(** [render] then write to stdout followed by a newline. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Fixed-point cell formatting, default 5 digits (matching the paper's
+    reliability precision). *)
+
+val pct_cell : ?digits:int -> float -> string
+(** Percentage cell with explicit sign, default 2 digits. *)

@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Array Dfg Fun List Op QCheck2 QCheck_alcotest Rchls_binding Rchls_charlib Rchls_dfg Rchls_sched

@@ -1,0 +1,1 @@
+test/test_charlib.ml: Alcotest List Printf QCheck2 QCheck_alcotest Rchls_charlib Rchls_soft_error Result

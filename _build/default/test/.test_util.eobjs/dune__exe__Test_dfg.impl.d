@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Array Benchmarks Dfg Dot Hashtbl List Op Parse Printf QCheck2 QCheck_alcotest Rchls_charlib Rchls_dfg String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf Rchls_charlib Rchls_dfg Rchls_experiments Rchls_util String

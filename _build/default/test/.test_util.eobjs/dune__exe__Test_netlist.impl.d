@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Delay Eval Fun Gate Hashtbl List Netlist Printf QCheck2 QCheck_alcotest Rchls_netlist String Verilog

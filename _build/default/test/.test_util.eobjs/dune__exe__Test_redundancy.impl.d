@@ -1,0 +1,1 @@
+test/test_redundancy.ml: Alcotest Benchmarks Dfg List Op Printf QCheck2 QCheck_alcotest Rchls_binding Rchls_charlib Rchls_core Rchls_dfg Rchls_redundancy Result

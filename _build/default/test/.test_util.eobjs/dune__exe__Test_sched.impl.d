@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Analysis Array Benchmarks Dfg List Op Option Printf QCheck2 QCheck_alcotest Rchls_charlib Rchls_dfg Rchls_sched Result String

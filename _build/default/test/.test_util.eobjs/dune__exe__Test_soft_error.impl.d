@@ -1,0 +1,1 @@
+test/test_soft_error.ml: Alcotest Array Gate List Netlist Printf QCheck2 QCheck_alcotest Rchls_netlist Rchls_soft_error Rchls_util

@@ -1,0 +1,292 @@
+(* Correctness tests for every arithmetic generator: exhaustive at small
+   widths, randomized at 16 bits, plus structural sanity (area/delay
+   orderings the paper's library relies on). *)
+
+open Rchls_circuits
+open Rchls_netlist
+
+let adders =
+  [
+    ("rca", fun w -> Adder_ripple.netlist ~width:w ());
+    ("bk", fun w -> Adder_brent_kung.netlist ~width:w ());
+    ("ks", fun w -> Adder_kogge_stone.netlist ~width:w ());
+    ("csk", fun w -> Adder_carry_skip.netlist ~width:w ());
+    ("csl", fun w -> Adder_carry_select.netlist ~width:w ());
+  ]
+
+let multipliers =
+  [
+    ("csmul", fun w -> Mult_carry_save.netlist ~width:w ());
+    ("lfmul", fun w -> Mult_leapfrog.netlist ~width:w ());
+    ("wmul", fun w -> Mult_wallace.netlist ~width:w ());
+  ]
+
+let check_add name nl width a b cin =
+  let mask = (1 lsl width) - 1 in
+  let got = Sim.run nl [ ("a", a); ("b", b); ("cin", cin) ] in
+  let s = List.assoc "s" got and cout = List.assoc "cout" got in
+  let expect = a + b + cin in
+  Alcotest.(check int)
+    (Printf.sprintf "%s %d+%d+%d sum" name a b cin)
+    (expect land mask) s;
+  Alcotest.(check int)
+    (Printf.sprintf "%s %d+%d+%d cout" name a b cin)
+    (expect lsr width) cout
+
+(* Exhaustive over widths 1..4: every (a, b, cin). *)
+let test_adder_exhaustive (name, build) () =
+  for width = 1 to 4 do
+    let nl = build width in
+    let top = (1 lsl width) - 1 in
+    for a = 0 to top do
+      for b = 0 to top do
+        check_add name nl width a b 0;
+        check_add name nl width a b 1
+      done
+    done
+  done
+
+let test_adder_random16 (name, build) () =
+  let nl = build 16 in
+  let r = Rchls_util.Rng.create 2025 in
+  for _ = 1 to 500 do
+    let a = Rchls_util.Rng.int r 65536 in
+    let b = Rchls_util.Rng.int r 65536 in
+    let cin = Rchls_util.Rng.int r 2 in
+    check_add name nl 16 a b cin
+  done
+
+let test_adder_odd_widths (name, build) () =
+  (* Prefix networks are easiest to get wrong at non-power-of-two
+     widths. *)
+  List.iter
+    (fun width ->
+      let nl = build width in
+      let r = Rchls_util.Rng.create (width * 7919) in
+      for _ = 1 to 200 do
+        let a = Rchls_util.Rng.int r (1 lsl width) in
+        let b = Rchls_util.Rng.int r (1 lsl width) in
+        check_add name nl width a b (Rchls_util.Rng.int r 2)
+      done)
+    [ 3; 5; 6; 7; 9; 11; 13 ]
+
+let check_mult name nl _width a b =
+  let p = Sim.output_value nl [ ("a", a); ("b", b) ] "p" in
+  Alcotest.(check int) (Printf.sprintf "%s %d*%d" name a b) (a * b) p
+
+let test_mult_exhaustive (name, build) () =
+  for width = 1 to 4 do
+    let nl = build width in
+    let top = (1 lsl width) - 1 in
+    for a = 0 to top do
+      for b = 0 to top do
+        check_mult name nl width a b
+      done
+    done
+  done
+
+let test_mult_random8 (name, build) () =
+  let nl = build 8 in
+  let r = Rchls_util.Rng.create 99 in
+  for _ = 1 to 300 do
+    check_mult name nl 8 (Rchls_util.Rng.int r 256) (Rchls_util.Rng.int r 256)
+  done
+
+let test_subtractor () =
+  for width = 1 to 4 do
+    let nl = Subtractor.netlist ~width () in
+    let mask = (1 lsl width) - 1 in
+    for a = 0 to mask do
+      for b = 0 to mask do
+        let got = Sim.run nl [ ("a", a); ("b", b) ] in
+        Alcotest.(check int)
+          (Printf.sprintf "d %d-%d" a b)
+          ((a - b) land mask)
+          (List.assoc "d" got);
+        Alcotest.(check int)
+          (Printf.sprintf "bout %d-%d" a b)
+          (if a < b then 1 else 0)
+          (List.assoc "bout" got)
+      done
+    done
+  done
+
+let test_comparator () =
+  for width = 1 to 4 do
+    let nl = Comparator.netlist ~width () in
+    let mask = (1 lsl width) - 1 in
+    for a = 0 to mask do
+      for b = 0 to mask do
+        let got = Sim.run nl [ ("a", a); ("b", b) ] in
+        Alcotest.(check int)
+          (Printf.sprintf "lt %d<%d" a b)
+          (if a < b then 1 else 0)
+          (List.assoc "lt" got);
+        Alcotest.(check int)
+          (Printf.sprintf "eq %d=%d" a b)
+          (if a = b then 1 else 0)
+          (List.assoc "eq" got)
+      done
+    done
+  done
+
+(* --- structural expectations used by the characterization --- *)
+
+let test_prefix_adders_faster_than_ripple () =
+  let d id = Delay.critical_path_ps ((Option.get (Catalog.find id)).Catalog.build ~width:16) in
+  Alcotest.(check bool) "bk faster than rca" true (d "bk" < d "rca");
+  Alcotest.(check bool) "ks faster than rca" true (d "ks" < d "rca")
+
+let test_prefix_adders_bigger_than_ripple () =
+  let area id = Netlist.area ((Option.get (Catalog.find id)).Catalog.build ~width:16) in
+  Alcotest.(check bool) "bk bigger" true (area "bk" > area "rca");
+  Alcotest.(check bool) "ks bigger than bk" true (area "ks" > area "bk")
+
+let test_leapfrog_shallower_than_carry_save () =
+  let depth id = Netlist.logic_depth ((Option.get (Catalog.find id)).Catalog.build ~width:16) in
+  Alcotest.(check bool) "leapfrog shallower" true (depth "lfmul" < depth "csmul");
+  Alcotest.(check bool) "wallace shallower than leapfrog" true
+    (depth "wmul" < depth "lfmul")
+
+let test_catalog_complete () =
+  Alcotest.(check int) "10 entries" 10 (List.length Catalog.all);
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match Catalog.find e.id with
+      | Some e' -> Alcotest.(check string) "find" e.id e'.id
+      | None -> Alcotest.fail ("missing " ^ e.id))
+    Catalog.all;
+  Alcotest.(check bool) "unknown id" true (Catalog.find "nope" = None);
+  Alcotest.(check int) "5 adders" 5 (List.length (Catalog.of_family Catalog.Adder))
+
+let test_catalog_builds_all_widths () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      List.iter
+        (fun w ->
+          let nl = e.Catalog.build ~width:w in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s w=%d nonempty" e.id w)
+            true
+            (Netlist.gate_count nl > 0))
+        [ 2; 8; 16 ])
+    Catalog.all
+
+let test_width_validation () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      Alcotest.(check bool) (e.id ^ " rejects width 0") true
+        (try
+           ignore (e.Catalog.build ~width:0);
+           false
+         with Invalid_argument _ -> true))
+    Catalog.all
+
+(* --- Sim helpers --- *)
+
+let test_split_port () =
+  Alcotest.(check (pair string (option int))) "s12" ("s", Some 12) (Sim.split_port "s12");
+  Alcotest.(check (pair string (option int))) "cin" ("cin", None) (Sim.split_port "cin");
+  Alcotest.(check (pair string (option int))) "a0" ("a", Some 0) (Sim.split_port "a0")
+
+let test_sim_missing_binding () =
+  let nl = Adder_ripple.netlist ~width:2 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sim.run nl [ ("a", 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_unknown_binding () =
+  let nl = Adder_ripple.netlist ~width:2 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sim.run nl [ ("a", 1); ("b", 1); ("cin", 0); ("zz", 3) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- properties: cross-architecture agreement --- *)
+
+let prop_adders_agree =
+  QCheck2.Test.make ~name:"all adder architectures agree at width 10" ~count:200
+    QCheck2.Gen.(triple (int_bound 1023) (int_bound 1023) (int_bound 1))
+    (fun (a, b, cin) ->
+      let results =
+        List.map
+          (fun (_, build) ->
+            let nl = build 10 in
+            Sim.run nl [ ("a", a); ("b", b); ("cin", cin) ])
+          adders
+      in
+      match results with
+      | [] -> true
+      | first :: rest -> List.for_all (fun r -> r = first) rest)
+
+let prop_multipliers_agree =
+  QCheck2.Test.make ~name:"multiplier architectures agree at width 6" ~count:200
+    QCheck2.Gen.(pair (int_bound 63) (int_bound 63))
+    (fun (a, b) ->
+      List.for_all
+        (fun (_, build) ->
+          Sim.output_value (build 6) [ ("a", a); ("b", b) ] "p" = a * b)
+        multipliers)
+
+let prop_adder_commutative =
+  QCheck2.Test.make ~name:"netlist addition commutative" ~count:100
+    QCheck2.Gen.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let nl = Adder_brent_kung.netlist ~width:8 () in
+      Sim.run nl [ ("a", a); ("b", b); ("cin", 0) ]
+      = Sim.run nl [ ("a", b); ("b", a); ("cin", 0) ])
+
+let adder_cases =
+  List.concat_map
+    (fun ((name, _) as entry) ->
+      [
+        Alcotest.test_case (name ^ " exhaustive w1-4") `Quick (test_adder_exhaustive entry);
+        Alcotest.test_case (name ^ " random w16") `Quick (test_adder_random16 entry);
+        Alcotest.test_case (name ^ " odd widths") `Quick (test_adder_odd_widths entry);
+      ])
+    adders
+
+let mult_cases =
+  List.concat_map
+    (fun ((name, _) as entry) ->
+      [
+        Alcotest.test_case (name ^ " exhaustive w1-4") `Quick (test_mult_exhaustive entry);
+        Alcotest.test_case (name ^ " random w8") `Quick (test_mult_random8 entry);
+      ])
+    multipliers
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ("adders", adder_cases);
+      ("multipliers", mult_cases);
+      ( "other components",
+        [
+          Alcotest.test_case "subtractor exhaustive" `Quick test_subtractor;
+          Alcotest.test_case "comparator exhaustive" `Quick test_comparator;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "prefix faster than ripple" `Quick
+            test_prefix_adders_faster_than_ripple;
+          Alcotest.test_case "prefix bigger than ripple" `Quick
+            test_prefix_adders_bigger_than_ripple;
+          Alcotest.test_case "leapfrog shallower" `Quick
+            test_leapfrog_shallower_than_carry_save;
+          Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+          Alcotest.test_case "catalog builds" `Quick test_catalog_builds_all_widths;
+          Alcotest.test_case "width validation" `Quick test_width_validation;
+        ] );
+      ( "sim helpers",
+        [
+          Alcotest.test_case "split port" `Quick test_split_port;
+          Alcotest.test_case "missing binding" `Quick test_sim_missing_binding;
+          Alcotest.test_case "unknown binding" `Quick test_sim_unknown_binding;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_adders_agree; prop_multipliers_agree; prop_adder_commutative ] );
+    ]

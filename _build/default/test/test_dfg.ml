@@ -1,0 +1,366 @@
+(* Tests for the data-flow-graph substrate: ops, graph construction and
+   validation, ASAP/ALAP analysis, DOT export, the textual format and
+   the benchmark graphs. *)
+
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+
+let unit_delay (_ : Dfg.node) = 1
+
+let delay_by_op (nd : Dfg.node) = match nd.op with Op.Mul -> 2 | _ -> 1
+
+(* --- Op --- *)
+
+let test_op_names () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (Op.name op) true (Op.of_name (Op.name op) = Some op);
+      Alcotest.(check bool) (Op.symbol op) true (Op.of_name (Op.symbol op) = Some op))
+    Op.all;
+  Alcotest.(check bool) "unknown" true (Op.of_name "frob" = None)
+
+let test_op_classes () =
+  Alcotest.(check bool) "add" true (Op.resource_class Op.Add = Resource.Add);
+  Alcotest.(check bool) "sub on adders" true (Op.resource_class Op.Sub = Resource.Add);
+  Alcotest.(check bool) "comp on adders" true (Op.resource_class Op.Comp = Resource.Add);
+  Alcotest.(check bool) "mul" true (Op.resource_class Op.Mul = Resource.Mul)
+
+(* --- Dfg construction --- *)
+
+let diamond () =
+  Dfg.create_exn ~name:"diamond"
+    ~nodes:[ ("a", Op.Add); ("b", Op.Add); ("c", Op.Mul); ("d", Op.Add) ]
+    ~edges:[ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ]
+
+let test_create_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Dfg.node_count g);
+  Alcotest.(check int) "edges" 4 (Dfg.edge_count g);
+  Alcotest.(check string) "name" "diamond" (Dfg.name g)
+
+let expect_error ~name ~nodes ~edges msg_part =
+  match Dfg.create ~name ~nodes ~edges with
+  | Ok _ -> Alcotest.fail ("expected error about " ^ msg_part)
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" e msg_part)
+      true
+      (let n = String.length msg_part and h = String.length e in
+       let rec go i = i + n <= h && (String.sub e i n = msg_part || go (i + 1)) in
+       go 0)
+
+let test_create_rejects_empty () = expect_error ~name:"e" ~nodes:[] ~edges:[] "at least one"
+
+let test_create_rejects_duplicates () =
+  expect_error ~name:"d" ~nodes:[ ("x", Op.Add); ("x", Op.Mul) ] ~edges:[] "duplicate"
+
+let test_create_rejects_unknown_edge () =
+  expect_error ~name:"u" ~nodes:[ ("x", Op.Add) ] ~edges:[ ("x", "y") ] "unknown"
+
+let test_create_rejects_self_edge () =
+  expect_error ~name:"s" ~nodes:[ ("x", Op.Add) ] ~edges:[ ("x", "x") ] "self-edge"
+
+let test_create_rejects_duplicate_edge () =
+  expect_error ~name:"de"
+    ~nodes:[ ("x", Op.Add); ("y", Op.Add) ]
+    ~edges:[ ("x", "y"); ("x", "y") ]
+    "duplicate edge"
+
+let test_create_rejects_cycle () =
+  expect_error ~name:"c"
+    ~nodes:[ ("x", Op.Add); ("y", Op.Add) ]
+    ~edges:[ ("x", "y"); ("y", "x") ]
+    "cycle"
+
+let test_preds_succs () =
+  let g = diamond () in
+  let id n = (Dfg.find_exn g n).id in
+  Alcotest.(check (list int)) "preds d" [ id "b"; id "c" ] (Dfg.preds g (id "d"));
+  Alcotest.(check (list int)) "succs a" [ id "b"; id "c" ] (Dfg.succs g (id "a"));
+  Alcotest.(check (list int)) "preds a" [] (Dfg.preds g (id "a"))
+
+let test_sources_sinks () =
+  let g = diamond () in
+  Alcotest.(check (list string)) "sources" [ "a" ]
+    (List.map (fun n -> n.Dfg.name) (Dfg.sources g));
+  Alcotest.(check (list string)) "sinks" [ "d" ]
+    (List.map (fun n -> n.Dfg.name) (Dfg.sinks g))
+
+let test_topological_valid () =
+  let g = diamond () in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "pred before node" true (Hashtbl.mem seen p))
+        (Dfg.preds g nd.id);
+      Hashtbl.add seen nd.id ())
+    (Dfg.topological g)
+
+let test_count_by_op () =
+  let g = diamond () in
+  Alcotest.(check bool) "3 adds" true (List.assoc Op.Add (Dfg.count_by_op g) = 3);
+  Alcotest.(check bool) "1 mul" true (List.assoc Op.Mul (Dfg.count_by_op g) = 1)
+
+(* --- Analysis --- *)
+
+let test_asap_diamond () =
+  let g = diamond () in
+  let id n = (Dfg.find_exn g n).id in
+  let starts = Analysis.asap g ~delay:delay_by_op in
+  Alcotest.(check int) "a" 0 starts.(id "a");
+  Alcotest.(check int) "b" 1 starts.(id "b");
+  Alcotest.(check int) "c" 1 starts.(id "c");
+  (* d waits for the multiply (2 cycles, start 1). *)
+  Alcotest.(check int) "d" 3 starts.(id "d")
+
+let test_asap_latency () =
+  let g = diamond () in
+  Alcotest.(check int) "latency" 4 (Analysis.asap_latency g ~delay:delay_by_op)
+
+let test_alap_diamond () =
+  let g = diamond () in
+  let id n = (Dfg.find_exn g n).id in
+  let starts = Analysis.alap g ~delay:delay_by_op ~latency:5 in
+  Alcotest.(check int) "d" 4 starts.(id "d");
+  Alcotest.(check int) "c" 2 starts.(id "c");
+  Alcotest.(check int) "b" 3 starts.(id "b");
+  Alcotest.(check int) "a" 1 starts.(id "a")
+
+let test_alap_infeasible () =
+  let g = diamond () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Analysis.alap g ~delay:delay_by_op ~latency:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mobility () =
+  let g = diamond () in
+  let id n = (Dfg.find_exn g n).id in
+  let r = Analysis.ranges g ~delay:delay_by_op ~latency:4 in
+  (* At the minimum latency everything on the a-c-d path is critical. *)
+  Alcotest.(check int) "a" 0 (Analysis.mobility r (id "a"));
+  Alcotest.(check int) "c" 0 (Analysis.mobility r (id "c"));
+  Alcotest.(check int) "d" 0 (Analysis.mobility r (id "d"));
+  Alcotest.(check int) "b slack" 1 (Analysis.mobility r (id "b"))
+
+let test_critical_path () =
+  let g = diamond () in
+  let path = Analysis.critical_path g ~delay:delay_by_op in
+  Alcotest.(check (list string)) "a c d" [ "a"; "c"; "d" ]
+    (List.map (fun n -> n.Dfg.name) path);
+  Alcotest.(check int) "path delay" 4 (Analysis.path_delay g ~delay:delay_by_op path)
+
+let test_ranges_contain_asap_alap () =
+  let g = Benchmarks.fir16 in
+  let r = Analysis.ranges g ~delay:delay_by_op ~latency:20 in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      Alcotest.(check bool) "asap<=alap" true (r.asap.(nd.id) <= r.alap.(nd.id)))
+    (Dfg.nodes g)
+
+let test_negative_delay_rejected () =
+  let g = diamond () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Analysis.asap g ~delay:(fun _ -> 0));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Dot --- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_dot_export () =
+  let g = diamond () in
+  let dot = Dot.to_dot g in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "labels" true (contains dot "+a");
+  Alcotest.(check bool) "edge" true (contains dot "->")
+
+let test_dot_with_steps () =
+  let g = diamond () in
+  let dot = Dot.to_dot ~step:(fun nd -> Some nd.Dfg.id) g in
+  Alcotest.(check bool) "rank groups" true (contains dot "rank=same");
+  Alcotest.(check bool) "step label" true (contains dot "@1")
+
+(* --- Parse --- *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun (_, g) ->
+      let text = Parse.to_text g in
+      let g' = Parse.of_text_exn text in
+      Alcotest.(check string) "name" (Dfg.name g) (Dfg.name g');
+      Alcotest.(check int) "nodes" (Dfg.node_count g) (Dfg.node_count g');
+      Alcotest.(check int) "edges" (Dfg.edge_count g) (Dfg.edge_count g');
+      List.iter
+        (fun (nd : Dfg.node) ->
+          let nd' = Dfg.find_exn g' nd.name in
+          Alcotest.(check bool) "op preserved" true (nd'.op = nd.op))
+        (Dfg.nodes g))
+    Benchmarks.all
+
+let test_parse_errors () =
+  let check_err text part =
+    match Parse.of_text text with
+    | Ok _ -> Alcotest.fail ("expected parse error for " ^ part)
+    | Error e -> Alcotest.(check bool) part true (contains e part)
+  in
+  check_err "node x add" "missing 'dfg";
+  check_err "dfg g\nnode x frob" "unknown op";
+  check_err "dfg g\nwhatever" "unrecognized";
+  check_err "dfg g\ndfg h\nnode x add" "duplicate dfg"
+
+let test_parse_comments_and_blanks () =
+  let g = Parse.of_text_exn "# a comment\n\ndfg tiny\nnode x add\n" in
+  Alcotest.(check int) "one node" 1 (Dfg.node_count g)
+
+(* --- Benchmarks --- *)
+
+let test_benchmark_shapes () =
+  let shape g = (Dfg.node_count g, Dfg.count_by_class g) in
+  let n, classes = shape Benchmarks.fir16 in
+  Alcotest.(check int) "fir16 ops" 23 n;
+  Alcotest.(check int) "fir16 adds" 15 (List.assoc Resource.Add classes);
+  Alcotest.(check int) "fir16 muls" 8 (List.assoc Resource.Mul classes);
+  let n, classes = shape Benchmarks.ewf in
+  Alcotest.(check int) "ewf ops" 25 n;
+  Alcotest.(check int) "ewf adds" 18 (List.assoc Resource.Add classes);
+  Alcotest.(check int) "ewf muls" 7 (List.assoc Resource.Mul classes);
+  let n, classes = shape Benchmarks.diffeq in
+  Alcotest.(check int) "diffeq ops" 11 n;
+  Alcotest.(check int) "diffeq adder-class" 5 (List.assoc Resource.Add classes);
+  Alcotest.(check int) "diffeq muls" 6 (List.assoc Resource.Mul classes);
+  Alcotest.(check int) "fig4 ops" 6 (Dfg.node_count Benchmarks.example_fig4)
+
+let test_fir16_slowest_latency () =
+  (* The paper's remark: with Adder 1 / Multiplier 1 only (2 cc each)
+     the minimum FIR latency is 18 cycles. *)
+  Alcotest.(check int) "18 cycles" 18
+    (Analysis.asap_latency Benchmarks.fir16 ~delay:(fun _ -> 2))
+
+let test_diffeq_fastest_latency () =
+  (* Minimum latency 5 with single-cycle units: the Table 2(c) grid
+     starts at Ld=5. *)
+  Alcotest.(check int) "5 cycles" 5
+    (Analysis.asap_latency Benchmarks.diffeq ~delay:unit_delay)
+
+let test_benchmark_lookup () =
+  Alcotest.(check bool) "fir16" true (Benchmarks.find "fir16" <> None);
+  Alcotest.(check bool) "nope" true (Benchmarks.find "nope" = None)
+
+(* --- properties --- *)
+
+let gen_dag =
+  (* Random DAG: n nodes, edges only from lower to higher index. *)
+  QCheck2.Gen.(
+    bind (int_range 1 12) (fun n ->
+        bind (list_size (int_range 0 (n * 2)) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+          (fun raw_edges ->
+            let nodes = List.init n (fun i -> (Printf.sprintf "n%d" i, Op.Add)) in
+            let edges =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun (a, b) ->
+                     if a < b then Some (Printf.sprintf "n%d" a, Printf.sprintf "n%d" b)
+                     else if b < a then
+                       Some (Printf.sprintf "n%d" b, Printf.sprintf "n%d" a)
+                     else None)
+                   raw_edges)
+            in
+            return (Dfg.create_exn ~name:"rand" ~nodes ~edges))))
+
+let prop_asap_respects_deps =
+  QCheck2.Test.make ~name:"ASAP respects dependencies" ~count:200 gen_dag (fun g ->
+      let starts = Analysis.asap g ~delay:unit_delay in
+      List.for_all
+        (fun (nd : Dfg.node) ->
+          List.for_all (fun p -> starts.(nd.id) >= starts.(p) + 1) (Dfg.preds g nd.id))
+        (Dfg.nodes g))
+
+let prop_alap_respects_deps =
+  QCheck2.Test.make ~name:"ALAP respects dependencies" ~count:200 gen_dag (fun g ->
+      let latency = Analysis.asap_latency g ~delay:unit_delay + 3 in
+      let starts = Analysis.alap g ~delay:unit_delay ~latency in
+      List.for_all
+        (fun (nd : Dfg.node) ->
+          List.for_all (fun p -> starts.(nd.id) >= starts.(p) + 1) (Dfg.preds g nd.id))
+        (Dfg.nodes g))
+
+let prop_asap_below_alap =
+  QCheck2.Test.make ~name:"ASAP <= ALAP at any feasible latency" ~count:200 gen_dag
+    (fun g ->
+      let latency = Analysis.asap_latency g ~delay:unit_delay + 2 in
+      let r = Analysis.ranges g ~delay:unit_delay ~latency in
+      List.for_all (fun (nd : Dfg.node) -> r.asap.(nd.id) <= r.alap.(nd.id)) (Dfg.nodes g))
+
+let prop_roundtrip_parse =
+  QCheck2.Test.make ~name:"parse roundtrip on random DAGs" ~count:100 gen_dag (fun g ->
+      let g' = Parse.of_text_exn (Parse.to_text g) in
+      Dfg.node_count g = Dfg.node_count g' && Dfg.edge_count g = Dfg.edge_count g')
+
+let () =
+  Alcotest.run "dfg"
+    [
+      ( "op",
+        [
+          Alcotest.test_case "names" `Quick test_op_names;
+          Alcotest.test_case "classes" `Quick test_op_classes;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "basic" `Quick test_create_basic;
+          Alcotest.test_case "rejects empty" `Quick test_create_rejects_empty;
+          Alcotest.test_case "rejects duplicates" `Quick test_create_rejects_duplicates;
+          Alcotest.test_case "rejects unknown edge" `Quick test_create_rejects_unknown_edge;
+          Alcotest.test_case "rejects self edge" `Quick test_create_rejects_self_edge;
+          Alcotest.test_case "rejects duplicate edge" `Quick
+            test_create_rejects_duplicate_edge;
+          Alcotest.test_case "rejects cycle" `Quick test_create_rejects_cycle;
+          Alcotest.test_case "preds/succs" `Quick test_preds_succs;
+          Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+          Alcotest.test_case "topological" `Quick test_topological_valid;
+          Alcotest.test_case "count by op" `Quick test_count_by_op;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "asap diamond" `Quick test_asap_diamond;
+          Alcotest.test_case "asap latency" `Quick test_asap_latency;
+          Alcotest.test_case "alap diamond" `Quick test_alap_diamond;
+          Alcotest.test_case "alap infeasible" `Quick test_alap_infeasible;
+          Alcotest.test_case "mobility" `Quick test_mobility;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "ranges sane on fir16" `Quick test_ranges_contain_asap_alap;
+          Alcotest.test_case "rejects zero delay" `Quick test_negative_delay_rejected;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "export" `Quick test_dot_export;
+          Alcotest.test_case "steps" `Quick test_dot_with_steps;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip benchmarks" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_parse_comments_and_blanks;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "shapes" `Quick test_benchmark_shapes;
+          Alcotest.test_case "fir16 slowest 18cc" `Quick test_fir16_slowest_latency;
+          Alcotest.test_case "diffeq fastest 5cc" `Quick test_diffeq_fastest_latency;
+          Alcotest.test_case "lookup" `Quick test_benchmark_lookup;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_asap_respects_deps; prop_alap_respects_deps; prop_asap_below_alap;
+            prop_roundtrip_parse;
+          ] );
+    ]

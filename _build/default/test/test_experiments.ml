@@ -1,0 +1,220 @@
+(* Integration tests: the sweep driver and the experiment generators.
+   These exercise the whole stack (library -> DFG -> scheduling ->
+   binding -> synthesis -> redundancy -> reporting) and pin down the
+   qualitative claims the reproduction must preserve. *)
+
+module Sweep = Rchls_experiments.Sweep
+module Experiments = Rchls_experiments.Experiments
+module Paper_data = Rchls_experiments.Paper_data
+module Benchmarks = Rchls_dfg.Benchmarks
+module Library = Rchls_charlib.Library
+
+let lib = Library.table1
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Sweep --- *)
+
+let test_sweep_grid_shape () =
+  let cells = Sweep.run Sweep.Ours Benchmarks.diffeq lib ~lds:[ 5; 6 ] ~ads:[ 11; 13 ] in
+  Alcotest.(check int) "4 cells" 4 (List.length cells);
+  ignore (Sweep.cell_at cells ~ld:5 ~ad:11);
+  Alcotest.(check bool) "missing cell raises" true
+    (try
+       ignore (Sweep.cell_at cells ~ld:9 ~ad:9);
+       false
+     with Not_found -> true)
+
+let monotone cells lds ads =
+  List.for_all
+    (fun ld ->
+      List.for_all
+        (fun ad ->
+          List.for_all
+            (fun ld' ->
+              List.for_all
+                (fun ad' ->
+                  if ld' <= ld && ad' <= ad then
+                    match
+                      ( (Sweep.cell_at cells ~ld ~ad).Sweep.reliability,
+                        (Sweep.cell_at cells ~ld:ld' ~ad:ad').Sweep.reliability )
+                    with
+                    | Some r, Some r' -> r >= r' -. 1e-12
+                    | Some _, None -> true
+                    | None, None -> true
+                    | None, Some _ -> false
+                  else true)
+                ads)
+            lds)
+        ads)
+    lds
+
+let test_sweep_envelope_monotone () =
+  List.iter
+    (fun (g, lds, ads) ->
+      List.iter
+        (fun approach ->
+          let cells = Sweep.run approach g lib ~lds ~ads in
+          Alcotest.(check bool) "monotone" true (monotone cells lds ads))
+        [ Sweep.Baseline; Sweep.Ours; Sweep.Combined ])
+    [
+      (Benchmarks.fir16, [ 10; 11; 12 ], [ 9; 11; 13 ]);
+      (Benchmarks.diffeq, [ 5; 6; 7 ], [ 7; 11; 15 ]);
+    ]
+
+let test_improvement_pct () =
+  Alcotest.(check (float 1e-9)) "+50%" 50. (Sweep.improvement_pct 0.5 0.75);
+  Alcotest.(check (float 1e-9)) "-20%" (-20.) (Sweep.improvement_pct 0.5 0.4)
+
+(* --- the paper's qualitative claims --- *)
+
+let test_ours_beats_baseline_at_tight_bounds () =
+  (* Table 2's headline: at the tightest (Ld, Ad) corner of each grid
+     our approach beats the redundancy baseline. *)
+  List.iter
+    (fun (g, ld, ad) ->
+      let ours = Sweep.run Sweep.Ours g lib ~lds:[ ld ] ~ads:[ ad ] in
+      let base = Sweep.run Sweep.Baseline g lib ~lds:[ ld ] ~ads:[ ad ] in
+      match
+        ( (Sweep.cell_at ours ~ld ~ad).Sweep.reliability,
+          (Sweep.cell_at base ~ld ~ad).Sweep.reliability )
+      with
+      | Some o, Some b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (%d,%d): %.5f > %.5f" (Rchls_dfg.Dfg.name g) ld ad o b)
+          true (o > b)
+      | Some _, None -> () (* baseline infeasible: ours wins by default *)
+      | None, _ -> Alcotest.fail "ours infeasible at a published tight cell")
+    [ (Benchmarks.fir16, 10, 9); (Benchmarks.ewf, 13, 9); (Benchmarks.diffeq, 5, 11) ]
+
+let test_baseline_catches_up_at_loose_area () =
+  (* The crossover: with a loose enough area bound the duplication
+     baseline closes the gap (negative cells appear in the paper too).
+     Check the gap shrinks between the tightest and loosest area. *)
+  let gap ad =
+    let ours = Sweep.run Sweep.Ours Benchmarks.fir16 lib ~lds:[ 10 ] ~ads:[ ad ] in
+    let base = Sweep.run Sweep.Baseline Benchmarks.fir16 lib ~lds:[ 10 ] ~ads:[ ad ] in
+    match
+      ( (Sweep.cell_at ours ~ld:10 ~ad).Sweep.reliability,
+        (Sweep.cell_at base ~ld:10 ~ad).Sweep.reliability )
+    with
+    | Some o, Some b -> o -. b
+    | Some o, None -> o
+    | _ -> Alcotest.fail "ours infeasible"
+  in
+  Alcotest.(check bool) "gap shrinks with looser area" true (gap 13 < gap 9)
+
+let test_combined_dominates_ours_on_average () =
+  let avg approach g rows =
+    let lds = List.sort_uniq compare (List.map (fun r -> r.Paper_data.ld) rows) in
+    let ads = List.sort_uniq compare (List.map (fun r -> r.Paper_data.ad) rows) in
+    let cells = Sweep.run approach g lib ~lds ~ads in
+    let vals =
+      List.filter_map
+        (fun (r : Paper_data.table2_row) ->
+          (Sweep.cell_at cells ~ld:r.ld ~ad:r.ad).Sweep.reliability)
+        rows
+    in
+    Rchls_util.Stats.mean vals
+  in
+  List.iter
+    (fun (g, rows) ->
+      Alcotest.(check bool) "combined >= ours" true
+        (avg Sweep.Combined g rows >= avg Sweep.Ours g rows -. 1e-12))
+    [ (Benchmarks.fir16, Paper_data.table2a_fir); (Benchmarks.diffeq, Paper_data.table2c_diffeq) ]
+
+let test_fig8_series_monotone () =
+  (* Figure 8: reliability rises with either bound. *)
+  let lds = List.map fst Paper_data.fig8a_latency in
+  let cells = Sweep.run Sweep.Ours Benchmarks.fir16 lib ~lds ~ads:[ 8 ] in
+  let series =
+    List.filter_map (fun ld -> (Sweep.cell_at cells ~ld ~ad:8).Sweep.reliability) lds
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in latency" true (increasing series)
+
+(* --- paper data self-checks --- *)
+
+let test_paper_data_shape () =
+  Alcotest.(check int) "9 FIR rows" 9 (List.length Paper_data.table2a_fir);
+  Alcotest.(check int) "9 EWF rows" 9 (List.length Paper_data.table2b_ewf);
+  Alcotest.(check int) "9 DiffEq rows" 9 (List.length Paper_data.table2c_diffeq);
+  List.iter
+    (fun (r : Paper_data.table2_row) ->
+      Alcotest.(check bool) "values in (0,1)" true
+        (r.ref3 > 0. && r.ref3 < 1. && r.ours > 0. && r.ours < 1. && r.combined > 0.
+        && r.combined < 1.))
+    (Paper_data.table2a_fir @ Paper_data.table2b_ewf @ Paper_data.table2c_diffeq)
+
+let test_paper_internal_consistency () =
+  (* The published FIR anchors decompose exactly over the Table-1
+     reliabilities — the checks that validated our model reverse-
+     engineering. *)
+  Alcotest.(check (float 5e-6)) "0.48467 = 0.969^23" 0.48467 (0.969 ** 23.);
+  Alcotest.(check (float 5e-6)) "0.82783 = 0.969^6" 0.82783 (0.969 ** 6.);
+  Alcotest.(check (float 5e-6)) "0.90713 = 0.999^3*0.969^3" 0.90713
+    ((0.999 ** 3.) *. (0.969 ** 3.));
+  Alcotest.(check (float 5e-6)) "0.78943 = 0.999^16*0.969^7" 0.78943
+    ((0.999 ** 16.) *. (0.969 ** 7.));
+  Alcotest.(check (float 5e-6)) "0.45509 = 0.969^25" 0.45509 (0.969 ** 25.)
+
+(* --- experiment generators --- *)
+
+let test_generators_produce_tables () =
+  (* The quick generators must run and mention their own captions; the
+     heavyweight sweeps are covered by the bench run. *)
+  let quick = [ "table1"; "fig2"; "fig5"; "fig7" ] in
+  List.iter
+    (fun id ->
+      let f = List.assoc id Experiments.all in
+      let out = f () in
+      Alcotest.(check bool) (id ^ " non-empty") true (String.length out > 100))
+    quick
+
+let test_table1_generator_exact () =
+  let out = Experiments.table1 () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains out needle))
+    [ "0.99900"; "0.96900"; "0.98702"; "Adder 3"; "Multiplier 2"; "59.460e-21" ]
+
+let test_fig5_reports_paper_value () =
+  let out = Experiments.fig5 () in
+  Alcotest.(check bool) "0.82783 present" true (contains out "0.82783")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "grid shape" `Quick test_sweep_grid_shape;
+          Alcotest.test_case "envelope monotone" `Slow test_sweep_envelope_monotone;
+          Alcotest.test_case "improvement pct" `Quick test_improvement_pct;
+        ] );
+      ( "paper claims",
+        [
+          Alcotest.test_case "ours wins at tight bounds" `Slow
+            test_ours_beats_baseline_at_tight_bounds;
+          Alcotest.test_case "baseline catches up" `Slow
+            test_baseline_catches_up_at_loose_area;
+          Alcotest.test_case "combined dominates" `Slow
+            test_combined_dominates_ours_on_average;
+          Alcotest.test_case "fig8 monotone" `Slow test_fig8_series_monotone;
+        ] );
+      ( "paper data",
+        [
+          Alcotest.test_case "shape" `Quick test_paper_data_shape;
+          Alcotest.test_case "internal consistency" `Quick test_paper_internal_consistency;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "produce tables" `Slow test_generators_produce_tables;
+          Alcotest.test_case "table1 exact" `Quick test_table1_generator_exact;
+          Alcotest.test_case "fig5 paper value" `Slow test_fig5_reports_paper_value;
+        ] );
+    ]

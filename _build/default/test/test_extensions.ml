@@ -1,0 +1,205 @@
+(* Tests for the future-work extensions: alternate optimization
+   objectives and pipelined (modulo) scheduling. *)
+
+open Rchls_dfg
+module Library = Rchls_charlib.Library
+module Resource = Rchls_charlib.Resource
+module Design = Rchls_core.Design
+module Objectives = Rchls_core.Objectives
+module Pipeline = Rchls_sched.Pipeline
+
+let lib = Library.table1
+let unit_delay (_ : Dfg.node) = 1
+let delay_by_op (nd : Dfg.node) = match nd.op with Op.Mul -> 2 | _ -> 1
+
+(* --- Objectives: minimize area --- *)
+
+let test_min_area_meets_targets () =
+  match Objectives.minimize_area Benchmarks.diffeq lib ~ld:7 ~rmin:0.75 with
+  | Error f -> Alcotest.failf "failed: %a" Objectives.pp_failure f
+  | Ok d ->
+    Alcotest.(check bool) "latency" true (Design.latency d <= 7);
+    Alcotest.(check bool) "reliability" true (Design.reliability d >= 0.75 -. 1e-9)
+
+let test_min_area_is_minimal_on_grid () =
+  (* No smaller area bound admits a design meeting the target. *)
+  let rmin = 0.75 and ld = 7 in
+  match Objectives.minimize_area Benchmarks.diffeq lib ~ld ~rmin with
+  | Error f -> Alcotest.failf "failed: %a" Objectives.pp_failure f
+  | Ok d ->
+    let a = Design.area d in
+    for ad = 1 to a - 1 do
+      match Rchls_core.Reliability_centric.synthesize Benchmarks.diffeq lib ~ld ~ad with
+      | Ok d' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ad=%d misses target" ad)
+          true
+          (Design.reliability d' < rmin)
+      | Error _ -> ()
+    done
+
+let test_min_area_unreachable_target () =
+  (* Reliability 1.0 is unreachable with imperfect components. *)
+  Alcotest.(check bool) "no design" true
+    (Result.is_error (Objectives.minimize_area Benchmarks.diffeq lib ~ld:7 ~rmin:1.0))
+
+let test_min_area_invalid_args () =
+  Alcotest.(check bool) "ld" true
+    (try
+       ignore (Objectives.minimize_area Benchmarks.diffeq lib ~ld:0 ~rmin:0.9);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rmin" true
+    (try
+       ignore (Objectives.minimize_area Benchmarks.diffeq lib ~ld:7 ~rmin:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Objectives: minimize latency --- *)
+
+let test_min_latency_meets_targets () =
+  match Objectives.minimize_latency Benchmarks.diffeq lib ~ad:13 ~rmin:0.8 with
+  | Error f -> Alcotest.failf "failed: %a" Objectives.pp_failure f
+  | Ok d ->
+    Alcotest.(check bool) "area" true (Design.area d <= 13);
+    Alcotest.(check bool) "reliability" true (Design.reliability d >= 0.8 -. 1e-9)
+
+let test_min_latency_tradeoff () =
+  (* A stricter reliability target can only lengthen the schedule. *)
+  let latency rmin =
+    match Objectives.minimize_latency Benchmarks.fir16 lib ~ad:10 ~rmin with
+    | Ok d -> Design.latency d
+    | Error _ -> max_int
+  in
+  Alcotest.(check bool) "0.5 target fast" true (latency 0.5 <= latency 0.75);
+  Alcotest.(check bool) "0.75 target" true (latency 0.75 <= latency 0.85)
+
+let test_min_latency_unreachable () =
+  (* Area 2 cannot host both an adder and a multiplier. *)
+  Alcotest.(check bool) "no design" true
+    (Result.is_error (Objectives.minimize_latency Benchmarks.fir16 lib ~ad:2 ~rmin:0.9))
+
+(* --- Pipeline --- *)
+
+let test_pipeline_basic () =
+  match Pipeline.run Benchmarks.fir16 ~delay:unit_delay ~ii:2 ~latency:12 with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check bool) "fits" true
+      (Rchls_sched.Schedule.latency p.Pipeline.schedule <= 12);
+    Alcotest.(check int) "ii" 2 p.Pipeline.ii
+
+let test_pipeline_rejects_bad_args () =
+  Alcotest.(check bool) "ii 0" true
+    (Result.is_error (Pipeline.run Benchmarks.fir16 ~delay:unit_delay ~ii:0 ~latency:12));
+  Alcotest.(check bool) "latency too small" true
+    (Result.is_error (Pipeline.run Benchmarks.fir16 ~delay:unit_delay ~ii:2 ~latency:3))
+
+let test_pipeline_instances_vs_ii () =
+  (* Smaller initiation intervals need more steady-state units. *)
+  let instances ii =
+    match Pipeline.run Benchmarks.fir16 ~delay:unit_delay ~ii ~latency:12 with
+    | Error e -> Alcotest.fail e
+    | Ok p ->
+      List.fold_left (fun acc (_, c) -> acc + c) 0
+        (Pipeline.instances_required p ~key:(fun (nd : Dfg.node) ->
+             Op.resource_class nd.op))
+  in
+  Alcotest.(check bool) "ii=1 needs most" true (instances 1 >= instances 3);
+  Alcotest.(check bool) "ii=3 needs more than ii=12" true (instances 3 >= instances 12)
+
+let test_pipeline_ii1_needs_all () =
+  (* With ii = 1 every operation occupies its own slot: unit count per
+     class equals busy cycles per class. *)
+  match Pipeline.run Benchmarks.diffeq ~delay:unit_delay ~ii:1 ~latency:8 with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    let counts =
+      Pipeline.instances_required p ~key:(fun (nd : Dfg.node) -> Op.resource_class nd.op)
+    in
+    Alcotest.(check int) "adder-class" 5 (List.assoc Resource.Add counts);
+    Alcotest.(check int) "multipliers" 6 (List.assoc Resource.Mul counts)
+
+let test_pipeline_equals_sequential_at_full_ii () =
+  (* ii >= latency: the modulo constraint is vacuous, instance needs
+     match the plain schedule's max concurrency. *)
+  match Pipeline.run Benchmarks.diffeq ~delay:delay_by_op ~ii:20 ~latency:10 with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    let modulo =
+      Pipeline.instances_required p ~key:(fun (nd : Dfg.node) -> Op.resource_class nd.op)
+    in
+    let plain =
+      Rchls_sched.Schedule.max_concurrency p.Pipeline.schedule ~key:(fun (nd : Dfg.node) ->
+          Op.resource_class nd.op)
+    in
+    List.iter
+      (fun (k, c) -> Alcotest.(check int) "same" c (List.assoc k modulo))
+      plain
+
+let test_throughput_speedup () =
+  match Pipeline.run Benchmarks.fir16 ~delay:unit_delay ~ii:3 ~latency:12 with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check (float 1e-9)) "latency/ii"
+      (float_of_int (Rchls_sched.Schedule.latency p.Pipeline.schedule) /. 3.)
+      (Pipeline.throughput_speedup p)
+
+(* --- properties --- *)
+
+let prop_pipeline_schedules_valid =
+  QCheck2.Test.make ~name:"pipeline schedules respect dependences" ~count:60
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 0 4))
+    (fun (ii, slack) ->
+      let g = Benchmarks.diffeq in
+      let latency = Rchls_dfg.Analysis.asap_latency g ~delay:delay_by_op + slack in
+      match Pipeline.run g ~delay:delay_by_op ~ii ~latency with
+      | Error _ -> false
+      | Ok p ->
+        let s = p.Pipeline.schedule in
+        List.for_all
+          (fun (nd : Dfg.node) ->
+            List.for_all
+              (fun pr ->
+                Rchls_sched.Schedule.start s nd.id >= Rchls_sched.Schedule.finish s pr)
+              (Dfg.preds g nd.id))
+          (Dfg.nodes g))
+
+let prop_min_area_result_meets_target =
+  QCheck2.Test.make ~name:"minimize_area honours the reliability target" ~count:30
+    QCheck2.Gen.(pair (int_range 5 9) (float_range 0.5 0.9))
+    (fun (ld, rmin) ->
+      match Objectives.minimize_area Benchmarks.diffeq lib ~ld ~rmin with
+      | Error _ -> true
+      | Ok d -> Design.latency d <= ld && Design.reliability d >= rmin -. 1e-9)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "minimize area",
+        [
+          Alcotest.test_case "meets targets" `Quick test_min_area_meets_targets;
+          Alcotest.test_case "minimal on grid" `Quick test_min_area_is_minimal_on_grid;
+          Alcotest.test_case "unreachable target" `Quick test_min_area_unreachable_target;
+          Alcotest.test_case "invalid args" `Quick test_min_area_invalid_args;
+        ] );
+      ( "minimize latency",
+        [
+          Alcotest.test_case "meets targets" `Quick test_min_latency_meets_targets;
+          Alcotest.test_case "tradeoff" `Quick test_min_latency_tradeoff;
+          Alcotest.test_case "unreachable" `Quick test_min_latency_unreachable;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "basic" `Quick test_pipeline_basic;
+          Alcotest.test_case "rejects bad args" `Quick test_pipeline_rejects_bad_args;
+          Alcotest.test_case "instances vs ii" `Quick test_pipeline_instances_vs_ii;
+          Alcotest.test_case "ii=1 needs all" `Quick test_pipeline_ii1_needs_all;
+          Alcotest.test_case "full ii = sequential" `Quick
+            test_pipeline_equals_sequential_at_full_ii;
+          Alcotest.test_case "throughput" `Quick test_throughput_speedup;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pipeline_schedules_valid; prop_min_area_result_meets_target ] );
+    ]

@@ -1,0 +1,398 @@
+(* Tests for the gate-level netlist substrate: gate semantics, builder
+   invariants, simulation, fault flips, timing and Verilog emission. *)
+
+open Rchls_netlist
+
+(* --- Gate --- *)
+
+let bools_of_int arity v = Array.init arity (fun i -> (v lsr i) land 1 = 1)
+
+let reference_eval (k : Gate.kind) (ins : bool array) =
+  match k with
+  | Inv -> not ins.(0)
+  | Buf -> ins.(0)
+  | And2 -> ins.(0) && ins.(1)
+  | Nand2 -> not (ins.(0) && ins.(1))
+  | Or2 -> ins.(0) || ins.(1)
+  | Nor2 -> not (ins.(0) || ins.(1))
+  | Xor2 -> ins.(0) <> ins.(1)
+  | Xnor2 -> ins.(0) = ins.(1)
+  | And3 -> ins.(0) && ins.(1) && ins.(2)
+  | Nand3 -> not (ins.(0) && ins.(1) && ins.(2))
+  | Or3 -> ins.(0) || ins.(1) || ins.(2)
+  | Nor3 -> not (ins.(0) || ins.(1) || ins.(2))
+  | Mux2 -> if ins.(0) then ins.(2) else ins.(1)
+  | Maj3 ->
+    let n = List.length (List.filter Fun.id (Array.to_list ins)) in
+    n >= 2
+
+let test_gate_truth_tables () =
+  List.iter
+    (fun k ->
+      let a = Gate.arity k in
+      for v = 0 to (1 lsl a) - 1 do
+        let ins = bools_of_int a v in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s(%d)" (Gate.name k) v)
+          (reference_eval k ins) (Gate.eval k ins)
+      done)
+    Gate.all
+
+let test_gate_arity_check () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Gate.eval Gate.And2 [| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gate_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match Gate.of_name (Gate.name k) with
+      | Some k' -> Alcotest.(check bool) (Gate.name k) true (k = k')
+      | None -> Alcotest.fail ("of_name failed for " ^ Gate.name k))
+    Gate.all;
+  Alcotest.(check bool) "unknown" true (Gate.of_name "FROB" = None)
+
+let test_gate_parameters_positive () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "area > 0" true (Gate.area k > 0.);
+      Alcotest.(check bool) "cap > 0" true (Gate.input_capacitance k > 0.);
+      Alcotest.(check bool) "ocap > 0" true (Gate.output_capacitance k > 0.);
+      Alcotest.(check bool) "delay > 0" true (Gate.intrinsic_delay k > 0.);
+      Alcotest.(check bool) "load factor > 0" true (Gate.load_delay_factor k > 0.))
+    Gate.all
+
+(* --- Netlist builder --- *)
+
+let tiny_and () =
+  let b = Netlist.builder "tiny_and" in
+  let x = Netlist.input b "x" in
+  let y = Netlist.input b "y" in
+  let z = Netlist.add_gate b Gate.And2 [ x; y ] in
+  Netlist.output b "z" z;
+  Netlist.finalize b
+
+let test_builder_basic () =
+  let nl = tiny_and () in
+  Alcotest.(check int) "gates" 1 (Netlist.gate_count nl);
+  Alcotest.(check int) "nets" 3 (Netlist.net_count nl);
+  Alcotest.(check string) "name" "tiny_and" (Netlist.name nl)
+
+let test_builder_no_outputs () =
+  let b = Netlist.builder "empty" in
+  ignore (Netlist.input b "x");
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netlist.finalize b);
+       false
+     with Failure _ -> true)
+
+let test_builder_duplicate_output_names () =
+  let b = Netlist.builder "dup" in
+  let x = Netlist.input b "x" in
+  Netlist.output b "o" x;
+  Netlist.output b "o" x;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netlist.finalize b);
+       false
+     with Failure _ -> true)
+
+let test_builder_arity_mismatch () =
+  let b = Netlist.builder "bad" in
+  let x = Netlist.input b "x" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netlist.add_gate b Gate.And2 [ x ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_unknown_net () =
+  let b = Netlist.builder "bad" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netlist.add_gate b Gate.Inv [ 99 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_constants_dedup () =
+  let b = Netlist.builder "c" in
+  let t1 = Netlist.constant b true in
+  let t2 = Netlist.constant b true in
+  let f1 = Netlist.constant b false in
+  Alcotest.(check int) "true dedup" t1 t2;
+  Alcotest.(check bool) "true <> false" true (t1 <> f1);
+  let g = Netlist.add_gate b Gate.And2 [ t1; f1 ] in
+  Netlist.output b "o" g;
+  let nl = Netlist.finalize b in
+  Alcotest.(check int) "two constants" 2 (List.length (Netlist.constants nl))
+
+let test_driver_fanout () =
+  let nl = tiny_and () in
+  let x = Netlist.find_input nl "x" in
+  let z = Netlist.find_output nl "z" in
+  Alcotest.(check bool) "input has no driver" true (Netlist.driver nl x = None);
+  (match Netlist.driver nl z with
+  | Some g -> Alcotest.(check bool) "AND drives z" true (g.kind = Gate.And2)
+  | None -> Alcotest.fail "z should be driven");
+  Alcotest.(check int) "x read by one gate" 1 (List.length (Netlist.fanout nl x));
+  Alcotest.(check int) "z fanout counts output pin" 1 (Netlist.fanout_count nl z)
+
+let test_area_depth () =
+  let nl = tiny_and () in
+  Alcotest.(check (float 1e-9)) "area" (Gate.area Gate.And2) (Netlist.area nl);
+  Alcotest.(check int) "depth" 1 (Netlist.logic_depth nl)
+
+let test_topological_order () =
+  (* A 4-stage inverter chain must appear in dependency order. *)
+  let b = Netlist.builder "chain" in
+  let x = Netlist.input b "x" in
+  let n1 = Netlist.add_gate b Gate.Inv [ x ] in
+  let n2 = Netlist.add_gate b Gate.Inv [ n1 ] in
+  let n3 = Netlist.add_gate b Gate.Inv [ n2 ] in
+  Netlist.output b "o" n3;
+  let nl = Netlist.finalize b in
+  let seen = Hashtbl.create 8 in
+  Hashtbl.add seen x ();
+  Array.iter
+    (fun (g : Netlist.instance) ->
+      Array.iter
+        (fun n ->
+          Alcotest.(check bool) "fanin already defined" true (Hashtbl.mem seen n))
+        g.fanins;
+      Hashtbl.add seen g.out ())
+    (Netlist.gates nl);
+  Alcotest.(check int) "depth 3" 3 (Netlist.logic_depth nl)
+
+(* --- Eval --- *)
+
+let test_eval_and () =
+  let nl = tiny_and () in
+  let cases = [ (false, false, false); (true, false, false); (false, true, false); (true, true, true) ] in
+  List.iter
+    (fun (x, y, expect) ->
+      let out = Eval.eval nl [| x; y |] in
+      Alcotest.(check bool) "and" expect out.(0))
+    cases
+
+let test_eval_input_mismatch () =
+  let nl = tiny_and () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Eval.eval nl [| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_with_flip_gate_output () =
+  (* Flipping the AND output inverts the result seen at the output. *)
+  let nl = tiny_and () in
+  let st = Eval.create nl in
+  let z = Netlist.find_output nl "z" in
+  let normal = Eval.run st [| true; true |] in
+  let flipped = Eval.run_with_flip st [| true; true |] ~flip_net:z in
+  Alcotest.(check bool) "normal true" true normal.(0);
+  Alcotest.(check bool) "flip observed" false flipped.(0)
+
+let test_eval_with_flip_masked () =
+  (* out = (x AND y) OR y : with y=1 a flip on the AND output is
+     logically masked. *)
+  let b = Netlist.builder "masked" in
+  let x = Netlist.input b "x" in
+  let y = Netlist.input b "y" in
+  let a = Netlist.add_gate b Gate.And2 [ x; y ] in
+  let o = Netlist.add_gate b Gate.Or2 [ a; y ] in
+  Netlist.output b "o" o;
+  let nl = Netlist.finalize b in
+  let st = Eval.create nl in
+  let flipped = Eval.run_with_flip st [| true; true |] ~flip_net:a in
+  Alcotest.(check bool) "masked" true flipped.(0)
+
+let test_eval_with_flip_input () =
+  let nl = tiny_and () in
+  let st = Eval.create nl in
+  let x = Netlist.find_input nl "x" in
+  let flipped = Eval.run_with_flip st [| true; true |] ~flip_net:x in
+  Alcotest.(check bool) "input flip propagates" false flipped.(0)
+
+let test_net_value () =
+  let nl = tiny_and () in
+  let st = Eval.create nl in
+  ignore (Eval.run st [| true; false |]);
+  let x = Netlist.find_input nl "x" in
+  Alcotest.(check bool) "x seen" true (Eval.net_value st x)
+
+let test_net_value_before_run () =
+  let nl = tiny_and () in
+  let st = Eval.create nl in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Eval.net_value st 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Delay --- *)
+
+let test_delay_monotone_in_depth () =
+  let chain n =
+    let b = Netlist.builder "chain" in
+    let x = Netlist.input b "x" in
+    let rec go net i = if i = 0 then net else go (Netlist.add_gate b Gate.Inv [ net ]) (i - 1) in
+    Netlist.output b "o" (go x n);
+    Netlist.finalize b
+  in
+  let d2 = Delay.critical_path_ps (chain 2) in
+  let d8 = Delay.critical_path_ps (chain 8) in
+  Alcotest.(check bool) "longer chain is slower" true (d8 > d2);
+  Alcotest.(check bool) "positive" true (d2 > 0.)
+
+let test_delay_fanout_load () =
+  (* The same inverter driving 8 loads must be slower than driving 1. *)
+  let fan n =
+    let b = Netlist.builder "fan" in
+    let x = Netlist.input b "x" in
+    let inv = Netlist.add_gate b Gate.Inv [ x ] in
+    for i = 0 to n - 1 do
+      let g = Netlist.add_gate b Gate.Buf [ inv ] in
+      Netlist.output b (Printf.sprintf "o%d" i) g
+    done;
+    Netlist.finalize b
+  in
+  let nl1 = fan 1 and nl8 = fan 8 in
+  let inv_out nl = (Array.get (Netlist.gates nl) 0).Netlist.out in
+  let a1 = (Delay.analyze nl1).arrival.(inv_out nl1) in
+  let a8 = (Delay.analyze nl8).arrival.(inv_out nl8) in
+  Alcotest.(check bool) "loaded inverter slower" true (a8 > a1)
+
+let test_load_capacitance_positive () =
+  let nl = tiny_and () in
+  for n = 0 to Netlist.net_count nl - 1 do
+    Alcotest.(check bool) "positive cap" true (Delay.load_capacitance nl n > 0.)
+  done
+
+let test_critical_path_nets () =
+  let b = Netlist.builder "cp" in
+  let x = Netlist.input b "x" in
+  let n1 = Netlist.add_gate b Gate.Inv [ x ] in
+  let n2 = Netlist.add_gate b Gate.Inv [ n1 ] in
+  Netlist.output b "o" n2;
+  let nl = Netlist.finalize b in
+  let path = Delay.critical_path_nets nl in
+  Alcotest.(check (list int)) "path" [ x; n1; n2 ] path
+
+(* --- Verilog --- *)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_verilog_structure () =
+  let nl = tiny_and () in
+  let v = Verilog.to_string nl in
+  Alcotest.(check bool) "module" true (contains_substring v "module tiny_and(");
+  Alcotest.(check bool) "input" true (contains_substring v "input x;");
+  Alcotest.(check bool) "output" true (contains_substring v "output z;");
+  Alcotest.(check bool) "endmodule" true (contains_substring v "endmodule")
+
+let test_verilog_all_kinds_emit () =
+  (* One gate of every kind; emission must mention every gate id. *)
+  let b = Netlist.builder "all_kinds" in
+  let x = Netlist.input b "x" in
+  let y = Netlist.input b "y" in
+  let z = Netlist.input b "z" in
+  List.iteri
+    (fun i k ->
+      let ins =
+        match Gate.arity k with 1 -> [ x ] | 2 -> [ x; y ] | _ -> [ x; y; z ]
+      in
+      let o = Netlist.add_gate b k ins in
+      Netlist.output b (Printf.sprintf "o%d" i) o)
+    Gate.all;
+  let nl = Netlist.finalize b in
+  let v = Verilog.to_string nl in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Gate.name k) true (contains_substring v (Gate.name k)))
+    Gate.all
+
+(* --- properties --- *)
+
+let gen_kind = QCheck2.Gen.oneofl Gate.all
+
+let prop_demorgan =
+  QCheck2.Test.make ~name:"NAND = INV of AND (semantics)" ~count:100
+    QCheck2.Gen.(pair bool bool)
+    (fun (a, b) ->
+      Gate.eval Gate.Nand2 [| a; b |] = not (Gate.eval Gate.And2 [| a; b |]))
+
+let prop_double_flip_identity =
+  (* Flipping the same net during two separate runs yields the same
+     outputs both times (determinism of the flip machinery). *)
+  QCheck2.Test.make ~name:"flip determinism" ~count:100
+    QCheck2.Gen.(pair bool bool)
+    (fun (x, y) ->
+      let nl = tiny_and () in
+      let st = Eval.create nl in
+      let z = Netlist.find_output nl "z" in
+      let a = Eval.run_with_flip st [| x; y |] ~flip_net:z in
+      let b = Eval.run_with_flip st [| x; y |] ~flip_net:z in
+      a = b)
+
+let prop_gate_eval_total =
+  QCheck2.Test.make ~name:"gate eval total over truth table" ~count:200
+    QCheck2.Gen.(pair gen_kind (int_bound 7))
+    (fun (k, v) ->
+      let ins = bools_of_int (Gate.arity k) (v land ((1 lsl Gate.arity k) - 1)) in
+      let r = Gate.eval k ins in
+      r || not r)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_truth_tables;
+          Alcotest.test_case "arity check" `Quick test_gate_arity_check;
+          Alcotest.test_case "name roundtrip" `Quick test_gate_names_roundtrip;
+          Alcotest.test_case "parameters positive" `Quick test_gate_parameters_positive;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "no outputs" `Quick test_builder_no_outputs;
+          Alcotest.test_case "duplicate outputs" `Quick test_builder_duplicate_output_names;
+          Alcotest.test_case "arity mismatch" `Quick test_builder_arity_mismatch;
+          Alcotest.test_case "unknown net" `Quick test_builder_unknown_net;
+          Alcotest.test_case "constant dedup" `Quick test_constants_dedup;
+          Alcotest.test_case "driver/fanout" `Quick test_driver_fanout;
+          Alcotest.test_case "area/depth" `Quick test_area_depth;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "and table" `Quick test_eval_and;
+          Alcotest.test_case "input mismatch" `Quick test_eval_input_mismatch;
+          Alcotest.test_case "flip gate output" `Quick test_eval_with_flip_gate_output;
+          Alcotest.test_case "flip masked" `Quick test_eval_with_flip_masked;
+          Alcotest.test_case "flip input" `Quick test_eval_with_flip_input;
+          Alcotest.test_case "net value" `Quick test_net_value;
+          Alcotest.test_case "net value before run" `Quick test_net_value_before_run;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "monotone in depth" `Quick test_delay_monotone_in_depth;
+          Alcotest.test_case "fanout load" `Quick test_delay_fanout_load;
+          Alcotest.test_case "positive caps" `Quick test_load_capacitance_positive;
+          Alcotest.test_case "critical path nets" `Quick test_critical_path_nets;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "structure" `Quick test_verilog_structure;
+          Alcotest.test_case "all kinds" `Quick test_verilog_all_kinds_emit;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_demorgan; prop_double_flip_identity; prop_gate_eval_total ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the RTL back-end: datapath derivation (registers, muxes),
+   the register/mux-aware cost model and Verilog emission. *)
+
+open Rchls_dfg
+module Library = Rchls_charlib.Library
+module Design = Rchls_core.Design
+module Datapath = Rchls_rtl.Datapath
+module Cost = Rchls_rtl.Cost
+module Emit = Rchls_rtl.Emit
+
+let lib = Library.table1
+
+let design_of ?(latency = 12) g =
+  let assignment (nd : Dfg.node) = Library.most_reliable lib (Op.resource_class nd.op) in
+  Design.realize_exn g lib ~assignment ~latency
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Datapath --- *)
+
+let test_one_value_per_operation () =
+  let d = design_of Benchmarks.example_fig4 in
+  let dp = Datapath.build d in
+  Alcotest.(check int) "6 values" 6 (List.length dp.Datapath.values);
+  List.iter
+    (fun (nd : Dfg.node) -> ignore (Datapath.value_of dp nd.id))
+    (Dfg.nodes Benchmarks.example_fig4)
+
+let test_registers_cover_liveness () =
+  List.iter
+    (fun (name, g) ->
+      let d = design_of ~latency:(2 * Dfg.node_count g) g in
+      let dp = Datapath.build d in
+      Alcotest.(check bool)
+        (name ^ ": registers >= max live")
+        true
+        (dp.Datapath.register_count >= Datapath.max_live dp);
+      Alcotest.(check bool)
+        (name ^ ": registers <= values")
+        true
+        (dp.Datapath.register_count <= List.length dp.Datapath.values))
+    Benchmarks.all
+
+let test_register_sharing_no_conflict () =
+  let g = Benchmarks.fir16 in
+  let d = design_of ~latency:24 g in
+  let dp = Datapath.build d in
+  (* Two values on the same register must have disjoint lifetimes. *)
+  let values = dp.Datapath.values in
+  List.iter
+    (fun (a : Datapath.value) ->
+      List.iter
+        (fun (b : Datapath.value) ->
+          if a.producer < b.producer && a.register = b.register then
+            Alcotest.(check bool)
+              (Printf.sprintf "values %d/%d disjoint" a.producer b.producer)
+              true
+              (a.dies < b.born || b.dies < a.born))
+        values)
+    values
+
+let test_lifetime_semantics () =
+  let g = Benchmarks.example_fig4 in
+  let d = design_of g in
+  let dp = Datapath.build d in
+  let sched = Design.schedule d in
+  List.iter
+    (fun (v : Datapath.value) ->
+      Alcotest.(check int) "born at producer finish"
+        (Rchls_sched.Schedule.finish sched v.producer)
+        v.born;
+      Alcotest.(check bool) "dies after born" true (v.dies >= v.born))
+    dp.Datapath.values
+
+let test_mux_on_shared_unit () =
+  (* A chain of 3 adds shares one unit whose ports see different
+     registers: muxes must appear. *)
+  let g =
+    Dfg.create_exn ~name:"chain"
+      ~nodes:[ ("a", Op.Add); ("b", Op.Add); ("c", Op.Add) ]
+      ~edges:[ ("a", "b"); ("b", "c") ]
+  in
+  let add2 = Library.find_exn lib "add2" in
+  let d = Design.realize_exn g lib ~assignment:(fun _ -> add2) ~latency:3 in
+  let dp = Datapath.build d in
+  Alcotest.(check bool) "mux inputs > 0" true (dp.Datapath.mux_inputs > 0)
+
+let test_no_mux_on_private_units () =
+  (* Two independent ops on two private units: every port has one
+     source, no muxes. *)
+  let g = Dfg.create_exn ~name:"par" ~nodes:[ ("a", Op.Add); ("b", Op.Add) ] ~edges:[] in
+  let add2 = Library.find_exn lib "add2" in
+  let d = Design.realize_exn g lib ~assignment:(fun _ -> add2) ~latency:1 in
+  let dp = Datapath.build d in
+  Alcotest.(check int) "no mux" 0 dp.Datapath.mux_inputs
+
+(* --- Cost --- *)
+
+let test_cost_breakdown () =
+  let d = design_of Benchmarks.diffeq ~latency:10 in
+  let dp = Datapath.build d in
+  let b = Cost.evaluate dp in
+  Alcotest.(check int) "fu area matches design" (Design.area d) b.Cost.fu_area;
+  Alcotest.(check bool) "total >= fu area" true (b.Cost.total >= float_of_int b.Cost.fu_area);
+  Alcotest.(check (float 1e-9)) "components sum" b.Cost.total
+    (float_of_int b.Cost.fu_area +. b.Cost.register_area +. b.Cost.mux_area)
+
+let test_cost_weights () =
+  let d = design_of Benchmarks.example_fig4 in
+  let dp = Datapath.build d in
+  let free = Cost.evaluate ~weights:{ Cost.register_cost = 0.; mux_input_cost = 0. } dp in
+  Alcotest.(check (float 1e-9)) "zero weights = fu area"
+    (float_of_int free.Cost.fu_area) free.Cost.total
+
+(* --- Emit --- *)
+
+let test_emit_structure () =
+  let d = design_of Benchmarks.diffeq ~latency:10 in
+  let dp = Datapath.build d in
+  let v = Emit.to_string dp in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains v needle))
+    [
+      "module diffeq"; "input clk"; "always @(posedge clk)"; "endmodule"; "step";
+      "r0";
+    ]
+
+let test_emit_has_outputs_for_sinks () =
+  let g = Benchmarks.diffeq in
+  let d = design_of g ~latency:10 in
+  let v = Emit.to_string (Datapath.build d) in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      Alcotest.(check bool) ("output " ^ nd.name) true (contains v ("out_" ^ nd.name)))
+    (Dfg.sinks g)
+
+let test_emit_width_parameter () =
+  let d = design_of Benchmarks.example_fig4 in
+  let v = Emit.to_string ~width:8 (Datapath.build d) in
+  Alcotest.(check bool) "8-bit buses" true (contains v "[7:0]")
+
+let test_emit_balanced_module () =
+  let d = design_of Benchmarks.fir16 ~latency:24 in
+  let v = Emit.to_string (Datapath.build d) in
+  let count needle =
+    let n = String.length needle and h = String.length v in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (if String.sub v i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one module, one endmodule" (count "module ") (count "endmodule")
+  [@warning "-52"]
+
+(* --- properties --- *)
+
+let prop_register_count_is_max_live =
+  QCheck2.Test.make ~name:"left-edge register count equals max live values" ~count:40
+    QCheck2.Gen.(int_range 8 20)
+    (fun latency ->
+      let d = design_of ~latency Benchmarks.example_fig4 in
+      let dp = Datapath.build d in
+      dp.Datapath.register_count = Datapath.max_live dp)
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "datapath",
+        [
+          Alcotest.test_case "one value per op" `Quick test_one_value_per_operation;
+          Alcotest.test_case "registers cover liveness" `Quick
+            test_registers_cover_liveness;
+          Alcotest.test_case "sharing conflict-free" `Quick
+            test_register_sharing_no_conflict;
+          Alcotest.test_case "lifetime semantics" `Quick test_lifetime_semantics;
+          Alcotest.test_case "mux on shared unit" `Quick test_mux_on_shared_unit;
+          Alcotest.test_case "no mux on private units" `Quick test_no_mux_on_private_units;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "breakdown" `Quick test_cost_breakdown;
+          Alcotest.test_case "weights" `Quick test_cost_weights;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "structure" `Quick test_emit_structure;
+          Alcotest.test_case "sink outputs" `Quick test_emit_has_outputs_for_sinks;
+          Alcotest.test_case "width" `Quick test_emit_width_parameter;
+          Alcotest.test_case "balanced module" `Quick test_emit_balanced_module;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_register_count_is_max_live ]);
+    ]

@@ -1,0 +1,370 @@
+(* Tests for the schedulers: schedule validation, partition densities,
+   the paper's density scheduler, list scheduling, min-area packing and
+   force-directed scheduling. *)
+
+open Rchls_dfg
+module Schedule = Rchls_sched.Schedule
+module Density = Rchls_sched.Density
+module Density_sched = Rchls_sched.Density_sched
+module List_sched = Rchls_sched.List_sched
+module Min_area = Rchls_sched.Min_area
+module Force_directed = Rchls_sched.Force_directed
+module Resource = Rchls_charlib.Resource
+
+let unit_delay (_ : Dfg.node) = 1
+let delay_by_op (nd : Dfg.node) = match nd.op with Op.Mul -> 2 | _ -> 1
+
+let chain3 () =
+  Dfg.create_exn ~name:"chain3"
+    ~nodes:[ ("a", Op.Add); ("b", Op.Add); ("c", Op.Add) ]
+    ~edges:[ ("a", "b"); ("b", "c") ]
+
+let parallel4 () =
+  Dfg.create_exn ~name:"par4"
+    ~nodes:[ ("a", Op.Add); ("b", Op.Add); ("c", Op.Add); ("d", Op.Add) ]
+    ~edges:[]
+
+(* --- Schedule --- *)
+
+let test_schedule_make_valid () =
+  let g = chain3 () in
+  let s = Schedule.make_exn g ~delay:unit_delay ~starts:[| 0; 1; 2 |] in
+  Alcotest.(check int) "latency" 3 (Schedule.latency s);
+  Alcotest.(check int) "start b" 1 (Schedule.start s 1);
+  Alcotest.(check int) "finish b" 2 (Schedule.finish s 1)
+
+let test_schedule_rejects_violation () =
+  let g = chain3 () in
+  match Schedule.make g ~delay:unit_delay ~starts:[| 0; 0; 2 |] with
+  | Ok _ -> Alcotest.fail "should reject"
+  | Error e -> Alcotest.(check bool) "mentions predecessor" true
+      (String.length e > 0)
+
+let test_schedule_rejects_negative () =
+  let g = chain3 () in
+  Alcotest.(check bool) "rejects" true
+    (Result.is_error (Schedule.make g ~delay:unit_delay ~starts:[| -1; 1; 2 |]))
+
+let test_schedule_rejects_width () =
+  let g = chain3 () in
+  Alcotest.(check bool) "rejects" true
+    (Result.is_error (Schedule.make g ~delay:unit_delay ~starts:[| 0; 1 |]))
+
+let test_running_at () =
+  let g = chain3 () in
+  let s = Schedule.make_exn g ~delay:(fun _ -> 2) ~starts:[| 0; 2; 4 |] in
+  Alcotest.(check (list string)) "step 1" [ "a" ]
+    (List.map (fun n -> n.Dfg.name) (Schedule.running_at s 1));
+  Alcotest.(check (list string)) "step 2" [ "b" ]
+    (List.map (fun n -> n.Dfg.name) (Schedule.running_at s 2))
+
+let test_max_concurrency () =
+  let g = parallel4 () in
+  let s = Schedule.make_exn g ~delay:unit_delay ~starts:[| 0; 0; 1; 1 |] in
+  let counts = Schedule.max_concurrency s ~key:(fun (nd : Dfg.node) -> nd.op) in
+  Alcotest.(check int) "2 at once" 2 (List.assoc Op.Add counts)
+
+(* --- Density --- *)
+
+let test_density_fixed_contribution () =
+  let g = chain3 () in
+  let ranges = Analysis.ranges g ~delay:unit_delay ~latency:3 in
+  let d =
+    Density.build g ~delay:unit_delay ~ranges ~fixed:(fun id -> Some id)
+  in
+  (* With every node pinned at its id step, each step has density 1. *)
+  Alcotest.(check (float 1e-9)) "step 0" 1. (Density.get d Resource.Add 0);
+  Alcotest.(check (float 1e-9)) "step 2" 1. (Density.get d Resource.Add 2)
+
+let test_density_probabilistic () =
+  let g = parallel4 () in
+  let ranges = Analysis.ranges g ~delay:unit_delay ~latency:2 in
+  let d = Density.build g ~delay:unit_delay ~ranges ~fixed:(fun _ -> None) in
+  (* 4 nodes, each with 2 candidate steps: density 2.0 per step. *)
+  Alcotest.(check (float 1e-9)) "step 0" 2. (Density.get d Resource.Add 0);
+  Alcotest.(check (float 1e-9)) "step 1" 2. (Density.get d Resource.Add 1)
+
+let test_density_exclude () =
+  let g = parallel4 () in
+  let ranges = Analysis.ranges g ~delay:unit_delay ~latency:2 in
+  let d = Density.build ~exclude:0 g ~delay:unit_delay ~ranges ~fixed:(fun _ -> None) in
+  Alcotest.(check (float 1e-9)) "3 nodes remain" 1.5 (Density.get d Resource.Add 0)
+
+let test_density_out_of_range () =
+  let g = chain3 () in
+  let ranges = Analysis.ranges g ~delay:unit_delay ~latency:3 in
+  let d = Density.build g ~delay:unit_delay ~ranges ~fixed:(fun _ -> None) in
+  Alcotest.(check (float 1e-9)) "before" 0. (Density.get d Resource.Add (-1));
+  Alcotest.(check (float 1e-9)) "after" 0. (Density.get d Resource.Add 99)
+
+let check_valid_schedule g delay (s : Schedule.t) =
+  (* Re-validating through make ensures dependence correctness. *)
+  let starts =
+    Array.of_list (List.map (fun (nd : Dfg.node) -> Schedule.start s nd.id) (Dfg.nodes g))
+  in
+  match Schedule.make g ~delay ~starts with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("invalid schedule: " ^ e)
+
+(* --- Density_sched --- *)
+
+let test_density_sched_meets_latency () =
+  List.iter
+    (fun (name, g) ->
+      let min_latency = Analysis.asap_latency g ~delay:delay_by_op in
+      List.iter
+        (fun slack ->
+          let latency = min_latency + slack in
+          match Density_sched.run g ~delay:delay_by_op ~latency with
+          | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e)
+          | Ok s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s fits %d" name latency)
+              true
+              (Schedule.latency s <= latency);
+            check_valid_schedule g delay_by_op s)
+        [ 0; 1; 3 ])
+    Benchmarks.all
+
+let test_density_sched_rejects_tight () =
+  let g = chain3 () in
+  Alcotest.(check bool) "rejects" true
+    (Result.is_error (Density_sched.run g ~delay:unit_delay ~latency:2))
+
+let test_density_sched_balances () =
+  (* 4 independent adds over 4 steps should use 1 adder, not 4. *)
+  let g = parallel4 () in
+  let s = Density_sched.run_exn g ~delay:unit_delay ~latency:4 in
+  let counts = Schedule.max_concurrency s ~key:(fun (nd : Dfg.node) -> nd.op) in
+  Alcotest.(check int) "1 at a time" 1 (List.assoc Op.Add counts)
+
+(* --- List_sched --- *)
+
+let test_list_sched_respects_limits () =
+  let g = Benchmarks.fir16 in
+  let group (nd : Dfg.node) = Op.resource_class nd.op in
+  let limit = function Resource.Add -> 2 | Resource.Mul -> 1 in
+  let s = List_sched.run_exn g ~delay:unit_delay ~group ~limit in
+  check_valid_schedule g unit_delay s;
+  List.iter
+    (fun (k, c) ->
+      Alcotest.(check bool) "within limit" true (c <= limit k))
+    (Schedule.max_concurrency s ~key:group)
+
+let test_list_sched_rejects_zero_limit () =
+  let g = chain3 () in
+  Alcotest.(check bool) "rejects" true
+    (Result.is_error
+       (List_sched.run g ~delay:unit_delay ~group:(fun _ -> ()) ~limit:(fun _ -> 0)))
+
+let test_list_sched_unlimited_equals_asap () =
+  List.iter
+    (fun (_, g) ->
+      let s =
+        List_sched.run_exn g ~delay:delay_by_op ~group:(fun _ -> ()) ~limit:(fun _ -> 999)
+      in
+      Alcotest.(check int) "asap latency"
+        (Analysis.asap_latency g ~delay:delay_by_op)
+        (Schedule.latency s))
+    Benchmarks.all
+
+let test_list_sched_serializes () =
+  let g = parallel4 () in
+  let s =
+    List_sched.run_exn g ~delay:unit_delay ~group:(fun _ -> ()) ~limit:(fun _ -> 1)
+  in
+  Alcotest.(check int) "latency 4" 4 (Schedule.latency s)
+
+(* --- Min_area --- *)
+
+let test_min_area_meets_latency () =
+  let g = Benchmarks.fir16 in
+  let group (nd : Dfg.node) = Op.resource_class nd.op in
+  let s =
+    Min_area.run g ~delay:unit_delay ~group
+      ~group_area:(function Resource.Add -> 2 | Resource.Mul -> 4)
+      ~latency:11
+  in
+  match s with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "fits" true (Schedule.latency s <= 11);
+    check_valid_schedule g unit_delay s
+
+let test_min_area_uses_few_instances () =
+  (* 4 independent unit ops over 4 steps: one instance suffices. *)
+  let g = parallel4 () in
+  let s =
+    Min_area.run g ~delay:unit_delay ~group:(fun _ -> ()) ~group_area:(fun _ -> 1)
+      ~latency:4
+  in
+  match s with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check int) "1 instance" 1
+      (List.assoc () (Schedule.max_concurrency s ~key:(fun _ -> ())))
+
+let test_min_area_rejects_infeasible () =
+  let g = chain3 () in
+  Alcotest.(check bool) "rejects" true
+    (Result.is_error
+       (Min_area.run g ~delay:unit_delay ~group:(fun _ -> ()) ~group_area:(fun _ -> 1)
+          ~latency:2))
+
+let test_min_area_mixed_groups_terminates () =
+  (* Regression: zero-gain bumps must raise every group, not spin on
+     the first one (found on fir16 with mixed version groups). *)
+  let g = Benchmarks.fir16 in
+  let lib = Rchls_charlib.Library.table1 in
+  let version (nd : Dfg.node) =
+    match (nd.op, nd.Dfg.id mod 2) with
+    | Op.Mul, 0 -> Rchls_charlib.Library.find_exn lib "mul1"
+    | Op.Mul, _ -> Rchls_charlib.Library.find_exn lib "mul2"
+    | _, 0 -> Rchls_charlib.Library.find_exn lib "add1"
+    | _, _ -> Rchls_charlib.Library.find_exn lib "add3"
+  in
+  let delay nd = (version nd).Resource.delay in
+  let latency = Analysis.asap_latency g ~delay + 2 in
+  match
+    Min_area.run g ~delay
+      ~group:(fun nd -> (version nd).Resource.id)
+      ~group_area:(fun id -> (Rchls_charlib.Library.find_exn lib id).Resource.area)
+      ~latency
+  with
+  | Ok s -> Alcotest.(check bool) "fits" true (Schedule.latency s <= latency)
+  | Error e -> Alcotest.fail e
+
+(* --- Force_directed --- *)
+
+let test_force_directed_meets_latency () =
+  List.iter
+    (fun name ->
+      let g = Option.get (Benchmarks.find name) in
+      let min_latency = Analysis.asap_latency g ~delay:delay_by_op in
+      match Force_directed.run g ~delay:delay_by_op ~latency:(min_latency + 2) with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        Alcotest.(check bool) "fits" true (Schedule.latency s <= min_latency + 2);
+        check_valid_schedule g delay_by_op s)
+    [ "fig4"; "diffeq"; "iir" ]
+
+let test_force_directed_balances () =
+  let g = parallel4 () in
+  let s = Force_directed.run_exn g ~delay:unit_delay ~latency:4 in
+  Alcotest.(check int) "1 at a time" 1
+    (List.assoc Op.Add (Schedule.max_concurrency s ~key:(fun (nd : Dfg.node) -> nd.op)))
+
+(* --- properties --- *)
+
+let gen_dag =
+  QCheck2.Gen.(
+    bind (int_range 1 10) (fun n ->
+        bind (list_size (int_range 0 n) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+          (fun raw ->
+            let nodes =
+              List.init n (fun i ->
+                  (Printf.sprintf "n%d" i, if i mod 3 = 0 then Op.Mul else Op.Add))
+            in
+            let edges =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun (a, b) ->
+                     if a < b then Some (Printf.sprintf "n%d" a, Printf.sprintf "n%d" b)
+                     else if b < a then
+                       Some (Printf.sprintf "n%d" b, Printf.sprintf "n%d" a)
+                     else None)
+                   raw)
+            in
+            return (Dfg.create_exn ~name:"rand" ~nodes ~edges))))
+
+let prop_density_sched_valid =
+  QCheck2.Test.make ~name:"density scheduler yields valid schedules" ~count:150 gen_dag
+    (fun g ->
+      let latency = Analysis.asap_latency g ~delay:delay_by_op + 2 in
+      match Density_sched.run g ~delay:delay_by_op ~latency with
+      | Error _ -> false
+      | Ok s ->
+        Schedule.latency s <= latency
+        && List.for_all
+             (fun (nd : Dfg.node) ->
+               List.for_all
+                 (fun p -> Schedule.start s nd.id >= Schedule.finish s p)
+                 (Dfg.preds g nd.id))
+             (Dfg.nodes g))
+
+let prop_list_sched_limit_respected =
+  QCheck2.Test.make ~name:"list scheduler respects limits" ~count:150
+    QCheck2.Gen.(pair gen_dag (int_range 1 3))
+    (fun (g, k) ->
+      let s =
+        List_sched.run_exn g ~delay:delay_by_op ~group:(fun _ -> ()) ~limit:(fun _ -> k)
+      in
+      List.for_all (fun (_, c) -> c <= k) (Schedule.max_concurrency s ~key:(fun _ -> ())))
+
+let prop_min_area_never_beats_lower_bound =
+  QCheck2.Test.make ~name:"min-area concurrency >= occupancy lower bound" ~count:100
+    gen_dag (fun g ->
+      let latency = Analysis.asap_latency g ~delay:unit_delay + 1 in
+      match
+        Min_area.run g ~delay:unit_delay ~group:(fun _ -> ()) ~group_area:(fun _ -> 1)
+          ~latency
+      with
+      | Error _ -> false
+      | Ok s ->
+        let used = List.assoc () (Schedule.max_concurrency s ~key:(fun _ -> ())) in
+        let lb = (Dfg.node_count g + latency - 1) / latency in
+        used >= lb)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "make valid" `Quick test_schedule_make_valid;
+          Alcotest.test_case "rejects violation" `Quick test_schedule_rejects_violation;
+          Alcotest.test_case "rejects negative" `Quick test_schedule_rejects_negative;
+          Alcotest.test_case "rejects width" `Quick test_schedule_rejects_width;
+          Alcotest.test_case "running_at" `Quick test_running_at;
+          Alcotest.test_case "max concurrency" `Quick test_max_concurrency;
+        ] );
+      ( "density",
+        [
+          Alcotest.test_case "fixed" `Quick test_density_fixed_contribution;
+          Alcotest.test_case "probabilistic" `Quick test_density_probabilistic;
+          Alcotest.test_case "exclude" `Quick test_density_exclude;
+          Alcotest.test_case "out of range" `Quick test_density_out_of_range;
+        ] );
+      ( "density scheduler",
+        [
+          Alcotest.test_case "meets latency on benchmarks" `Quick
+            test_density_sched_meets_latency;
+          Alcotest.test_case "rejects tight" `Quick test_density_sched_rejects_tight;
+          Alcotest.test_case "balances" `Quick test_density_sched_balances;
+        ] );
+      ( "list scheduler",
+        [
+          Alcotest.test_case "respects limits" `Quick test_list_sched_respects_limits;
+          Alcotest.test_case "rejects zero limit" `Quick test_list_sched_rejects_zero_limit;
+          Alcotest.test_case "unlimited = ASAP" `Quick test_list_sched_unlimited_equals_asap;
+          Alcotest.test_case "serializes" `Quick test_list_sched_serializes;
+        ] );
+      ( "min-area",
+        [
+          Alcotest.test_case "meets latency" `Quick test_min_area_meets_latency;
+          Alcotest.test_case "few instances" `Quick test_min_area_uses_few_instances;
+          Alcotest.test_case "rejects infeasible" `Quick test_min_area_rejects_infeasible;
+          Alcotest.test_case "mixed groups terminate" `Quick
+            test_min_area_mixed_groups_terminates;
+        ] );
+      ( "force-directed",
+        [
+          Alcotest.test_case "meets latency" `Quick test_force_directed_meets_latency;
+          Alcotest.test_case "balances" `Quick test_force_directed_balances;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_density_sched_valid; prop_list_sched_limit_respected;
+            prop_min_area_never_beats_lower_bound;
+          ] );
+    ]

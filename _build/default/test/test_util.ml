@@ -1,0 +1,223 @@
+(* Unit and property tests for Rchls_util: PRNG, statistics, tables. *)
+
+open Rchls_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 3.5)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: 8 buckets over 80k draws should each hold
+     close to 10k. *)
+  let r = Rng.create 123 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 80_000 do
+    let v = Rng.int r 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket near 10k" true (c > 9_000 && c < 11_000))
+    buckets
+
+let test_rng_bool_balance () =
+  let r = Rng.create 5 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4_500 && !trues < 5_500)
+
+let test_rng_split_independent () =
+  let r = Rng.create 11 in
+  let s = Rng.split r in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 r = Rng.int64 s then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 4)
+
+let test_rng_copy () =
+  let r = Rng.create 3 in
+  ignore (Rng.int64 r);
+  let c = Rng.copy r in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 r) (Rng.int64 c)
+
+(* --- Stats --- *)
+
+let test_mean () = check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ])
+
+let test_mean_empty () =
+  Alcotest.(check bool) "nan" true (Float.is_nan (Stats.mean []))
+
+let test_variance () =
+  check_float "variance" 2.5 (Stats.variance [ 1.; 2.; 3.; 4.; 5. ])
+
+let test_variance_singleton () = check_float "variance" 0. (Stats.variance [ 42. ])
+
+let test_stddev () = check_float "stddev" (sqrt 2.5) (Stats.stddev [ 1.; 2.; 3.; 4.; 5. ])
+
+let test_geometric_mean () =
+  check_float "geomean" 4. (Stats.geometric_mean [ 2.; 8. ])
+
+let test_geometric_mean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive sample") (fun () ->
+      ignore (Stats.geometric_mean [ 1.; 0. ]))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.; -1.; 7.; 2. ] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile 50. xs);
+  check_float "p100" 100. (Stats.percentile 100. xs);
+  check_float "p1" 1. (Stats.percentile 1. xs)
+
+let test_confidence_interval () =
+  let xs = List.init 100 (fun _ -> 5.) in
+  check_float "zero spread" 0. (Stats.confidence_95 xs)
+
+(* --- Tablefmt --- *)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_basic () =
+  let t = Tablefmt.create [ "x"; "y" ] in
+  Tablefmt.add_row t [ "1"; "22" ];
+  Tablefmt.add_row t [ "333"; "4" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "header present" true (contains_substring s "| x   | y  |");
+  Alcotest.(check bool) "row present" true (contains_substring s "| 333 | 4  |")
+
+let test_table_rows_align () =
+  let t = Tablefmt.create [ "col" ] in
+  Tablefmt.add_row t [ "wide-cell" ];
+  Tablefmt.add_row t [ "x" ];
+  let lines = String.split_on_char '\n' (Tablefmt.render t) in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: ws -> List.iter (fun w' -> Alcotest.(check int) "equal line widths" w w') ws
+
+let test_table_width_mismatch () =
+  let t = Tablefmt.create [ "a"; "b" ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Tablefmt.add_row: row width mismatch")
+    (fun () -> Tablefmt.add_row t [ "only-one" ])
+
+let test_table_aligns_mismatch () =
+  Alcotest.check_raises "aligns width"
+    (Invalid_argument "Tablefmt.create: aligns/header width mismatch") (fun () ->
+      ignore (Tablefmt.create ~aligns:[ Tablefmt.Left ] [ "a"; "b" ]))
+
+let test_float_cell () =
+  Alcotest.(check string) "5 digits" "0.48467" (Tablefmt.float_cell 0.48467);
+  Alcotest.(check string) "2 digits" "1.50" (Tablefmt.float_cell ~digits:2 1.5)
+
+let test_pct_cell () =
+  Alcotest.(check string) "positive" "+23.79%" (Tablefmt.pct_cell 23.79);
+  Alcotest.(check string) "negative" "-9.22%" (Tablefmt.pct_cell (-9.22))
+
+(* --- properties --- *)
+
+let prop_percentile_member =
+  QCheck2.Test.make ~name:"percentile returns a sample"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.))
+    (fun xs -> List.mem (Rchls_util.Stats.percentile 50. xs) xs)
+
+let prop_mean_between_min_max =
+  QCheck2.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_rng_int_range =
+  QCheck2.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 1_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balance;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean empty" `Quick test_mean_empty;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "variance singleton" `Quick test_variance_singleton;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "geometric mean rejects" `Quick
+            test_geometric_mean_rejects_nonpositive;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "confidence" `Quick test_confidence_interval;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "basic render" `Quick test_table_basic;
+          Alcotest.test_case "line widths equal" `Quick test_table_rows_align;
+          Alcotest.test_case "row width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "aligns mismatch" `Quick test_table_aligns_mismatch;
+          Alcotest.test_case "float cell" `Quick test_float_cell;
+          Alcotest.test_case "pct cell" `Quick test_pct_cell;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentile_member; prop_mean_between_min_max; prop_rng_int_range ] );
+    ]
