@@ -1,0 +1,31 @@
+.PHONY: all build test check repro bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: everything must compile and every test must pass.
+check:
+	dune build
+	dune runtest
+
+# Regenerate every table/figure of the paper.
+repro: build
+	dune exec bench/main.exe -- repro
+
+bench: build
+	dune exec bench/main.exe -- perf
+
+# Time the Fig-8/Table-2 sweep suite sequential vs on the domain pool,
+# verify cell-for-cell equality, and record the result (with the
+# evaluation-cache hit/miss counters) in BENCH_sweep.json.
+bench-json: build
+	dune exec bench/main.exe -- sweep BENCH_sweep.json
+
+clean:
+	dune clean
+	rm -f BENCH_sweep.json

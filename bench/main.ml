@@ -11,7 +11,11 @@
    Run everything:      dune exec bench/main.exe
    Reproduction only:   dune exec bench/main.exe -- repro
    Performance only:    dune exec bench/main.exe -- perf
-   One experiment:      dune exec bench/main.exe -- repro table2a *)
+   One experiment:      dune exec bench/main.exe -- repro table2a
+   Sweep scaling:       dune exec bench/main.exe -- sweep [BENCH_sweep.json]
+     (times the Fig-8/Table-2 sweep suite sequentially vs on the
+      domain pool, checks cell-for-cell equality, and writes a
+      machine-readable JSON record with the cache counters) *)
 
 module Experiments = Rchls_experiments.Experiments
 module Rc = Rchls_core.Reliability_centric
@@ -82,6 +86,107 @@ let reproduction which =
         (String.concat ", " (List.map fst experiments));
       exit 1)
 
+(* --- sweep scaling benchmark ---------------------------------------- *)
+
+module Sweep = Rchls_experiments.Sweep
+module Paper_data = Rchls_experiments.Paper_data
+module Pool = Rchls_util.Pool
+module Telemetry = Rchls_util.Telemetry
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* The sweep workloads behind Figure 8 and Tables 2(a,b,c). *)
+let sweep_suite =
+  let grid rows =
+    ( List.sort_uniq compare (List.map (fun r -> r.Paper_data.ld) rows),
+      List.sort_uniq compare (List.map (fun r -> r.Paper_data.ad) rows) )
+  in
+  let t2a = grid Paper_data.table2a_fir in
+  let t2b = grid Paper_data.table2b_ewf in
+  let t2c = grid Paper_data.table2c_diffeq in
+  [
+    ("fig8a/fir16-ours", Sweep.Ours, Benchmarks.fir16,
+     List.map fst Paper_data.fig8a_latency, [ 8 ]);
+    ("fig8b/fir16-ours", Sweep.Ours, Benchmarks.fir16, [ 10 ],
+     List.map fst Paper_data.fig8b_area);
+    ("table2a/fir16-baseline", Sweep.Baseline, Benchmarks.fir16, fst t2a, snd t2a);
+    ("table2a/fir16-ours", Sweep.Ours, Benchmarks.fir16, fst t2a, snd t2a);
+    ("table2a/fir16-combined", Sweep.Combined, Benchmarks.fir16, fst t2a, snd t2a);
+    ("table2b/ewf-baseline", Sweep.Baseline, Benchmarks.ewf, fst t2b, snd t2b);
+    ("table2b/ewf-ours", Sweep.Ours, Benchmarks.ewf, fst t2b, snd t2b);
+    ("table2b/ewf-combined", Sweep.Combined, Benchmarks.ewf, fst t2b, snd t2b);
+    ("table2c/diffeq-baseline", Sweep.Baseline, Benchmarks.diffeq, fst t2c, snd t2c);
+    ("table2c/diffeq-ours", Sweep.Ours, Benchmarks.diffeq, fst t2c, snd t2c);
+    ("table2c/diffeq-combined", Sweep.Combined, Benchmarks.diffeq, fst t2c, snd t2c);
+  ]
+
+let cells_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Sweep.cell) (y : Sweep.cell) ->
+         x.ld = y.ld && x.ad = y.ad && x.reliability = y.reliability && x.area = y.area)
+       a b
+
+let sweep_bench out_path =
+  let domains = Pool.num_domains () in
+  Printf.printf "=== Sweep scaling: sequential vs %d domains ===\n%!" domains;
+  Telemetry.reset ();
+  let results =
+    List.map
+      (fun (name, approach, g, lds, ads) ->
+        let t0 = now_s () in
+        let seq = Sweep.run ~domains:1 approach g Library.table1 ~lds ~ads in
+        let t1 = now_s () in
+        let par = Sweep.run ~domains approach g Library.table1 ~lds ~ads in
+        let t2 = now_s () in
+        let seq_s = t1 -. t0 and par_s = t2 -. t1 in
+        let identical = cells_equal seq par in
+        Printf.printf "%-26s %3d cells  seq %7.3fs  par %7.3fs  x%.2f  %s\n%!" name
+          (List.length seq) seq_s par_s (seq_s /. par_s)
+          (if identical then "identical" else "MISMATCH");
+        (name, List.length seq, seq_s, par_s, identical))
+      sweep_suite
+  in
+  let total_seq = List.fold_left (fun a (_, _, s, _, _) -> a +. s) 0. results in
+  let total_par = List.fold_left (fun a (_, _, _, p, _) -> a +. p) 0. results in
+  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) results in
+  Printf.printf "total: seq %.3fs  par %.3fs  speedup x%.2f  (%s)\n%!" total_seq
+    total_par (total_seq /. total_par)
+    (if all_identical then "all cells identical" else "CELL MISMATCH");
+  (* Machine-readable record, consumed by the Makefile's bench-json
+     target and CI trend tracking. *)
+  let buf = Buffer.create 2048 in
+  let counters = [ "cache.hits"; "cache.misses"; "sched.runs"; "bind.runs"; "sweep.cells" ] in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"all_cells_identical\": %b,\n" all_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total\": { \"seq_s\": %.6f, \"par_s\": %.6f, \"speedup\": %.3f },\n"
+       total_seq total_par (total_seq /. total_par));
+  Buffer.add_string buf "  \"counters\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "\"%s\": %d" c (Telemetry.counter c)) counters));
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf "  \"suites\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, cells, seq_s, par_s, identical) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"cells\": %d, \"seq_s\": %.6f, \"par_s\": %.6f, \
+               \"speedup\": %.3f, \"identical\": %b }"
+              name cells seq_s par_s (seq_s /. par_s) identical)
+          results));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not all_identical then exit 1
+
 (* --- Bechamel performance benchmarks -------------------------------- *)
 
 let perf () =
@@ -142,6 +247,8 @@ let () =
   match args with
   | _ :: "repro" :: rest -> reproduction (match rest with [] -> None | id :: _ -> Some id)
   | _ :: "perf" :: _ -> perf ()
+  | _ :: "sweep" :: rest ->
+    sweep_bench (match rest with path :: _ -> path | [] -> "BENCH_sweep.json")
   | _ ->
     reproduction None;
     perf ()

@@ -64,6 +64,22 @@ let or_die = function
     Printf.eprintf "rchls: %s\n" e;
     exit 1
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print engine telemetry (scheduler/binder runs, evaluation-cache \
+               hits, downgrade steps, per-pass timings) after the run.")
+
+(* Run [f ()] and, under [--stats], print the telemetry the run
+   accumulated. *)
+let with_stats stats f =
+  Rchls_util.Telemetry.reset ();
+  let v = f () in
+  if stats then begin
+    let rendered = Rchls_util.Telemetry.render () in
+    if rendered <> "" then Printf.printf "\n%s\n" rendered
+  end;
+  v
+
 (* --- synth --- *)
 
 let strategy_arg =
@@ -88,7 +104,8 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the algorithm's decisions.")
 
 let synth_cmd =
-  let run graph_spec lib_file ld ad strategy scheduler dot trace =
+  let run graph_spec lib_file ld ad strategy scheduler dot trace stats =
+    with_stats stats @@ fun () ->
     let g = or_die (load_graph graph_spec) in
     let lib = or_die (load_library lib_file) in
     let trace_fn =
@@ -127,7 +144,7 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ graph_arg $ library_arg $ ld_arg $ ad_arg $ strategy_arg
-      $ scheduler_arg $ dot_arg $ trace_arg)
+      $ scheduler_arg $ dot_arg $ trace_arg $ stats_arg)
 
 (* --- sweep --- *)
 
@@ -144,10 +161,11 @@ let approach_arg =
          ~doc:"Approach: ours (default), baseline (ref [3] NMR), combined.")
 
 let sweep_cmd =
-  let run graph_spec lib_file lds ads approach =
+  let run graph_spec lib_file lds ads approach domains stats =
+    with_stats stats @@ fun () ->
     let g = or_die (load_graph graph_spec) in
     let lib = or_die (load_library lib_file) in
-    let cells = Sweep.run approach g lib ~lds ~ads in
+    let cells = Sweep.run ?domains approach g lib ~lds ~ads in
     let t = Rchls_util.Tablefmt.create [ "Ld"; "Ad"; "Reliability"; "Area" ] in
     List.iter
       (fun (c : Sweep.cell) ->
@@ -169,7 +187,11 @@ let sweep_cmd =
       const run $ graph_arg $ library_arg
       $ ints_arg "lds" "L1,L2,..." "Latency bounds to sweep."
       $ ints_arg "ads" "A1,A2,..." "Area bounds to sweep."
-      $ approach_arg)
+      $ approach_arg
+      $ Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+               ~doc:"Worker domains for the grid (default: $(b,RCHLS_DOMAINS) \
+                     or the recommended domain count; 1 = sequential).")
+      $ stats_arg)
 
 (* --- characterize --- *)
 
@@ -231,7 +253,8 @@ let bench_cmd =
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run id =
+  let run id stats =
+    with_stats stats @@ fun () ->
     match List.assoc_opt id Experiments.all with
     | Some f -> print_string (f ())
     | None ->
@@ -245,7 +268,7 @@ let experiment_cmd =
                  table2b, table2c, fig9.")
   in
   let doc = "Regenerate one of the paper's tables or figures." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ stats_arg)
 
 let () =
   let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in

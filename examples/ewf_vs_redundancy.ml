@@ -26,7 +26,7 @@ let () =
   List.iter
     (fun ad ->
       let fmt = function None -> "-" | Some r -> Tablefmt.float_cell r in
-      let at cells = (Sweep.cell_at cells ~ld ~ad).Sweep.reliability in
+      let at cells = (Sweep.cell_at_exn cells ~ld ~ad).Sweep.reliability in
       let b = at base and o = at ours in
       let verdict =
         match (b, o) with

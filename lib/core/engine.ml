@@ -1,0 +1,614 @@
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Analysis = Rchls_dfg.Analysis
+module Binding = Rchls_binding.Binding
+module Telemetry = Rchls_util.Telemetry
+
+type failure =
+  | Latency_infeasible of { best_achievable : int }
+  | Area_infeasible of { best_achieved : int }
+  | Scheduling_error of string
+
+let pp_failure ppf = function
+  | Latency_infeasible { best_achievable } ->
+    Format.fprintf ppf "no solution: latency bound unreachable (best %d)" best_achievable
+  | Area_infeasible { best_achieved } ->
+    Format.fprintf ppf "no solution: area bound unreachable (best %d)" best_achieved
+  | Scheduling_error e -> Format.fprintf ppf "no solution: scheduling failed (%s)" e
+
+type trace_event =
+  | Initial of { latency : int }
+  | Latency_downgrade of {
+      node : string;
+      from_version : string;
+      to_version : string;
+      latency : int;
+    }
+  | Slack_exploited of { latency : int; area : int }
+  | Area_downgrade of {
+      nodes : string list;
+      from_version : string;
+      to_version : string;
+      area : int;
+    }
+  | Refinement_upgrade of {
+      node : string;
+      from_version : string;
+      to_version : string;
+      reliability : float;
+    }
+
+(* --- context ------------------------------------------------------- *)
+
+type cache = (string, (Design.t, string) result) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+
+type ctx = {
+  graph : Dfg.t;
+  library : Library.t;
+  ld : int;
+  ad : int;
+  scheduler : Design.scheduler;
+  use_cache : bool;
+  cache : cache;
+  assignment : Resource.t array;
+  asap : int array;
+      (* earliest starts under the current assignment, maintained
+         incrementally by [set_version] *)
+  topo : int array;  (* node ids in topological order *)
+  rank : int array;  (* inverse of [topo]: position of each id *)
+  mutable schedule_latency : int;
+  mutable design : Design.t option;
+  trace : trace_event -> unit;
+}
+
+let delay_of ctx (nd : Dfg.node) = ctx.assignment.(nd.id).Resource.delay
+
+let asap_of_preds ctx id =
+  List.fold_left
+    (fun acc p -> max acc (ctx.asap.(p) + ctx.assignment.(p).Resource.delay))
+    0 (Dfg.preds ctx.graph id)
+
+let create ?(scheduler = `Density) ?cache ?(use_cache = true)
+    ?(trace = fun _ -> ()) g lib ~ld ~ad ~initial =
+  let assignment =
+    Array.of_list (List.map (fun nd -> (initial nd : Resource.t)) (Dfg.nodes g))
+  in
+  let n = Array.length assignment in
+  let topo =
+    Array.of_list (List.map (fun (nd : Dfg.node) -> nd.id) (Dfg.topological g))
+  in
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos id -> rank.(id) <- pos) topo;
+  let ctx =
+    {
+      graph = g;
+      library = lib;
+      ld;
+      ad;
+      scheduler;
+      use_cache;
+      cache = (match cache with Some c -> c | None -> create_cache ());
+      assignment;
+      asap = Array.make n 0;
+      topo;
+      rank;
+      schedule_latency = 0;
+      design = None;
+      trace;
+    }
+  in
+  (* One forward scan in topological order settles every ASAP. *)
+  Array.iter (fun id -> ctx.asap.(id) <- asap_of_preds ctx id) topo;
+  ctx
+
+let graph ctx = ctx.graph
+let version_of ctx id = ctx.assignment.(id)
+let design ctx = ctx.design
+
+let set_version ctx id (v : Resource.t) =
+  let old = ctx.assignment.(id) in
+  ctx.assignment.(id) <- v;
+  if old.Resource.delay <> v.Resource.delay then begin
+    (* The node's own ASAP only depends on its predecessors; a delay
+       change propagates strictly downstream.  One scan over the dirty
+       set in topological order reaches a fixpoint. *)
+    Telemetry.incr "latency.sparse_updates";
+    let n = Array.length ctx.assignment in
+    let dirty = Array.make n false in
+    let any = ref false in
+    List.iter (fun s -> dirty.(s) <- true; any := true) (Dfg.succs ctx.graph id);
+    if !any then
+      for pos = ctx.rank.(id) + 1 to n - 1 do
+        let j = ctx.topo.(pos) in
+        if dirty.(j) then begin
+          let a = asap_of_preds ctx j in
+          if a <> ctx.asap.(j) then begin
+            ctx.asap.(j) <- a;
+            List.iter (fun s -> dirty.(s) <- true) (Dfg.succs ctx.graph j)
+          end
+        end
+      done
+  end
+
+let current_latency ctx =
+  let l = ref 0 in
+  Array.iteri
+    (fun id (r : Resource.t) -> l := max !l (ctx.asap.(id) + r.Resource.delay))
+    ctx.assignment;
+  !l
+
+let full_latency ctx = Analysis.asap_latency ctx.graph ~delay:(delay_of ctx)
+
+let fingerprint ctx ~latency =
+  let b = Buffer.create (8 * Array.length ctx.assignment) in
+  Array.iter
+    (fun (r : Resource.t) ->
+      Buffer.add_string b r.Resource.id;
+      Buffer.add_char b ',')
+    ctx.assignment;
+  Buffer.add_string b (string_of_int latency);
+  Buffer.contents b
+
+let realize ctx ~latency =
+  Telemetry.incr "engine.realize";
+  let compute () =
+    Design.realize ~scheduler:ctx.scheduler ctx.graph ctx.library
+      ~assignment:(fun (nd : Dfg.node) -> ctx.assignment.(nd.id))
+      ~latency
+  in
+  if not ctx.use_cache then compute ()
+  else begin
+    let key = fingerprint ctx ~latency in
+    match Hashtbl.find_opt ctx.cache key with
+    | Some r ->
+      Telemetry.incr "cache.hits";
+      r
+    | None ->
+      Telemetry.incr "cache.misses";
+      let r = compute () in
+      Hashtbl.add ctx.cache key r;
+      r
+  end
+
+let realize_current ctx = realize ctx ~latency:ctx.schedule_latency
+
+(* --- shared stage helpers ------------------------------------------ *)
+
+(* Apply one version move to [ids], validated by [guard] (checked
+   after the tentative assignment, before the reschedule) and by
+   [accept] on the realized design; reverts and returns [None] on
+   failure, keeps the move and returns the design otherwise. *)
+let try_move ctx ~ids ~to_version ~guard ~accept =
+  let olds = List.map (fun id -> (id, ctx.assignment.(id))) ids in
+  List.iter (fun id -> set_version ctx id (to_version : Resource.t)) ids;
+  let revert () = List.iter (fun (id, v) -> set_version ctx id v) olds in
+  if not (guard ()) then begin
+    revert ();
+    None
+  end
+  else
+    match realize_current ctx with
+    | Error _ ->
+      revert ();
+      None
+    | Ok d ->
+      if not (accept d) then begin
+        revert ();
+        None
+      end
+      else Some d
+
+(* Subset moves: the K most mobile operations satisfying [from] move
+   together to [v], K halving from the group size to 1.  Mobility is
+   measured against the current scheduling horizon; the ranges are
+   computed once per call (every candidate sees the same assignment). *)
+let subset_ids ?(exhaustive = false) ctx ~from () =
+  let movable = List.filter from (Dfg.nodes ctx.graph) in
+  match movable with
+  | [] -> []
+  | _ ->
+    let asap, alap =
+      Rchls_sched.Density.constrained_ranges ctx.graph ~delay:(delay_of ctx)
+        ~latency:ctx.schedule_latency
+        ~fixed:(fun _ -> None)
+    in
+    let mobility id = alap.(id) - asap.(id) in
+    let by_mobility =
+      List.stable_sort
+        (fun (a : Dfg.node) b -> compare (mobility b.id) (mobility a.id))
+        movable
+    in
+    let total = List.length by_mobility in
+    (* Prefix sizes: halving from the whole group to 1 keeps the
+       refinement trajectory stable; the recovery stage asks for every
+       size (it only runs when the design is otherwise infeasible, so
+       exhaustiveness beats path elegance). *)
+    let sizes =
+      if exhaustive then List.init total (fun i -> total - i)
+      else begin
+        let rec halve k acc = if k <= 1 then 1 :: acc else halve (k / 2) (k :: acc) in
+        List.rev (halve total [])
+      end
+    in
+    List.map
+      (fun k ->
+        List.filteri (fun i _ -> i < k) by_mobility
+        |> List.map (fun (nd : Dfg.node) -> nd.id))
+      sizes
+
+let the_design ctx =
+  match ctx.design with
+  | Some d -> d
+  | None -> failwith "Engine: pass ran before a design was realized"
+
+(* --- passes -------------------------------------------------------- *)
+
+type pass = { name : string; run : ctx -> (unit, failure) result }
+
+let initial_alloc =
+  {
+    name = "initial_alloc";
+    run =
+      (fun ctx ->
+        Telemetry.incr "engine.runs";
+        ctx.trace (Initial { latency = current_latency ctx });
+        Ok ());
+  }
+
+(* Lines 7-12: meet the latency bound. *)
+let meet_latency =
+  {
+    name = "meet_latency";
+    run =
+      (fun ctx ->
+        let latency_ok = ref (current_latency ctx <= ctx.ld) in
+        let progress = ref true in
+        while (not !latency_ok) && !progress do
+          progress := false;
+          let path = Analysis.critical_path ctx.graph ~delay:(delay_of ctx) in
+          (* Victims in decreasing delay; the first with a faster
+             version available wins, and it moves to the most reliable
+             faster version. *)
+          let victims =
+            List.stable_sort
+              (fun (a : Dfg.node) b -> compare (delay_of ctx b) (delay_of ctx a))
+              path
+          in
+          let candidate =
+            List.find_map
+              (fun (nd : Dfg.node) ->
+                match
+                  Library.faster_versions ctx.library ~than:ctx.assignment.(nd.id)
+                with
+                | [] -> None
+                | faster :: _ -> Some (nd, faster))
+              victims
+          in
+          match candidate with
+          | None -> ()
+          | Some (nd, faster) ->
+            let old = ctx.assignment.(nd.id) in
+            set_version ctx nd.id faster;
+            progress := true;
+            Telemetry.incr "downgrade.steps";
+            let l = current_latency ctx in
+            ctx.trace
+              (Latency_downgrade
+                 {
+                   node = nd.name;
+                   from_version = old.Resource.id;
+                   to_version = faster.Resource.id;
+                   latency = l;
+                 });
+            if l <= ctx.ld then latency_ok := true
+        done;
+        if not !latency_ok then
+          Error (Latency_infeasible { best_achievable = current_latency ctx })
+        else Ok ());
+  }
+
+(* Lines 4-5 and 15-21: first realization at the achieved ASAP length,
+   then exploit latency slack to share more. *)
+let exploit_slack =
+  {
+    name = "exploit_slack";
+    run =
+      (fun ctx ->
+        ctx.schedule_latency <- current_latency ctx;
+        match realize_current ctx with
+        | Error e -> Error (Scheduling_error e)
+        | Ok d0 ->
+          ctx.design <- Some d0;
+          while Design.area (the_design ctx) > ctx.ad && ctx.schedule_latency < ctx.ld do
+            ctx.schedule_latency <- ctx.schedule_latency + 1;
+            match realize_current ctx with
+            | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
+            | Ok d ->
+              ctx.design <- Some d;
+              ctx.trace
+                (Slack_exploited { latency = ctx.schedule_latency; area = Design.area d })
+          done;
+          Ok ());
+  }
+
+(* Lines 23-28: not-slower version downgrades.  Victims in decreasing
+   version area; the operations sharing the victim's instance move
+   with it.  The paper accepts every such move (the total assigned
+   area strictly decreases, so the loop terminates). *)
+let meet_area =
+  {
+    name = "meet_area";
+    run =
+      (fun ctx ->
+        let made_progress = ref true in
+        while Design.area (the_design ctx) > ctx.ad && !made_progress do
+          let nodes_by_area =
+            List.stable_sort
+              (fun (a : Dfg.node) b ->
+                compare ctx.assignment.(b.id).Resource.area
+                  ctx.assignment.(a.id).Resource.area)
+              (Dfg.nodes ctx.graph)
+          in
+          made_progress :=
+            List.exists
+              (fun (nd : Dfg.node) ->
+                match
+                  Library.smaller_versions ctx.library ~than:ctx.assignment.(nd.id)
+                with
+                | [] -> false
+                | smaller :: _ -> (
+                  let old = ctx.assignment.(nd.id) in
+                  let group =
+                    nd.id
+                    :: Binding.sharing_partners (Design.binding (the_design ctx)) nd.id
+                  in
+                  let ids = List.filter (fun id -> ctx.assignment.(id) = old) group in
+                  match
+                    try_move ctx ~ids ~to_version:smaller
+                      ~guard:(fun () -> true)
+                      ~accept:(fun _ -> true)
+                  with
+                  | None -> false
+                  | Some d ->
+                    ctx.design <- Some d;
+                    Telemetry.incr "downgrade.steps";
+                    ctx.trace
+                      (Area_downgrade
+                         {
+                           nodes =
+                             List.map (fun id -> (Dfg.node ctx.graph id).name) ids;
+                           from_version = old.Resource.id;
+                           to_version = smaller.Resource.id;
+                           area = Design.area d;
+                         });
+                    true))
+              nodes_by_area
+        done;
+        Ok ());
+  }
+
+(* Recovery stage (extension, DESIGN.md par. 8): when the not-slower
+   downgrades are exhausted, consider moving subsets of operations to
+   any smaller version (possibly slower), as long as the latency bound
+   still holds and the realized area shrinks; the schedule gets the
+   full latency budget so slack can absorb the slower units. *)
+let recovery =
+  {
+    name = "recovery";
+    run =
+      (fun ctx ->
+        if Design.area (the_design ctx) > ctx.ad then begin
+          ctx.schedule_latency <- ctx.ld;
+          (match realize_current ctx with
+          | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
+          | Ok d -> ctx.design <- Some d);
+          let classes = List.map fst (Dfg.count_by_class ctx.graph) in
+          let made_progress = ref true in
+          while Design.area (the_design ctx) > ctx.ad && !made_progress do
+            let area_before = Design.area (the_design ctx) in
+            made_progress :=
+              List.exists
+                (fun cls ->
+                  List.exists
+                    (fun (v : Resource.t) ->
+                      List.exists
+                        (fun ids ->
+                          match
+                            try_move ctx ~ids ~to_version:v
+                              ~guard:(fun () -> current_latency ctx <= ctx.ld)
+                              ~accept:(fun d -> Design.area d < area_before)
+                          with
+                          | None -> false
+                          | Some d ->
+                            ctx.design <- Some d;
+                            Telemetry.incr "downgrade.steps";
+                            ctx.trace
+                              (Area_downgrade
+                                 {
+                                   nodes =
+                                     List.map
+                                       (fun id -> (Dfg.node ctx.graph id).name)
+                                       ids;
+                                   from_version = "mixed";
+                                   to_version = v.Resource.id;
+                                   area = Design.area d;
+                                 });
+                            true)
+                        (subset_ids ~exhaustive:true ctx
+                           ~from:(fun (nd : Dfg.node) ->
+                             Op.resource_class nd.op = cls
+                             && ctx.assignment.(nd.id).Resource.area > v.Resource.area)
+                           ()))
+                    (Library.versions ctx.library cls))
+                classes
+          done
+        end;
+        Ok ());
+  }
+
+(* Refinement pass (extension): with both bounds met, restore
+   reliability wherever the remaining slack allows.  Steepest ascent
+   over subset swaps: each round evaluates every (class, target
+   version, K most-mobile operations) move and commits the one with
+   the largest reliability gain. *)
+let refine =
+  {
+    name = "refine";
+    run =
+      (fun ctx ->
+        if Design.area (the_design ctx) <= ctx.ad then begin
+          (* Full latency budget maximizes sharing headroom for the
+             upgrades, as long as it does not itself break the bound. *)
+          (match realize ctx ~latency:ctx.ld with
+          | Error _ -> ()
+          | Ok d ->
+            if Design.area d <= ctx.ad then begin
+              ctx.design <- Some d;
+              ctx.schedule_latency <- ctx.ld
+            end);
+          (* Evaluate a move without keeping it: returns the realized
+             design when it satisfies both bounds and improves
+             reliability, always restoring the assignment. *)
+          let evaluate_move ~ids ~to_version ~base_r =
+            let olds = List.map (fun id -> (id, ctx.assignment.(id))) ids in
+            List.iter (fun id -> set_version ctx id (to_version : Resource.t)) ids;
+            let result =
+              if current_latency ctx > ctx.ld then None
+              else
+                match realize_current ctx with
+                | Error _ -> None
+                | Ok d ->
+                  if Design.area d <= ctx.ad && Design.reliability d > base_r +. 1e-15
+                  then Some d
+                  else None
+            in
+            List.iter (fun (id, v) -> set_version ctx id v) olds;
+            result
+          in
+          let classes = List.map fst (Dfg.count_by_class ctx.graph) in
+          let improved = ref true in
+          while !improved do
+            improved := false;
+            let base_r = Design.reliability (the_design ctx) in
+            let best = ref None in
+            List.iter
+              (fun cls ->
+                List.iter
+                  (fun (v : Resource.t) ->
+                    List.iter
+                      (fun ids ->
+                        match evaluate_move ~ids ~to_version:v ~base_r with
+                        | None -> ()
+                        | Some d -> (
+                          let r = Design.reliability d in
+                          match !best with
+                          | Some (_, _, br) when br >= r -> ()
+                          | _ -> best := Some (ids, v, r)))
+                      (subset_ids ctx
+                         ~from:(fun (nd : Dfg.node) ->
+                           Op.resource_class nd.op = cls
+                           && ctx.assignment.(nd.id).Resource.reliability
+                              < v.Resource.reliability)
+                         ()))
+                  (Library.versions ctx.library cls))
+              classes;
+            match !best with
+            | None -> ()
+            | Some (ids, v, _) -> (
+              let from_version = ctx.assignment.(List.hd ids).Resource.id in
+              match
+                try_move ctx ~ids ~to_version:v
+                  ~guard:(fun () -> current_latency ctx <= ctx.ld)
+                  ~accept:(fun d ->
+                    Design.area d <= ctx.ad && Design.reliability d > base_r +. 1e-15)
+              with
+              | None -> ()
+              | Some d ->
+                ctx.design <- Some d;
+                improved := true;
+                Telemetry.incr "refine.upgrades";
+                ctx.trace
+                  (Refinement_upgrade
+                     {
+                       node =
+                         String.concat ","
+                           (List.map (fun id -> (Dfg.node ctx.graph id).name) ids);
+                       from_version;
+                       to_version = v.Resource.id;
+                       reliability = Design.reliability d;
+                     }))
+          done
+        end;
+        Ok ());
+  }
+
+let default_pipeline ~refine:want_refine =
+  [ initial_alloc; meet_latency; exploit_slack; meet_area; recovery ]
+  @ (if want_refine then [ refine ] else [])
+
+(* Lines 29-30: final bound check. *)
+let finalize ctx =
+  match ctx.design with
+  | None -> Error (Scheduling_error "pipeline realized no design")
+  | Some d ->
+    if Design.area d > ctx.ad then
+      Error (Area_infeasible { best_achieved = Design.area d })
+    else if Design.latency d > ctx.ld then
+      Error (Latency_infeasible { best_achievable = Design.latency d })
+    else Ok d
+
+let run_pipeline passes ctx =
+  let rec go = function
+    | [] -> finalize ctx
+    | p :: rest -> (
+      match Telemetry.time ("pass." ^ p.name) (fun () -> p.run ctx) with
+      | Ok () -> go rest
+      | Error e -> Error e)
+  in
+  go passes
+
+(* --- driver -------------------------------------------------------- *)
+
+type strategy = [ `Figure6 | `Bottom_up | `Best ]
+
+let check_classes g lib =
+  List.iter
+    (fun (cls, _) ->
+      match Library.versions lib cls with
+      | [] ->
+        invalid_arg
+          (Printf.sprintf "Reliability_centric: library has no %s versions"
+             (Resource.class_name cls))
+      | _ -> ())
+    (Dfg.count_by_class g)
+
+let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
+    ?(trace = fun _ -> ()) ?(use_cache = true) g lib ~ld ~ad =
+  if ld <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive latency bound";
+  if ad <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive area bound";
+  check_classes g lib;
+  let pipeline = default_pipeline ~refine in
+  (* One evaluation cache spans every direction tried: near convergence
+     the two directions realize many identical assignments. *)
+  let cache = create_cache () in
+  let run_from initial =
+    let ctx = create ~scheduler ~cache ~use_cache ~trace g lib ~ld ~ad ~initial in
+    run_pipeline pipeline ctx
+  in
+  let top_down () =
+    run_from (fun (nd : Dfg.node) -> Library.most_reliable lib (Op.resource_class nd.op))
+  in
+  let bottom_up () =
+    run_from (fun (nd : Dfg.node) -> Library.fastest lib (Op.resource_class nd.op))
+  in
+  match strategy with
+  | `Figure6 -> top_down ()
+  | `Bottom_up -> bottom_up ()
+  | `Best -> (
+    match (top_down (), bottom_up ()) with
+    | (Ok a as ra), Ok b -> if Design.reliability a >= Design.reliability b then ra else Ok b
+    | (Ok _ as r), Error _ | Error _, (Ok _ as r) -> r
+    | (Error _ as e), Error _ -> e)

@@ -1,0 +1,182 @@
+(** The pass-pipeline synthesis engine.
+
+    The paper's Figure-6 flow is a fixed sequence of stages: allocate
+    the most reliable versions, downgrade critical-path victims until
+    the latency bound holds, exploit leftover latency slack for
+    sharing, downgrade area victims until the area bound holds, and
+    (our documented extensions) recover via slower-but-smaller moves
+    and refine reliability back wherever slack remains.
+
+    This module makes each stage an explicit {!pass} over a shared
+    mutable {!ctx}, so that:
+
+    - {!Reliability_centric.synthesize} is a thin driver composing
+      {!default_pipeline} — stages can be reordered, dropped or
+      instrumented without touching the stage bodies;
+    - every [Design.realize] inside the stage loops goes through a
+      {e memoized evaluation cache} keyed by the assignment
+      fingerprint and scheduling latency (the latency/area loops and
+      the [`Best] strategy's two directions repeatedly re-realize
+      identical assignments);
+    - the critical-path latency of the current assignment is
+      maintained {e incrementally} (topological worklist from the
+      changed node) instead of recomputed from scratch after every
+      single-victim move;
+    - the work done is observable through [Rchls_util.Telemetry]
+      counters ([cache.hits], [cache.misses], [engine.realize],
+      [downgrade.steps], [refine.upgrades], [latency.sparse_updates])
+      and per-pass timers ([pass.meet_latency], ...).
+
+    Results are bit-identical to the historical monolithic
+    implementation: the passes preserve its exact decision order, and
+    the cache only short-circuits recomputation of a deterministic
+    function. *)
+
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+
+type failure =
+  | Latency_infeasible of { best_achievable : int }
+  | Area_infeasible of { best_achieved : int }
+  | Scheduling_error of string
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type trace_event =
+  | Initial of { latency : int }
+  | Latency_downgrade of {
+      node : string;
+      from_version : string;
+      to_version : string;
+      latency : int;
+    }
+  | Slack_exploited of { latency : int; area : int }
+  | Area_downgrade of {
+      nodes : string list;
+      from_version : string;
+      to_version : string;
+      area : int;
+    }
+  | Refinement_upgrade of {
+      node : string;
+      from_version : string;
+      to_version : string;
+      reliability : float;
+    }
+
+(** {1 Engine context} *)
+
+type cache
+(** A memoization table mapping (assignment fingerprint, latency) to
+    realized designs.  A cache belongs to one (graph, library,
+    scheduler) combination and one domain; it is shared between the
+    [`Best] strategy's two pipeline runs but must not be shared across
+    domains. *)
+
+val create_cache : unit -> cache
+
+type ctx
+(** Shared state the passes operate on: the graph, library and bounds,
+    the current version assignment, the incremental ASAP table, the
+    scheduling latency, the best realized design so far, the
+    evaluation cache and the trace sink. *)
+
+val create :
+  ?scheduler:Design.scheduler ->
+  ?cache:cache ->
+  ?use_cache:bool ->
+  ?trace:(trace_event -> unit) ->
+  Dfg.t ->
+  Library.t ->
+  ld:int ->
+  ad:int ->
+  initial:(Dfg.node -> Resource.t) ->
+  ctx
+(** Build a context with every operation on its [initial] version.
+    [use_cache:false] (default [true]) makes {!realize} bypass the
+    memoization table — every evaluation reruns the scheduler and
+    binder; results must be unchanged (tested). *)
+
+val graph : ctx -> Dfg.t
+val version_of : ctx -> Dfg.node_id -> Resource.t
+
+val set_version : ctx -> Dfg.node_id -> Resource.t -> unit
+(** Reassign one operation, updating the ASAP table incrementally
+    (worklist over successors in topological id order). *)
+
+val current_latency : ctx -> int
+(** Critical-path latency of the current assignment, from the
+    incrementally maintained ASAP table — O(nodes), no graph walk. *)
+
+val full_latency : ctx -> int
+(** The same quantity recomputed from scratch via
+    [Analysis.asap_latency]; exposed so tests can assert it always
+    equals {!current_latency}. *)
+
+val realize : ctx -> latency:int -> (Design.t, string) result
+(** Schedule + bind the current assignment at [latency], memoized. *)
+
+val design : ctx -> Design.t option
+(** The design realized by the passes run so far. *)
+
+(** {1 Passes} *)
+
+type pass = { name : string; run : ctx -> (unit, failure) result }
+(** A pipeline stage.  [run] mutates the context; [Error] aborts the
+    pipeline.  Each pass's wall-clock time accumulates in the
+    [pass.<name>] telemetry timer. *)
+
+val initial_alloc : pass
+(** Traces the initial allocation (Figure 6 line 3). *)
+
+val meet_latency : pass
+(** Lines 7-12: repeatedly move the slowest critical-path victim to a
+    faster version until the latency bound holds. *)
+
+val exploit_slack : pass
+(** Lines 4-5 and 15-21: realize at the achieved latency, then spend
+    leftover latency slack on re-schedules that share more. *)
+
+val meet_area : pass
+(** Lines 23-28: move the biggest-area victims (with their sharing
+    partners) to smaller not-slower versions until the area bound
+    holds. *)
+
+val recovery : pass
+(** Extension (DESIGN.md par. 8): when not-slower downgrades are
+    exhausted, move mobile subsets to smaller {e slower} versions as
+    long as the latency bound survives and realized area shrinks. *)
+
+val refine : pass
+(** Extension: with both bounds met, steepest-ascent subset upgrades
+    back to more reliable versions wherever slack allows. *)
+
+val default_pipeline : refine:bool -> pass list
+(** [initial_alloc; meet_latency; exploit_slack; meet_area; recovery]
+    plus {!refine} when [refine] is true — the Figure-6 flow. *)
+
+val run_pipeline : pass list -> ctx -> (Design.t, failure) result
+(** Run the passes in order, then check both bounds on the final
+    design (lines 29-30). *)
+
+(** {1 Driver} *)
+
+type strategy = [ `Figure6 | `Bottom_up | `Best ]
+
+val synthesize :
+  ?scheduler:Design.scheduler ->
+  ?refine:bool ->
+  ?strategy:strategy ->
+  ?trace:(trace_event -> unit) ->
+  ?use_cache:bool ->
+  Dfg.t ->
+  Library.t ->
+  ld:int ->
+  ad:int ->
+  (Design.t, failure) result
+(** The full algorithm: run {!default_pipeline} from the
+    strategy-dependent initial allocation(s); [`Best] runs both
+    directions over one shared evaluation cache and keeps the more
+    reliable feasible design.  {!Reliability_centric.synthesize} is
+    this function with [use_cache] defaulted. *)

@@ -1,22 +1,20 @@
+(* The public face of the synthesis algorithm.  The actual work lives
+   in [Engine]: each Figure-6 stage is a pass over a shared context,
+   and [synthesize] is the pipeline driver (with the memoized
+   evaluation cache always on). *)
+
 open Rchls_dfg
 module Resource = Rchls_charlib.Resource
 module Library = Rchls_charlib.Library
-module Analysis = Rchls_dfg.Analysis
-module Binding = Rchls_binding.Binding
 
-type failure =
+type failure = Engine.failure =
   | Latency_infeasible of { best_achievable : int }
   | Area_infeasible of { best_achieved : int }
   | Scheduling_error of string
 
-let pp_failure ppf = function
-  | Latency_infeasible { best_achievable } ->
-    Format.fprintf ppf "no solution: latency bound unreachable (best %d)" best_achievable
-  | Area_infeasible { best_achieved } ->
-    Format.fprintf ppf "no solution: area bound unreachable (best %d)" best_achieved
-  | Scheduling_error e -> Format.fprintf ppf "no solution: scheduling failed (%s)" e
+let pp_failure = Engine.pp_failure
 
-type trace_event =
+type trace_event = Engine.trace_event =
   | Initial of { latency : int }
   | Latency_downgrade of {
       node : string;
@@ -38,370 +36,10 @@ type trace_event =
       reliability : float;
     }
 
+type strategy = [ `Figure6 | `Bottom_up | `Best ]
+
 let most_reliable_assignment _g lib (nd : Dfg.node) =
   Library.most_reliable lib (Op.resource_class nd.op)
 
-let check_classes g lib =
-  List.iter
-    (fun (cls, _) ->
-      match Library.versions lib cls with
-      | [] ->
-        invalid_arg
-          (Printf.sprintf "Reliability_centric: library has no %s versions"
-             (Resource.class_name cls))
-      | _ -> ())
-    (Dfg.count_by_class g)
-
-(* The synthesis engine, parameterized by the starting allocation: the
-   paper's line 3 uses the most reliable version per operation
-   (top-down); the bottom-up strategy starts from the fastest. *)
-let synthesize_from ~initial ~scheduler ~refine ~trace g lib ~ld ~ad =
-  (* Mutable version assignment, indexed by node id. *)
-  let assignment =
-    Array.of_list (List.map (fun nd -> (initial nd : Resource.t)) (Dfg.nodes g))
-  in
-  let delay (nd : Dfg.node) = assignment.(nd.id).Resource.delay in
-  let current_latency () = Analysis.asap_latency g ~delay in
-  let realize latency =
-    Design.realize ~scheduler g lib ~assignment:(fun nd -> assignment.(nd.id)) ~latency
-  in
-
-  (* --- lines 7-12: meet the latency bound --------------------------- *)
-  trace (Initial { latency = current_latency () });
-  let latency_ok = ref (current_latency () <= ld) in
-  let progress = ref true in
-  while (not !latency_ok) && !progress do
-    progress := false;
-    let path = Analysis.critical_path g ~delay in
-    (* Victims in decreasing delay; the first with a faster version
-       available wins, and it moves to the most reliable faster
-       version. *)
-    let victims =
-      List.stable_sort (fun (a : Dfg.node) b -> compare (delay b) (delay a)) path
-    in
-    let candidate =
-      List.find_map
-        (fun (nd : Dfg.node) ->
-          match Library.faster_versions lib ~than:assignment.(nd.id) with
-          | [] -> None
-          | faster :: _ -> Some (nd, faster))
-        victims
-    in
-    match candidate with
-    | None -> ()
-    | Some (nd, faster) ->
-      let old = assignment.(nd.id) in
-      assignment.(nd.id) <- faster;
-      progress := true;
-      let l = current_latency () in
-      trace
-        (Latency_downgrade
-           {
-             node = nd.name;
-             from_version = old.Resource.id;
-             to_version = faster.Resource.id;
-             latency = l;
-           });
-      if l <= ld then latency_ok := true
-  done;
-  if not !latency_ok then
-    Error (Latency_infeasible { best_achievable = current_latency () })
-  else begin
-    (* Lines 4-5 semantics: schedule against the achieved ASAP length,
-       not the bound. *)
-    let schedule_latency = ref (current_latency ()) in
-    match realize !schedule_latency with
-    | Error e -> Error (Scheduling_error e)
-    | Ok d0 ->
-      let design = ref d0 in
-
-      (* --- lines 15-21: exploit latency slack to share more --------- *)
-      while Design.area !design > ad && !schedule_latency < ld do
-        incr schedule_latency;
-        match realize !schedule_latency with
-        | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
-        | Ok d ->
-          design := d;
-          trace (Slack_exploited { latency = !schedule_latency; area = Design.area d })
-      done;
-
-      (* Apply one version move to [ids], validated by [guard] (checked
-         after the tentative assignment, before the reschedule) and by
-         [accept] on the realized design; reverts and returns [None] on
-         failure, keeps the move and returns the design otherwise. *)
-      let try_move ~ids ~to_version ~guard ~accept =
-        let olds = List.map (fun id -> (id, assignment.(id))) ids in
-        List.iter (fun id -> assignment.(id) <- (to_version : Resource.t)) ids;
-        let revert () = List.iter (fun (id, v) -> assignment.(id) <- v) olds in
-        if not (guard ()) then begin
-          revert ();
-          None
-        end
-        else
-          match realize !schedule_latency with
-          | Error _ ->
-            revert ();
-            None
-          | Ok d ->
-            if not (accept d) then begin
-              revert ();
-              None
-            end
-            else Some d
-      in
-
-      (* Mobility of a node under the current assignment against the
-         current scheduling horizon — the slack heuristic ordering the
-         subset moves. *)
-      let mobility_of id =
-        let asap, alap =
-          Rchls_sched.Density.constrained_ranges g ~delay ~latency:!schedule_latency
-            ~fixed:(fun _ -> None)
-        in
-        alap.(id) - asap.(id)
-      in
-      (* Subset moves: the K most mobile operations satisfying [from]
-         move together to [v], K halving from the group size to 1. *)
-      let subset_ids ?(exhaustive = false) ~from () =
-        let movable = List.filter from (Dfg.nodes g) in
-        match movable with
-        | [] -> []
-        | _ ->
-          let by_mobility =
-            List.stable_sort
-              (fun (a : Dfg.node) b -> compare (mobility_of b.id) (mobility_of a.id))
-              movable
-          in
-          let total = List.length by_mobility in
-          (* Prefix sizes: halving from the whole group to 1 keeps the
-             refinement trajectory stable; the recovery stage asks for
-             every size (it only runs when the design is otherwise
-             infeasible, so exhaustiveness beats path elegance). *)
-          let sizes =
-            if exhaustive then List.init total (fun i -> total - i)
-            else begin
-              let rec halve k acc = if k <= 1 then 1 :: acc else halve (k / 2) (k :: acc) in
-              List.rev (halve total [])
-            end
-          in
-          List.map
-            (fun k ->
-              List.filteri (fun i _ -> i < k) by_mobility
-              |> List.map (fun (nd : Dfg.node) -> nd.id))
-            sizes
-      in
-
-      (* --- lines 23-28: not-slower version downgrades ---------------
-         Victims in decreasing version area; the operations sharing the
-         victim's instance move with it.  The paper accepts every such
-         move (the total assigned area strictly decreases, so the loop
-         terminates). *)
-      let made_progress = ref true in
-      while Design.area !design > ad && !made_progress do
-        let nodes_by_area =
-          List.stable_sort
-            (fun (a : Dfg.node) b ->
-              compare assignment.(b.id).Resource.area assignment.(a.id).Resource.area)
-            (Dfg.nodes g)
-        in
-        made_progress :=
-          List.exists
-            (fun (nd : Dfg.node) ->
-              match Library.smaller_versions lib ~than:assignment.(nd.id) with
-              | [] -> false
-              | smaller :: _ -> (
-                let old = assignment.(nd.id) in
-                let group =
-                  nd.id :: Binding.sharing_partners (Design.binding !design) nd.id
-                in
-                let ids = List.filter (fun id -> assignment.(id) = old) group in
-                match
-                  try_move ~ids ~to_version:smaller
-                    ~guard:(fun () -> true)
-                    ~accept:(fun _ -> true)
-                with
-                | None -> false
-                | Some d ->
-                  design := d;
-                  trace
-                    (Area_downgrade
-                       {
-                         nodes = List.map (fun id -> (Dfg.node g id).name) ids;
-                         from_version = old.Resource.id;
-                         to_version = smaller.Resource.id;
-                         area = Design.area d;
-                       });
-                  true))
-            nodes_by_area
-      done;
-
-      (* --- recovery stage (extension, DESIGN.md §8): when the
-         not-slower downgrades are exhausted, consider moving subsets
-         of operations to any smaller version (possibly slower), as
-         long as the latency bound still holds and the realized area
-         shrinks; the schedule gets the full latency budget so slack
-         can absorb the slower units. *)
-      if Design.area !design > ad then begin
-        schedule_latency := ld;
-        (match realize !schedule_latency with
-        | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
-        | Ok d -> design := d);
-        let classes = List.map fst (Dfg.count_by_class g) in
-        let made_progress = ref true in
-        while Design.area !design > ad && !made_progress do
-          let area_before = Design.area !design in
-          made_progress :=
-            List.exists
-              (fun cls ->
-                List.exists
-                  (fun (v : Resource.t) ->
-                    List.exists
-                      (fun ids ->
-                        match
-                          try_move ~ids ~to_version:v
-                            ~guard:(fun () -> current_latency () <= ld)
-                            ~accept:(fun d -> Design.area d < area_before)
-                        with
-                        | None -> false
-                        | Some d ->
-                          design := d;
-                          trace
-                            (Area_downgrade
-                               {
-                                 nodes =
-                                   List.map (fun id -> (Dfg.node g id).name) ids;
-                                 from_version = "mixed";
-                                 to_version = v.Resource.id;
-                                 area = Design.area d;
-                               });
-                          true)
-                      (subset_ids ~exhaustive:true
-                         ~from:(fun (nd : Dfg.node) ->
-                           Op.resource_class nd.op = cls
-                           && assignment.(nd.id).Resource.area > v.Resource.area)
-                         ()))
-                  (Library.versions lib cls))
-              classes
-        done
-      end;
-
-      (* --- refinement pass (extension): with both bounds met, restore
-         reliability wherever the remaining slack allows.  Steepest
-         ascent over subset swaps: each round evaluates every (class,
-         target version, K most-mobile operations) move and commits the
-         one with the largest reliability gain. *)
-      if refine && Design.area !design <= ad then begin
-        (* Full latency budget maximizes sharing headroom for the
-           upgrades, as long as it does not itself break the bound. *)
-        (match realize ld with
-        | Error _ -> ()
-        | Ok d ->
-          if Design.area d <= ad then begin
-            design := d;
-            schedule_latency := ld
-          end);
-        (* Evaluate a move without keeping it: returns the realized
-           design when it satisfies both bounds and improves
-           reliability, always restoring the assignment. *)
-        let evaluate_move ~ids ~to_version ~base_r =
-          let olds = List.map (fun id -> (id, assignment.(id))) ids in
-          List.iter (fun id -> assignment.(id) <- (to_version : Resource.t)) ids;
-          let result =
-            if current_latency () > ld then None
-            else
-              match realize !schedule_latency with
-              | Error _ -> None
-              | Ok d ->
-                if Design.area d <= ad && Design.reliability d > base_r +. 1e-15 then
-                  Some d
-                else None
-          in
-          List.iter (fun (id, v) -> assignment.(id) <- v) olds;
-          result
-        in
-        let classes = List.map fst (Dfg.count_by_class g) in
-        let improved = ref true in
-        while !improved do
-          improved := false;
-          let base_r = Design.reliability !design in
-          let best = ref None in
-          List.iter
-            (fun cls ->
-              List.iter
-                (fun (v : Resource.t) ->
-                  List.iter
-                    (fun ids ->
-                      match evaluate_move ~ids ~to_version:v ~base_r with
-                      | None -> ()
-                      | Some d -> (
-                        let r = Design.reliability d in
-                        match !best with
-                        | Some (_, _, br) when br >= r -> ()
-                        | _ -> best := Some (ids, v, r)))
-                    (subset_ids
-                       ~from:(fun (nd : Dfg.node) ->
-                         Op.resource_class nd.op = cls
-                         && assignment.(nd.id).Resource.reliability
-                            < v.Resource.reliability)
-                       ()))
-                (Library.versions lib cls))
-            classes;
-          match !best with
-          | None -> ()
-          | Some (ids, v, _) -> (
-            let from_version = assignment.(List.hd ids).Resource.id in
-            match
-              try_move ~ids ~to_version:v
-                ~guard:(fun () -> current_latency () <= ld)
-                ~accept:(fun d ->
-                  Design.area d <= ad && Design.reliability d > base_r +. 1e-15)
-            with
-            | None -> ()
-            | Some d ->
-              design := d;
-              improved := true;
-              trace
-                (Refinement_upgrade
-                   {
-                     node =
-                       String.concat "," (List.map (fun id -> (Dfg.node g id).name) ids);
-                     from_version;
-                     to_version = v.Resource.id;
-                     reliability = Design.reliability d;
-                   }))
-        done
-      end;
-
-      (* --- lines 29-30 ---------------------------------------------- *)
-      let d = !design in
-      if Design.area d > ad then Error (Area_infeasible { best_achieved = Design.area d })
-      else if Design.latency d > ld then
-        Error (Latency_infeasible { best_achievable = Design.latency d })
-      else Ok d
-  end
-
-type strategy = [ `Figure6 | `Bottom_up | `Best ]
-
-let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
-    ?(trace = fun _ -> ()) g lib ~ld ~ad =
-  if ld <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive latency bound";
-  if ad <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive area bound";
-  check_classes g lib;
-  let top_down () =
-    synthesize_from
-      ~initial:(fun nd -> most_reliable_assignment g lib nd)
-      ~scheduler ~refine ~trace g lib ~ld ~ad
-  in
-  let bottom_up () =
-    synthesize_from
-      ~initial:(fun (nd : Dfg.node) -> Library.fastest lib (Op.resource_class nd.op))
-      ~scheduler ~refine ~trace g lib ~ld ~ad
-  in
-  match strategy with
-  | `Figure6 -> top_down ()
-  | `Bottom_up -> bottom_up ()
-  | `Best -> (
-    match (top_down (), bottom_up ()) with
-    | (Ok a as ra), Ok b -> if Design.reliability a >= Design.reliability b then ra else Ok b
-    | (Ok _ as r), Error _ | Error _, (Ok _ as r) -> r
-    | (Error _ as e), Error _ -> e)
+let synthesize ?scheduler ?refine ?strategy ?trace g lib ~ld ~ad =
+  Engine.synthesize ?scheduler ?refine ?strategy ?trace g lib ~ld ~ad

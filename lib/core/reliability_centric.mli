@@ -21,7 +21,7 @@ open Rchls_dfg
 module Resource = Rchls_charlib.Resource
 module Library = Rchls_charlib.Library
 
-type failure =
+type failure = Engine.failure =
   | Latency_infeasible of { best_achievable : int }
       (** every fastest version is in use and the critical path still
           exceeds the bound *)
@@ -31,7 +31,7 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-type trace_event =
+type trace_event = Engine.trace_event =
   | Initial of { latency : int }
   | Latency_downgrade of { node : string; from_version : string; to_version : string; latency : int }
   | Slack_exploited of { latency : int; area : int }
@@ -69,7 +69,11 @@ val synthesize :
     - a {e refinement pass} (disable with [~refine:false]): once both
       bounds are met, operations are greedily moved back to more
       reliable versions wherever the remaining slack allows;
-    - the [`Bottom_up] starting point, combined by [`Best]. *)
+    - the [`Bottom_up] starting point, combined by [`Best].
+
+    This is a thin driver over the pass-pipeline engine: see {!Engine}
+    for the stage decomposition, the memoized evaluation cache and the
+    telemetry counters. *)
 
 val most_reliable_assignment : Dfg.t -> Library.t -> Dfg.node -> Resource.t
 (** The initial allocation (line 3). *)

@@ -183,7 +183,7 @@ let fig8a () =
     Sweep.run Sweep.Ours Benchmarks.fir16 Library.table1 ~lds ~ads:[ 8 ]
   in
   let series =
-    List.map (fun ld -> (ld, (Sweep.cell_at cells ~ld ~ad:8).Sweep.reliability)) lds
+    List.map (fun ld -> (ld, (Sweep.cell_at_exn cells ~ld ~ad:8).Sweep.reliability)) lds
   in
   series_table "Figure 8(a): FIR reliability vs latency bound (Ad=8)" "Latency" series
     Paper_data.fig8a_latency
@@ -194,7 +194,7 @@ let fig8b () =
     Sweep.run Sweep.Ours Benchmarks.fir16 Library.table1 ~lds:[ 10 ] ~ads
   in
   let series =
-    List.map (fun ad -> (ad, (Sweep.cell_at cells ~ld:10 ~ad).Sweep.reliability)) ads
+    List.map (fun ad -> (ad, (Sweep.cell_at_exn cells ~ld:10 ~ad).Sweep.reliability)) ads
   in
   series_table "Figure 8(b): FIR reliability vs area bound (Ld=10)" "Area" series
     Paper_data.fig8b_area
@@ -220,9 +220,9 @@ let table2 title g (paper_rows : Paper_data.table2_row list) =
   List.iter
     (fun (row : Paper_data.table2_row) ->
       let ld = row.ld and ad = row.ad in
-      let b = (Sweep.cell_at base ~ld ~ad).Sweep.reliability in
-      let o = (Sweep.cell_at ours ~ld ~ad).Sweep.reliability in
-      let c = (Sweep.cell_at comb ~ld ~ad).Sweep.reliability in
+      let b = (Sweep.cell_at_exn base ~ld ~ad).Sweep.reliability in
+      let o = (Sweep.cell_at_exn ours ~ld ~ad).Sweep.reliability in
+      let c = (Sweep.cell_at_exn comb ~ld ~ad).Sweep.reliability in
       let impr x =
         match (b, x) with
         | Some b, Some x -> Tablefmt.pct_cell (Sweep.improvement_pct b x)
@@ -282,7 +282,7 @@ let fig9 () =
         let vals =
           List.filter_map
             (fun (row : Paper_data.table2_row) ->
-              (Sweep.cell_at cells ~ld:row.ld ~ad:row.ad).Sweep.reliability)
+              (Sweep.cell_at_exn cells ~ld:row.ld ~ad:row.ad).Sweep.reliability)
             rows
         in
         match vals with

@@ -1,6 +1,8 @@
 module Library = Rchls_charlib.Library
 module Rc = Rchls_core.Reliability_centric
 module Design = Rchls_core.Design
+module Pool = Rchls_util.Pool
+module Telemetry = Rchls_util.Telemetry
 
 type approach = Baseline | Ours | Combined
 
@@ -25,37 +27,77 @@ let raw_cell ?scheduler ?refine approach g lib ~ld ~ad =
         Some (Rchls_redundancy.Nmr_design.area t) )
     | Error _ -> (None, None))
 
-let run ?scheduler ?refine approach g lib ~lds ~ads =
-  let lds = List.sort_uniq compare lds in
-  let ads = List.sort_uniq compare ads in
-  let raw =
-    List.concat_map
-      (fun ld ->
-        List.map
-          (fun ad ->
-            let r, a = raw_cell ?scheduler ?refine approach g lib ~ld ~ad in
-            ((ld, ad), (r, a)))
-          ads)
-      lds
+(* Monotone envelope: a cell inherits any dominated cell's better
+   result.  The winner of cell (ld, ad) is its own raw result when
+   nothing dominated beats it, otherwise the first cell in row-major
+   grid order achieving the maximum reliability over all dominated
+   cells — exactly the fixpoint of the historical O(cells^2) fold,
+   computed in one dynamic-programming pass: the dominated set of grid
+   cell (i, j) is the union of those of (i-1, j) and (i, j-1) plus the
+   cell itself. *)
+let envelope ~n_ads raw =
+  let cells = Array.of_list raw in
+  let n = Array.length cells in
+  (* Per cell: the max reliability over its dominated set, and the
+     row-major index of the first cell attaining it. *)
+  let best = Array.make n (None, 0) in
+  let better a b =
+    (* is [a] strictly better than [b]? (None = infeasible = bottom) *)
+    match (a, b) with
+    | Some x, Some y -> x > y
+    | Some _, None -> true
+    | None, _ -> false
   in
-  (* Monotone envelope: a cell inherits any dominated cell's better
-     result. *)
-  List.map
-    (fun ((ld, ad), (r0, a0)) ->
-      let best =
-        List.fold_left
-          (fun (br, ba) ((ld', ad'), (r', a')) ->
-            if ld' <= ld && ad' <= ad then
-              match (br, r') with
-              | None, _ -> (r', a')
-              | Some _, None -> (br, ba)
-              | Some b, Some v -> if v > b then (r', a') else (br, ba)
-            else (br, ba))
-          (r0, a0) raw
+  List.mapi
+    (fun k ((ld, ad), ((r0, _) as own)) ->
+      let i = k / n_ads and j = k mod n_ads in
+      let candidates =
+        (if i > 0 then [ best.(k - n_ads) ] else [])
+        @ (if j > 0 then [ best.(k - 1) ] else [])
+        @ [ (r0, k) ]
       in
-      { ld; ad; reliability = fst best; area = snd best })
+      let winner =
+        List.fold_left
+          (fun (br, bk) (r, k') ->
+            if better r br then (r, k')
+            else if better br r then (br, bk)
+            else (br, min bk k'))
+          (List.hd candidates) (List.tl candidates)
+      in
+      best.(k) <- winner;
+      let max_r, first_k = winner in
+      let r, a =
+        (* The fold this replaces started from the cell's own value and
+           only replaced it on a strict improvement: ties keep the
+           cell's own result. *)
+        if not (better max_r r0) then own
+        else snd cells.(first_k)
+      in
+      { ld; ad; reliability = r; area = a })
     raw
 
-let cell_at cells ~ld ~ad = List.find (fun c -> c.ld = ld && c.ad = ad) cells
+let run ?scheduler ?refine ?domains approach g lib ~lds ~ads =
+  let lds = List.sort_uniq compare lds in
+  let ads = List.sort_uniq compare ads in
+  let grid = List.concat_map (fun ld -> List.map (fun ad -> (ld, ad)) ads) lds in
+  let raw =
+    Telemetry.time "sweep.cells" (fun () ->
+        Pool.map ?domains
+          (fun (ld, ad) ->
+            Telemetry.incr "sweep.cells";
+            ((ld, ad), raw_cell ?scheduler ?refine approach g lib ~ld ~ad))
+          grid)
+  in
+  envelope ~n_ads:(List.length ads) raw
+
+let cell_at cells ~ld ~ad = List.find_opt (fun c -> c.ld = ld && c.ad = ad) cells
+
+let cell_at_exn cells ~ld ~ad =
+  match cell_at cells ~ld ~ad with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sweep.cell_at_exn: no cell at (ld=%d, ad=%d) in the swept grid"
+         ld ad)
 
 let improvement_pct base v = (v -. base) /. base *. 100.

@@ -7,8 +7,14 @@
     (Ld', Ad') with Ld' <= Ld and Ad' <= Ad is feasible at (Ld, Ad).
     The driver therefore applies the {e monotone envelope} over the
     swept grid: each cell reports the best result among itself and all
-    dominated grid cells. *)
+    dominated grid cells (single dynamic-programming pass over the
+    sorted grid).
 
+    Grid cells are independent synthesis problems, so they are
+    evaluated concurrently on a domain pool ([Rchls_util.Pool]); the
+    synthesis engine is deterministic and results are returned in grid
+    order, so parallel and sequential sweeps produce identical
+    cells. *)
 
 module Library = Rchls_charlib.Library
 
@@ -24,6 +30,7 @@ type cell = {
 val run :
   ?scheduler:Rchls_core.Design.scheduler ->
   ?refine:bool ->
+  ?domains:int ->
   approach ->
   Rchls_dfg.Dfg.t ->
   Library.t ->
@@ -31,10 +38,17 @@ val run :
   ads:int list ->
   cell list
 (** Sweep the full [lds] x [ads] product (row-major: all areas for the
-    first latency first) with the monotone envelope applied. *)
+    first latency first) with the monotone envelope applied.
+    [domains] caps the worker domains (default
+    [Rchls_util.Pool.num_domains ()], which honours [RCHLS_DOMAINS]);
+    [~domains:1] forces a sequential sweep. *)
 
-val cell_at : cell list -> ld:int -> ad:int -> cell
-(** Raises [Not_found]. *)
+val cell_at : cell list -> ld:int -> ad:int -> cell option
+(** The cell at exactly ([ld], [ad]), if that point was swept. *)
+
+val cell_at_exn : cell list -> ld:int -> ad:int -> cell
+(** Like {!cell_at} but raises [Invalid_argument] naming the missing
+    coordinates. *)
 
 val improvement_pct : float -> float -> float
 (** [improvement_pct base v] = (v - base) / base * 100. *)

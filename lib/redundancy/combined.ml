@@ -1,6 +1,7 @@
 module Rc = Rchls_core.Reliability_centric
 
 let synthesize ?scheduler ?strategy g lib ~ld ~ad =
+  Rchls_util.Telemetry.incr "redundancy.runs";
   match Rc.synthesize ?scheduler ?strategy g lib ~ld ~ad with
   | Error e -> Error e
   | Ok d -> Ok (Orailoglu.add_redundancy (Nmr_design.of_design d) ~ad)

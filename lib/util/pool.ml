@@ -1,0 +1,36 @@
+let num_domains () =
+  match Sys.getenv_opt "RCHLS_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ?domains f xs =
+  let n = List.length xs in
+  let k = min (match domains with Some d -> max 1 d | None -> num_domains ()) n in
+  if k <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain is worker number [k]; spawn the other k-1. *)
+    let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list out
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

@@ -1,0 +1,23 @@
+(** A small work-stealing-free domain pool for embarrassingly parallel
+    fan-out (the design-space sweep driver).
+
+    Work items are pulled off a shared atomic index, so load balances
+    across domains even when per-item cost varies by orders of
+    magnitude (tight-bound synthesis cells are far slower than
+    infeasible ones).  Results are written back by item index, so
+    {!map} returns them in input order — parallel and sequential runs
+    of a deterministic function are indistinguishable. *)
+
+val num_domains : unit -> int
+(** Domains to use: the [RCHLS_DOMAINS] environment variable when set
+    to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, spreading the work over
+    [domains] (default {!num_domains}) OCaml domains, and returns the
+    results in input order.  [f] must be safe to call concurrently
+    from several domains.  With [domains <= 1] (or on lists of at most
+    one element) no domain is spawned and this is [List.map f xs].
+    The first exception raised by [f] (in item order) is re-raised
+    after all domains have been joined. *)

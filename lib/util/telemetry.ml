@@ -1,0 +1,88 @@
+(* Process-global registry.  Counter cells are Atomic ints so domains
+   bump them without locks; the hashtable itself is only mutated under
+   [registry_lock] (cell creation is rare, bumps are hot). *)
+
+type event = Counter of { name : string; delta : int } | Timer of { name : string; ns : int64 }
+
+let registry_lock = Mutex.create ()
+let counters_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
+let timers_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let sink : (event -> unit) option Atomic.t = Atomic.make None
+
+let set_sink s = Atomic.set sink s
+
+let emit ev = match Atomic.get sink with None -> () | Some f -> f ev
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+    Mutex.lock registry_lock;
+    let c =
+      match Hashtbl.find_opt tbl name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add tbl name c;
+        c
+    in
+    Mutex.unlock registry_lock;
+    c
+
+(* [Atomic.fetch_and_add] has no observable intermediate states we
+   rely on; sums are exact after domains join. *)
+let add name n =
+  ignore (Atomic.fetch_and_add (cell counters_tbl name) n);
+  emit (Counter { name; delta = n })
+
+let incr name = add name 1
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with None -> 0 | Some c -> Atomic.get c
+
+let snapshot tbl =
+  Mutex.lock registry_lock;
+  let xs = Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) tbl [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) xs
+
+let counters () = snapshot counters_tbl
+
+let now_ns () = Monotonic_clock.now ()
+
+let add_timer_ns name ns =
+  ignore (Atomic.fetch_and_add (cell timers_tbl name) (Int64.to_int ns));
+  emit (Timer { name; ns })
+
+let time name f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_timer_ns name (Int64.sub (now_ns ()) t0)) f
+
+let timer_ns name =
+  match Hashtbl.find_opt timers_tbl name with
+  | None -> 0L
+  | Some c -> Int64.of_int (Atomic.get c)
+
+let timers () = List.map (fun (n, v) -> (n, Int64.of_int v)) (snapshot timers_tbl)
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters_tbl;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) timers_tbl;
+  Mutex.unlock registry_lock
+
+let render () =
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  let ts = List.filter (fun (_, v) -> v <> 0L) (timers ()) in
+  if cs = [] && ts = [] then ""
+  else begin
+    let t = Tablefmt.create ~aligns:[ Tablefmt.Left; Right ] [ "metric"; "value" ] in
+    List.iter (fun (name, v) -> Tablefmt.add_row t [ name; string_of_int v ]) cs;
+    if cs <> [] && ts <> [] then Tablefmt.add_sep t;
+    List.iter
+      (fun (name, ns) ->
+        Tablefmt.add_row t
+          [ name; Printf.sprintf "%.3f ms" (Int64.to_float ns /. 1e6) ])
+      ts;
+    Tablefmt.render t
+  end

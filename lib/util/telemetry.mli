@@ -1,0 +1,53 @@
+(** Engine observability: named counters and monotonic-clock timers.
+
+    The synthesis layers (scheduling, binding, the pass-pipeline
+    engine, the redundancy baseline) report how much work they do
+    through a process-global registry of named counters
+    (["sched.runs"], ["cache.hits"], ["downgrade.steps"], ...) and
+    cumulative wall-clock timers (["pass.meet_latency"], ...).
+
+    All counters are {!Atomic}-backed and safe to bump from multiple
+    domains — the parallel sweep driver aggregates worker activity
+    into the same registry.  Reads ({!counters}, {!timers}) are
+    snapshots, exact once the domains have been joined.
+
+    Recording is free of observable side effects on synthesis results:
+    layers must never branch on telemetry state. *)
+
+val incr : string -> unit
+(** [incr name] adds 1 to counter [name], creating it at 0 first. *)
+
+val add : string -> int -> unit
+(** [add name n] adds [n] to counter [name]. *)
+
+val counter : string -> int
+(** Current value; 0 for a counter never bumped. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()], adding its monotonic-clock elapsed time
+    to timer [name] (and re-raising any exception, still charged). *)
+
+val timer_ns : string -> int64
+(** Accumulated nanoseconds; 0 for an unknown timer. *)
+
+val timers : unit -> (string * int64) list
+(** All timers (name, cumulative ns), sorted by name. *)
+
+type event = Counter of { name : string; delta : int } | Timer of { name : string; ns : int64 }
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or remove) a sink observing every counter bump and timer
+    stop in addition to the registry accumulation.  The sink runs on
+    the domain that recorded the event; it must be thread-safe when
+    parallel sweeps are active.  Intended for streaming traces and
+    tests. *)
+
+val reset : unit -> unit
+(** Zero every counter and timer (the registry keys survive). *)
+
+val render : unit -> string
+(** Counters and timers as an aligned two-column table, empty string
+    when nothing was recorded — the [--stats] output of the CLI. *)

@@ -1,0 +1,174 @@
+(* Engine refactor invariants: the memoized evaluation cache, the
+   incremental critical-path maintenance and the Domain-parallel sweep
+   driver must all be invisible — identical results to the naive
+   sequential, cache-free computation. *)
+
+open Rchls_dfg
+module Engine = Rchls_core.Engine
+module Rc = Rchls_core.Reliability_centric
+module Design = Rchls_core.Design
+module Library = Rchls_charlib.Library
+module Resource = Rchls_charlib.Resource
+module Sweep = Rchls_experiments.Sweep
+module Telemetry = Rchls_util.Telemetry
+
+let lib = Library.table1
+
+(* --- parallel sweep == sequential sweep ----------------------------- *)
+
+let check_cells name seq par =
+  Alcotest.(check int) (name ^ ": cell count") (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Sweep.cell) (b : Sweep.cell) ->
+      Alcotest.(check (pair int int)) (name ^ ": coords") (a.ld, a.ad) (b.ld, b.ad);
+      Alcotest.(check (option (float 0.))) (name ^ ": reliability") a.reliability
+        b.reliability;
+      Alcotest.(check (option int)) (name ^ ": area") a.area b.area)
+    seq par
+
+let sweep_grids =
+  [
+    ("fir16", Benchmarks.fir16, [ 9; 10; 12 ], [ 7; 9; 11 ]);
+    ("ewf", Benchmarks.ewf, [ 14; 17 ], [ 5; 7; 9 ]);
+    ("diffeq", Benchmarks.diffeq, [ 5; 6; 8 ], [ 5; 7 ]);
+  ]
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun (name, g, lds, ads) ->
+      List.iter
+        (fun approach ->
+          let seq = Sweep.run ~domains:1 approach g lib ~lds ~ads in
+          let par = Sweep.run ~domains:4 approach g lib ~lds ~ads in
+          check_cells name seq par)
+        [ Sweep.Ours; Sweep.Baseline; Sweep.Combined ])
+    sweep_grids
+
+(* --- cached synthesis == uncached synthesis ------------------------- *)
+
+let result_testable =
+  let pp ppf = function
+    | Ok d ->
+      Format.fprintf ppf "Ok (R=%.12f, area=%d, latency=%d)" (Design.reliability d)
+        (Design.area d) (Design.latency d)
+    | Error f -> Engine.pp_failure ppf f
+  in
+  let eq a b =
+    match (a, b) with
+    | Ok x, Ok y ->
+      Design.reliability x = Design.reliability y
+      && Design.area x = Design.area y
+      && Design.latency x = Design.latency y
+    | Error x, Error y -> x = y
+    | _ -> false
+  in
+  Alcotest.testable pp eq
+
+let gen_bounds = QCheck2.Gen.(pair (int_range 5 14) (int_range 3 16))
+
+let prop_cache_transparent g_name g =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "cache transparent on %s" g_name)
+    ~count:40 gen_bounds
+    (fun (ld, ad) ->
+      let cached = Engine.synthesize ~use_cache:true g lib ~ld ~ad in
+      let raw = Engine.synthesize ~use_cache:false g lib ~ld ~ad in
+      Alcotest.check result_testable
+        (Printf.sprintf "%s ld=%d ad=%d" g_name ld ad)
+        raw cached;
+      true)
+
+(* --- incremental latency == from-scratch latency -------------------- *)
+
+(* Random version flips, including on EWF whose node ids are NOT in
+   topological order — the case that forces the worklist to follow
+   Dfg.topological rather than raw ids. *)
+let prop_incremental_latency g_name g =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "incremental latency on %s" g_name)
+    ~count:30
+    QCheck2.Gen.(list_size (int_range 1 40) (pair nat nat))
+    (fun flips ->
+      let ctx =
+        Engine.create g lib ~ld:1000 ~ad:1000
+          ~initial:(Rc.most_reliable_assignment g lib)
+      in
+      let nodes = Array.of_list (Dfg.nodes g) in
+      List.iter
+        (fun (ni, vi) ->
+          let nd = nodes.(ni mod Array.length nodes) in
+          let versions = Library.versions lib (Op.resource_class nd.Dfg.op) in
+          let v = List.nth versions (vi mod List.length versions) in
+          Engine.set_version ctx nd.Dfg.id v;
+          let inc = Engine.current_latency ctx in
+          let full = Engine.full_latency ctx in
+          if inc <> full then
+            Alcotest.failf "%s: incremental latency %d <> full %d after flipping %s to %s"
+              g_name inc full nd.Dfg.name v.Resource.id)
+        flips;
+      true)
+
+(* --- telemetry ------------------------------------------------------ *)
+
+let test_counters_monotone_and_cache_hit () =
+  Telemetry.reset ();
+  let watched = [ "cache.hits"; "cache.misses"; "engine.runs"; "sched.runs"; "bind.runs" ] in
+  let snapshot () = List.map (fun c -> Telemetry.counter c) watched in
+  let run () =
+    match Engine.synthesize ~strategy:`Best Benchmarks.fir16 lib ~ld:11 ~ad:8 with
+    | Ok _ -> ()
+    | Error f -> Alcotest.failf "fir16 (11,8) unexpectedly failed: %a" Engine.pp_failure f
+  in
+  run ();
+  let s1 = snapshot () in
+  Alcotest.(check bool) "cache.hits > 0 after a Best run" true
+    (Telemetry.counter "cache.hits" > 0);
+  run ();
+  let s2 = snapshot () in
+  List.iter2
+    (fun (name, a) b ->
+      if b < a then Alcotest.failf "counter %s decreased: %d -> %d" name a b)
+    (List.combine watched s1) s2;
+  Telemetry.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Telemetry.counter "cache.hits")
+
+(* --- pipeline surface ----------------------------------------------- *)
+
+let test_pipeline_matches_driver () =
+  let g = Benchmarks.diffeq in
+  let via_driver = Engine.synthesize ~strategy:`Figure6 g lib ~ld:7 ~ad:7 in
+  let ctx =
+    Engine.create g lib ~ld:7 ~ad:7 ~initial:(Rc.most_reliable_assignment g lib)
+  in
+  let via_pipeline = Engine.run_pipeline (Engine.default_pipeline ~refine:true) ctx in
+  Alcotest.check result_testable "explicit pipeline = Figure6 driver" via_driver
+    via_pipeline
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "parallel sweep",
+        [ Alcotest.test_case "1 domain = 4 domains" `Quick test_parallel_matches_sequential ]
+      );
+      ( "cache",
+        [
+          qt (prop_cache_transparent "fir16" Benchmarks.fir16);
+          qt (prop_cache_transparent "diffeq" Benchmarks.diffeq);
+          qt (prop_cache_transparent "ewf" Benchmarks.ewf);
+        ] );
+      ( "incremental latency",
+        [
+          qt (prop_incremental_latency "fir16" Benchmarks.fir16);
+          qt (prop_incremental_latency "ewf" Benchmarks.ewf);
+          qt (prop_incremental_latency "diffeq" Benchmarks.diffeq);
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "counters monotone, cache hits on Best" `Quick
+            test_counters_monotone_and_cache_hit;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "explicit pipeline = driver" `Quick test_pipeline_matches_driver ]
+      );
+    ]

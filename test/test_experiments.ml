@@ -21,12 +21,14 @@ let contains hay needle =
 let test_sweep_grid_shape () =
   let cells = Sweep.run Sweep.Ours Benchmarks.diffeq lib ~lds:[ 5; 6 ] ~ads:[ 11; 13 ] in
   Alcotest.(check int) "4 cells" 4 (List.length cells);
-  ignore (Sweep.cell_at cells ~ld:5 ~ad:11);
-  Alcotest.(check bool) "missing cell raises" true
+  ignore (Sweep.cell_at_exn cells ~ld:5 ~ad:11);
+  Alcotest.(check bool) "missing cell is None" true
+    (Sweep.cell_at cells ~ld:9 ~ad:9 = None);
+  Alcotest.(check bool) "missing cell raises with coordinates" true
     (try
-       ignore (Sweep.cell_at cells ~ld:9 ~ad:9);
+       ignore (Sweep.cell_at_exn cells ~ld:9 ~ad:9);
        false
-     with Not_found -> true)
+     with Invalid_argument msg -> contains msg "ld=9" && contains msg "ad=9")
 
 let monotone cells lds ads =
   List.for_all
@@ -39,8 +41,8 @@ let monotone cells lds ads =
                 (fun ad' ->
                   if ld' <= ld && ad' <= ad then
                     match
-                      ( (Sweep.cell_at cells ~ld ~ad).Sweep.reliability,
-                        (Sweep.cell_at cells ~ld:ld' ~ad:ad').Sweep.reliability )
+                      ( (Sweep.cell_at_exn cells ~ld ~ad).Sweep.reliability,
+                        (Sweep.cell_at_exn cells ~ld:ld' ~ad:ad').Sweep.reliability )
                     with
                     | Some r, Some r' -> r >= r' -. 1e-12
                     | Some _, None -> true
@@ -79,8 +81,8 @@ let test_ours_beats_baseline_at_tight_bounds () =
       let ours = Sweep.run Sweep.Ours g lib ~lds:[ ld ] ~ads:[ ad ] in
       let base = Sweep.run Sweep.Baseline g lib ~lds:[ ld ] ~ads:[ ad ] in
       match
-        ( (Sweep.cell_at ours ~ld ~ad).Sweep.reliability,
-          (Sweep.cell_at base ~ld ~ad).Sweep.reliability )
+        ( (Sweep.cell_at_exn ours ~ld ~ad).Sweep.reliability,
+          (Sweep.cell_at_exn base ~ld ~ad).Sweep.reliability )
       with
       | Some o, Some b ->
         Alcotest.(check bool)
@@ -98,8 +100,8 @@ let test_baseline_catches_up_at_loose_area () =
     let ours = Sweep.run Sweep.Ours Benchmarks.fir16 lib ~lds:[ 10 ] ~ads:[ ad ] in
     let base = Sweep.run Sweep.Baseline Benchmarks.fir16 lib ~lds:[ 10 ] ~ads:[ ad ] in
     match
-      ( (Sweep.cell_at ours ~ld:10 ~ad).Sweep.reliability,
-        (Sweep.cell_at base ~ld:10 ~ad).Sweep.reliability )
+      ( (Sweep.cell_at_exn ours ~ld:10 ~ad).Sweep.reliability,
+        (Sweep.cell_at_exn base ~ld:10 ~ad).Sweep.reliability )
     with
     | Some o, Some b -> o -. b
     | Some o, None -> o
@@ -115,7 +117,7 @@ let test_combined_dominates_ours_on_average () =
     let vals =
       List.filter_map
         (fun (r : Paper_data.table2_row) ->
-          (Sweep.cell_at cells ~ld:r.ld ~ad:r.ad).Sweep.reliability)
+          (Sweep.cell_at_exn cells ~ld:r.ld ~ad:r.ad).Sweep.reliability)
         rows
     in
     Rchls_util.Stats.mean vals
@@ -131,7 +133,7 @@ let test_fig8_series_monotone () =
   let lds = List.map fst Paper_data.fig8a_latency in
   let cells = Sweep.run Sweep.Ours Benchmarks.fir16 lib ~lds ~ads:[ 8 ] in
   let series =
-    List.filter_map (fun ld -> (Sweep.cell_at cells ~ld ~ad:8).Sweep.reliability) lds
+    List.filter_map (fun ld -> (Sweep.cell_at_exn cells ~ld ~ad:8).Sweep.reliability) lds
   in
   let rec increasing = function
     | a :: (b :: _ as rest) -> a <= b +. 1e-12 && increasing rest
