@@ -1,4 +1,8 @@
-.PHONY: all build test check repro bench bench-json clean
+.PHONY: all build test check repro bench bench-json bench-fault clean
+
+# Fault-campaign benchmark knobs (see `bench fault` in bench/main.ml).
+FAULT_VECTORS ?= 64
+FAULT_WIDTH ?= 16
 
 all: build
 
@@ -26,6 +30,13 @@ bench: build
 bench-json: build
 	dune exec bench/main.exe -- sweep BENCH_sweep.json
 
+# Time the fault-injection campaigns scalar vs bit-parallel vs the
+# domain pool, verify report equality, and record the result (with the
+# fault.* telemetry counters) in BENCH_fault.json.
+bench-fault: build
+	dune exec bench/main.exe -- fault --vectors $(FAULT_VECTORS) \
+	  --width $(FAULT_WIDTH) BENCH_fault.json
+
 clean:
 	dune clean
-	rm -f BENCH_sweep.json
+	rm -f BENCH_sweep.json BENCH_fault.json

@@ -10,12 +10,21 @@
 
    Run everything:      dune exec bench/main.exe
    Reproduction only:   dune exec bench/main.exe -- repro
-   Performance only:    dune exec bench/main.exe -- perf
+   Performance only:    dune exec bench/main.exe -- perf [--vectors N] [--width W]
    One experiment:      dune exec bench/main.exe -- repro table2a
    Sweep scaling:       dune exec bench/main.exe -- sweep [BENCH_sweep.json]
      (times the Fig-8/Table-2 sweep suite sequentially vs on the
       domain pool, checks cell-for-cell equality, and writes a
-      machine-readable JSON record with the cache counters) *)
+      machine-readable JSON record with the cache counters)
+   Fault campaigns:     dune exec bench/main.exe -- fault [BENCH_fault.json]
+                          [--vectors N] [--width W]
+     (times scalar vs bit-parallel vs domain-parallel fault-injection
+      campaigns on the characterization circuits, verifies the reports
+      are identical node for node, and records the result)
+
+   --vectors / --width are shared with `bin/main.exe characterize
+   --measured` and apply to the perf characterization kernel and the
+   fault mode; there are no buried vector-count literals. *)
 
 module Experiments = Rchls_experiments.Experiments
 module Rc = Rchls_core.Reliability_centric
@@ -187,9 +196,133 @@ let sweep_bench out_path =
   Printf.printf "wrote %s\n%!" out_path;
   if not all_identical then exit 1
 
+(* --- fault-injection campaign benchmark ----------------------------- *)
+
+module Fault_sim = Rchls_soft_error.Fault_sim
+module Catalog = Rchls_circuits.Catalog
+
+let fault_reports_equal (a : Fault_sim.report) (b : Fault_sim.report) =
+  List.length a.Fault_sim.nodes = List.length b.Fault_sim.nodes
+  && List.for_all2
+       (fun (x : Fault_sim.node_result) (y : Fault_sim.node_result) ->
+         x.net = y.net && x.kind = y.kind && x.observed = y.observed
+         && x.injected = y.injected
+         && x.logical_derating = y.logical_derating
+         && x.ci_low = y.ci_low && x.ci_high = y.ci_high)
+       a.Fault_sim.nodes b.Fault_sim.nodes
+
+let fault_bench ~vectors ~width out_path =
+  let domains = Pool.num_domains () in
+  Printf.printf
+    "=== Fault campaigns: scalar vs packed vs %d domains (%d vectors, width %d) ===\n%!"
+    domains vectors width;
+  Telemetry.reset ();
+  Fault_sim.Campaign.cache_clear ();
+  (* The three characterization shapes: a small adder, a prefix adder,
+     and the 16-bit Wallace multiplier (sampled like the library
+     characterization samples multipliers). *)
+  let suite =
+    [
+      ("rca", Fault_sim.Sampling.All);
+      ("bk", Fault_sim.Sampling.All);
+      ("wmul", Fault_sim.Sampling.Strided 256);
+    ]
+  in
+  let results =
+    List.map
+      (fun (id, sampling) ->
+        let nl = (Option.get (Catalog.find id)).Catalog.build ~width in
+        let config =
+          { Fault_sim.Campaign.default with vectors; sampling; domains = Some 1 }
+        in
+        let t0 = now_s () in
+        let scalar = Fault_sim.Campaign.run_scalar ~config nl in
+        let t1 = now_s () in
+        let packed = Fault_sim.Campaign.run ~config nl in
+        let t2 = now_s () in
+        Fault_sim.Campaign.cache_clear ();
+        let par_config = { config with domains = None } in
+        let par = Fault_sim.Campaign.run ~config:par_config nl in
+        let t3 = now_s () in
+        let cached = Fault_sim.Campaign.run ~config:par_config nl in
+        let t4 = now_s () in
+        let scalar_s = t1 -. t0
+        and packed_s = t2 -. t1
+        and par_s = t3 -. t2
+        and cached_s = t4 -. t3 in
+        let identical =
+          fault_reports_equal scalar packed
+          && fault_reports_equal scalar par
+          && fault_reports_equal scalar cached
+        in
+        let injections =
+          List.fold_left
+            (fun acc (n : Fault_sim.node_result) -> acc + n.injected)
+            0 scalar.Fault_sim.nodes
+        in
+        Printf.printf
+          "%-10s %4d nodes  scalar %7.3fs  packed %7.3fs (x%.1f)  par %7.3fs (x%.1f)  \
+           cached %.6fs  %s\n%!"
+          (Printf.sprintf "%s%d" id width)
+          (List.length scalar.Fault_sim.nodes)
+          scalar_s packed_s (scalar_s /. packed_s) par_s (scalar_s /. par_s) cached_s
+          (if identical then "identical" else "MISMATCH");
+        ( Printf.sprintf "%s%d" id width,
+          List.length scalar.Fault_sim.nodes,
+          injections, scalar_s, packed_s, par_s, cached_s, identical ))
+      suite
+  in
+  let all_identical = List.for_all (fun (_, _, _, _, _, _, _, i) -> i) results in
+  let total_scalar = List.fold_left (fun a (_, _, _, s, _, _, _, _) -> a +. s) 0. results in
+  let total_packed = List.fold_left (fun a (_, _, _, _, p, _, _, _) -> a +. p) 0. results in
+  let total_par = List.fold_left (fun a (_, _, _, _, _, p, _, _) -> a +. p) 0. results in
+  Printf.printf
+    "total: scalar %.3fs  packed %.3fs (x%.1f)  par %.3fs (x%.1f)  (%s)\n%!" total_scalar
+    total_packed (total_scalar /. total_packed) total_par (total_scalar /. total_par)
+    (if all_identical then "all reports identical" else "REPORT MISMATCH");
+  let buf = Buffer.create 2048 in
+  let counters =
+    [ "fault.nodes"; "fault.injections"; "fault.batches"; "fault.cache.hits";
+      "fault.cache.misses" ]
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf (Printf.sprintf "  \"vectors\": %d,\n" vectors);
+  Buffer.add_string buf (Printf.sprintf "  \"width\": %d,\n" width);
+  Buffer.add_string buf (Printf.sprintf "  \"all_identical\": %b,\n" all_identical);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"total\": { \"scalar_s\": %.6f, \"packed_s\": %.6f, \"par_s\": %.6f, \
+        \"speedup_packed\": %.3f, \"speedup_par\": %.3f },\n"
+       total_scalar total_packed total_par (total_scalar /. total_packed)
+       (total_scalar /. total_par));
+  Buffer.add_string buf "  \"counters\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "\"%s\": %d" c (Telemetry.counter c)) counters));
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf "  \"suites\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, nodes, injections, scalar_s, packed_s, par_s, cached_s, identical) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"nodes\": %d, \"injections\": %d, \"scalar_s\": \
+               %.6f, \"packed_s\": %.6f, \"par_s\": %.6f, \"cached_s\": %.6f, \
+               \"speedup_packed\": %.3f, \"speedup_par\": %.3f, \"identical\": %b }"
+              name nodes injections scalar_s packed_s par_s cached_s
+              (scalar_s /. packed_s) (scalar_s /. par_s) identical)
+          results));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not all_identical then exit 1
+
 (* --- Bechamel performance benchmarks -------------------------------- *)
 
-let perf () =
+let perf ~vectors ~width () =
   let open Bechamel in
   let synth g ld ad () =
     match Rc.synthesize g Library.table1 ~ld ~ad with
@@ -200,15 +333,20 @@ let perf () =
     ignore (Rchls_redundancy.Orailoglu.synthesize g Library.table1 ~ld ~ad)
   in
   let characterize () =
+    (* Clear the campaign cache so every run measures a real campaign,
+       not a memoized report. *)
+    Fault_sim.Campaign.cache_clear ();
     ignore
       (Rchls_soft_error.Ser.analyze
-         ~fault_config:{ Rchls_soft_error.Fault_sim.default_config with vectors = 8 }
-         (Rchls_circuits.Adder_brent_kung.netlist ~width:8 ()))
+         ~fault_config:{ Fault_sim.Campaign.default with vectors }
+         (Rchls_circuits.Adder_brent_kung.netlist ~width ()))
   in
   let tests =
     [
       (* one kernel per reproduced table/figure workload *)
-      Test.make ~name:"table1/characterize-bk8" (Staged.stage characterize);
+      Test.make
+        ~name:(Printf.sprintf "table1/characterize-bk%d" width)
+        (Staged.stage characterize);
       Test.make ~name:"fig5/synth-fig4" (Staged.stage (synth Benchmarks.example_fig4 6 4));
       Test.make ~name:"fig7/synth-fir16" (Staged.stage (synth Benchmarks.fir16 11 8));
       Test.make ~name:"fig8/synth-fir16-wide" (Staged.stage (synth Benchmarks.fir16 14 12));
@@ -242,13 +380,39 @@ let perf () =
         ols)
     tests
 
+(* Extract the --vectors / --width flags (shared with bin/main.exe's
+   measured characterization) from a mode's trailing arguments. *)
+let parse_flags ~vectors ~width rest =
+  let usage name = failwith (Printf.sprintf "%s expects an integer argument" name) in
+  let rec go positional vectors width = function
+    | [] -> (List.rev positional, vectors, width)
+    | "--vectors" :: v :: tl -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> go positional n width tl
+      | _ -> usage "--vectors")
+    | [ "--vectors" ] -> usage "--vectors"
+    | "--width" :: v :: tl -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> go positional vectors n tl
+      | _ -> usage "--width")
+    | [ "--width" ] -> usage "--width"
+    | x :: tl -> go (x :: positional) vectors width tl
+  in
+  go [] vectors width rest
+
 let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "repro" :: rest -> reproduction (match rest with [] -> None | id :: _ -> Some id)
-  | _ :: "perf" :: _ -> perf ()
+  | _ :: "perf" :: rest ->
+    let _, vectors, width = parse_flags ~vectors:8 ~width:8 rest in
+    perf ~vectors ~width ()
   | _ :: "sweep" :: rest ->
     sweep_bench (match rest with path :: _ -> path | [] -> "BENCH_sweep.json")
+  | _ :: "fault" :: rest ->
+    let positional, vectors, width = parse_flags ~vectors:64 ~width:16 rest in
+    fault_bench ~vectors ~width
+      (match positional with path :: _ -> path | [] -> "BENCH_fault.json")
   | _ ->
     reproduction None;
-    perf ()
+    perf ~vectors:8 ~width:8 ()

@@ -196,8 +196,20 @@ let sweep_cmd =
 (* --- characterize --- *)
 
 let characterize_cmd =
-  let run measured width vectors =
-    if measured then print_string (Experiments.table1_measured ~width ~vectors ())
+  let run measured width vectors seed ci_target domains stats =
+    with_stats stats @@ fun () ->
+    if measured then begin
+      let fault_config =
+        {
+          Rchls_soft_error.Fault_sim.Campaign.default with
+          vectors;
+          seed;
+          ci_target;
+          domains;
+        }
+      in
+      print_string (Experiments.table1_measured ~width ~fault_config ())
+    end
     else begin
       print_string (Experiments.table1 ());
       print_string (Experiments.fig2 ())
@@ -205,17 +217,39 @@ let characterize_cmd =
   in
   let measured =
     Arg.(value & flag & info [ "measured" ]
-           ~doc:"Run the full substitute pipeline (netlist generation + fault \
-                 injection) instead of the published Qcritical inputs.")
+           ~doc:"Run the full substitute pipeline (netlist generation + \
+                 fault-injection campaigns) instead of the published Qcritical \
+                 inputs.")
   in
   let width =
     Arg.(value & opt int 12 & info [ "width" ] ~docv:"BITS" ~doc:"Adder bit width.")
   in
   let vectors =
-    Arg.(value & opt int 48 & info [ "vectors" ] ~docv:"N" ~doc:"Vectors per node.")
+    Arg.(value & opt int 48 & info [ "vectors" ] ~docv:"N"
+           ~doc:"Vectors per node (the cap when $(b,--ci-target) is set).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign PRNG seed; results are deterministic per seed, \
+                 independent of the domain count.")
+  in
+  let ci_target =
+    Arg.(value & opt (some float) None & info [ "ci-target" ] ~docv:"H"
+           ~doc:"Stop a node early once the 95% Wilson-interval half-width of \
+                 its logical derating reaches $(docv) (checked every 63 \
+                 vectors).  Off by default, which keeps the output exactly \
+                 reproducible at a given vector count.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the campaign node fan-out (default: \
+                 $(b,RCHLS_DOMAINS) or the recommended domain count; 1 = \
+                 sequential).  Never changes results, only wall-clock.")
   in
   let doc = "Regenerate the component characterization (Table 1 / Figure 2)." in
-  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ measured $ width $ vectors)
+  Cmd.v (Cmd.info "characterize" ~doc)
+    Term.(
+      const run $ measured $ width $ vectors $ seed $ ci_target $ domains $ stats_arg)
 
 (* --- library --- *)
 

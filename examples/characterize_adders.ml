@@ -27,7 +27,7 @@ let () =
     (fun (entry : Catalog.entry) ->
       let nl = entry.build ~width in
       let analysis =
-        Ser.analyze ~fault_config:{ Fault_sim.default_config with vectors = 64 } nl
+        Ser.analyze ~fault_config:{ Fault_sim.Campaign.default with vectors = 64 } nl
       in
       let deratings =
         List.map (fun (n : Ser.node_ser) -> n.logical_derating) analysis.Ser.nodes

@@ -86,25 +86,27 @@ let build arch ~width =
 
 let from_measurement ?(width = 16) ?fault_config () =
   let env = Hazucha.default in
+  let base = Option.value fault_config ~default:Fault_sim.Campaign.default in
   let specs =
-    (* (id, display, class, arch, netlist width, sampling cap) *)
+    (* (id, display, class, arch, netlist width, sampling policy).
+       Multipliers are characterized on a strided node sample to bound
+       simulation cost; the campaign config's other fields (vectors,
+       seed, ci_target, domains) thread through unchanged. *)
     [
-      ("add1", "Adder 1", Resource.Add, "rca", width, None);
-      ("add2", "Adder 2", Resource.Add, "bk", width, None);
-      ("add3", "Adder 3", Resource.Add, "ks", width, None);
-      ("mul1", "Multiplier 1", Resource.Mul, "csmul", max 2 (width / 2), Some 256);
-      ("mul2", "Multiplier 2", Resource.Mul, "lfmul", max 2 (width / 2), Some 256);
+      ("add1", "Adder 1", Resource.Add, "rca", width, Fault_sim.Sampling.All);
+      ("add2", "Adder 2", Resource.Add, "bk", width, Fault_sim.Sampling.All);
+      ("add3", "Adder 3", Resource.Add, "ks", width, Fault_sim.Sampling.All);
+      ( "mul1", "Multiplier 1", Resource.Mul, "csmul", max 2 (width / 2),
+        Fault_sim.Sampling.Strided 256 );
+      ( "mul2", "Multiplier 2", Resource.Mul, "lfmul", max 2 (width / 2),
+        Fault_sim.Sampling.Strided 256 );
     ]
   in
   let analyses =
     List.map
-      (fun (id, display, cls, arch, w, sample) ->
+      (fun (id, display, cls, arch, w, sampling) ->
         let nl = build arch ~width:w in
-        let config =
-          match fault_config with
-          | Some c -> { c with Fault_sim.node_sample = sample }
-          | None -> { Fault_sim.default_config with node_sample = sample }
-        in
+        let config = { base with Fault_sim.Campaign.sampling } in
         ((id, display, cls, arch), Ser.analyze ~env ~fault_config:config nl))
       specs
   in

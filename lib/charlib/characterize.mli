@@ -45,12 +45,16 @@ type measurement = {
 
 val from_measurement :
   ?width:int ->
-  ?fault_config:Rchls_soft_error.Fault_sim.config ->
+  ?fault_config:Rchls_soft_error.Fault_sim.Campaign.config ->
   unit ->
   measurement list * Library.t
 (** Characterize the five Table-1 architectures from scratch on
     generated netlists of the given [width] (default 16; multipliers
-    use [width/2] to bound simulation cost, with node sampling).  Area
-    units are normalized to the ripple-carry adder = 1; delays are
-    quantized to clock cycles with the clock period set so the fastest
-    adder fits one cycle. *)
+    use [width/2] and a [Strided 256] node sample to bound simulation
+    cost).  [fault_config] supplies the campaign parameters (vectors,
+    seed, ci_target, domains) threaded into every per-component
+    {!Rchls_soft_error.Ser.analyze}; its [sampling] field is
+    overridden per component by the policies above.  Area units are
+    normalized to the ripple-carry adder = 1; delays are quantized to
+    clock cycles with the clock period set so the fastest adder fits
+    one cycle. *)

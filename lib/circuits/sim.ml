@@ -55,4 +55,9 @@ let decode_outputs nl outs =
 
 let run nl bindings = decode_outputs nl (Eval.eval nl (encode_inputs nl bindings))
 
-let output_value nl bindings name = List.assoc name (run nl bindings)
+let output_value_opt nl bindings name = List.assoc_opt name (run nl bindings)
+
+let output_value nl bindings name =
+  match output_value_opt nl bindings name with
+  | Some v -> v
+  | None -> raise Not_found

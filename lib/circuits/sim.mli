@@ -22,5 +22,13 @@ val run : Netlist.t -> (string * int) list -> (string * int) list
 (** [run nl bindings] = [decode_outputs nl (Eval.eval nl (encode_inputs
     nl bindings))]. *)
 
+val output_value_opt : Netlist.t -> (string * int) list -> string -> int option
+(** [run] then look up one output bus/scalar by name; [None] when the
+    netlist has no such output.  Input-binding errors still raise
+    [Invalid_argument] (see {!encode_inputs}) — only the final name
+    lookup is optional. *)
+
 val output_value : Netlist.t -> (string * int) list -> string -> int
-(** [run] then look up one output bus/scalar.  Raises [Not_found]. *)
+(** Raising twin of {!output_value_opt} (the repo convention pairs
+    every raising lookup with an [_opt] variant): raises [Not_found]
+    on an unknown output name. *)

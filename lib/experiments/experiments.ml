@@ -43,14 +43,16 @@ let table1 () =
   Buffer.add_string buf (Tablefmt.render t);
   Buffer.contents buf
 
-let table1_measured ?(vectors = 48) ?(width = 12) () =
+let table1_measured ?(width = 12) ?fault_config () =
+  let config =
+    Option.value fault_config ~default:{ Fault_sim.Campaign.default with vectors = 48 }
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (header "Table 1 (measured): full substitute pipeline");
   Buffer.add_string buf
     (Printf.sprintf
        "(netlists generated at width %d; Monte-Carlo fault injection, %d vectors/node)\n"
-       width vectors);
-  let config = { Fault_sim.default_config with vectors } in
+       width config.Fault_sim.Campaign.vectors);
   let ms, _lib = Characterize.from_measurement ~width ~fault_config:config () in
   let t =
     Tablefmt.create

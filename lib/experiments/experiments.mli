@@ -16,10 +16,14 @@ val table1 : unit -> string
 (** Characterization driven by the paper's published Qcritical values
     (exact regeneration).  *)
 
-val table1_measured : ?vectors:int -> ?width:int -> unit -> string
+val table1_measured :
+  ?width:int -> ?fault_config:Rchls_soft_error.Fault_sim.Campaign.config -> unit -> string
 (** Characterization measured from scratch on our generated netlists
-    with Monte-Carlo fault injection (the full substitute pipeline);
-    slower, numbers land close to but not exactly on Table 1. *)
+    with Monte-Carlo fault-injection campaigns (the full substitute
+    pipeline); slower, numbers land close to but not exactly on
+    Table 1.  [fault_config] defaults to the campaign default at 48
+    vectors/node; its [sampling] field is overridden per component by
+    {!Rchls_charlib.Characterize.from_measurement}. *)
 
 val fig2 : unit -> string
 val fig5 : unit -> string

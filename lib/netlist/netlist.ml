@@ -184,11 +184,57 @@ let logic_depth t = t.nl_depth
 
 let find_named arr name =
   match Array.find_opt (fun (n, _) -> n = name) arr with
-  | Some (_, net) -> net
-  | None -> raise Not_found
+  | Some (_, net) -> Some net
+  | None -> None
 
-let find_input t n = find_named t.nl_inputs n
-let find_output t n = find_named t.nl_outputs n
+let find_input_opt t n = find_named t.nl_inputs n
+let find_output_opt t n = find_named t.nl_outputs n
+
+let find_input t n =
+  match find_input_opt t n with Some net -> net | None -> raise Not_found
+
+let find_output t n =
+  match find_output_opt t n with Some net -> net | None -> raise Not_found
+
+(* FNV-1a over the full structure (name, ports, constants, gates).
+   Netlists are frozen at finalize time, so the digest is a stable
+   identity for memoizing derived analyses (fault-injection reports). *)
+let fingerprint t =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let mix_int i =
+    (* Fold each byte of the int so permutations of the same values
+       cannot collide trivially. *)
+    for shift = 0 to 7 do
+      let byte = Int64.of_int ((i lsr (shift * 8)) land 0xFF) in
+      h := Int64.mul (Int64.logxor !h byte) prime
+    done
+  in
+  let mix_string s = String.iter (fun c -> mix_int (Char.code c)) s in
+  mix_string t.nl_name;
+  mix_int t.nl_net_count;
+  Array.iter
+    (fun (name, net) ->
+      mix_string name;
+      mix_int net)
+    t.nl_inputs;
+  Array.iter
+    (fun (name, net) ->
+      mix_string name;
+      mix_int net)
+    t.nl_outputs;
+  List.iter
+    (fun (net, v) ->
+      mix_int net;
+      mix_int (if v then 1 else 0))
+    t.nl_constants;
+  Array.iter
+    (fun g ->
+      mix_string (Gate.name g.kind);
+      Array.iter mix_int g.fanins;
+      mix_int g.out)
+    t.nl_gates;
+  !h
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s: %d in, %d out, %d gates, area %.1f GE, depth %d" t.nl_name

@@ -84,11 +84,25 @@ val area : t -> float
 val logic_depth : t -> int
 (** Longest input-to-output path measured in gate count. *)
 
+val find_input_opt : t -> string -> net option
+(** Primary-input net by name, or [None] when no such input exists. *)
+
+val find_output_opt : t -> string -> net option
+(** Primary-output net by name, or [None] when no such output exists. *)
+
 val find_input : t -> string -> net
-(** Raises [Not_found]. *)
+(** Raising twin of {!find_input_opt}: raises [Not_found] on an
+    unknown name. *)
 
 val find_output : t -> string -> net
-(** Raises [Not_found]. *)
+(** Raising twin of {!find_output_opt}: raises [Not_found] on an
+    unknown name. *)
+
+val fingerprint : t -> int64
+(** Structural digest (FNV-1a over name, ports, constants and gates).
+    Equal netlists — same construction sequence — digest identically;
+    used to key memoized per-netlist analyses such as fault-injection
+    campaign reports. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line summary: name, #inputs, #outputs, #gates, area, depth. *)

@@ -1,8 +1,48 @@
 open Rchls_netlist
+module Rng = Rchls_util.Rng
+module Stats = Rchls_util.Stats
+module Pool = Rchls_util.Pool
+module Telemetry = Rchls_util.Telemetry
 
-type config = { vectors : int; seed : int; node_sample : int option }
+module Sampling = struct
+  type t = All | Strided of int | Fraction of float
 
-let default_config = { vectors = 128; seed = 1; node_sample = None }
+  let validate = function
+    | All -> ()
+    | Strided n ->
+      if n <= 0 then invalid_arg "Fault_sim.Sampling: Strided count must be positive"
+    | Fraction f ->
+      if not (f > 0. && f <= 1.) then
+        invalid_arg "Fault_sim.Sampling: Fraction must be in (0, 1]"
+
+  (* Even stride keeps the sample deterministic and spread across the
+     topological depth of the circuit. *)
+  let strided n nets =
+    let total = List.length nets in
+    if total <= n then nets
+    else begin
+      let arr = Array.of_list nets in
+      List.init n (fun i -> arr.(i * total / n))
+    end
+
+  let select t nets =
+    validate t;
+    match t with
+    | All -> nets
+    | Strided n -> strided n nets
+    | Fraction f -> (
+      match List.length nets with
+      | 0 -> []
+      | total -> strided (max 1 (int_of_float (ceil (f *. float_of_int total)))) nets)
+end
+
+type config = {
+  vectors : int;
+  seed : int;
+  sampling : Sampling.t;
+  ci_target : float option;
+  domains : int option;
+}
 
 type node_result = {
   net : Netlist.net;
@@ -10,6 +50,8 @@ type node_result = {
   logical_derating : float;
   observed : int;
   injected : int;
+  ci_low : float;
+  ci_high : float;
 }
 
 type report = {
@@ -22,75 +64,211 @@ type report = {
 let candidate_nets nl =
   Array.to_list (Array.map (fun (g : Netlist.instance) -> g.out) (Netlist.gates nl))
 
-let random_vector rng n = Array.init n (fun _ -> Rchls_util.Rng.bool rng)
+let validate config =
+  if config.vectors <= 0 then invalid_arg "Fault_sim: vectors must be positive";
+  Sampling.validate config.sampling;
+  (match config.ci_target with
+  | Some t when t <= 0. -> invalid_arg "Fault_sim: ci_target must be positive"
+  | _ -> ());
+  match config.domains with
+  | Some d when d < 1 -> invalid_arg "Fault_sim: domains must be >= 1"
+  | _ -> ()
 
-let derating_of_net nl st_ok st_flip rng vectors net =
+let ci_met config ~observed ~injected =
+  match config.ci_target with
+  | None -> false
+  | Some target ->
+    Stats.wilson_half_width ~successes:observed ~trials:injected () <= target
+
+(* --- per-node injection engines ------------------------------------
+
+   Both engines consume the node's private RNG in the identical order
+   (vector-major, then input) and evaluate early termination at the
+   identical batch boundaries (Eval_packed.lanes vectors), so their
+   reports agree bit for bit — the packed engine is a pure speedup. *)
+
+let packed_node nl st_ok st_flip rng config net =
   let n_in = Array.length (Netlist.inputs nl) in
-  let observed = ref 0 in
-  for _ = 1 to vectors do
-    let ins = random_vector rng n_in in
-    let good = Eval.run st_ok ins in
-    let bad = Eval.run_with_flip st_flip ins ~flip_net:net in
-    if good <> bad then incr observed
+  let ins = Array.make n_in 0 in
+  let observed = ref 0 and injected = ref 0 and batches = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let lanes = min (config.vectors - !injected) Eval_packed.lanes in
+    Array.fill ins 0 n_in 0;
+    for lane = 0 to lanes - 1 do
+      for i = 0 to n_in - 1 do
+        if Rng.bool rng then ins.(i) <- ins.(i) lor (1 lsl lane)
+      done
+    done;
+    let good = Eval_packed.run st_ok ins in
+    let bad = Eval_packed.run_with_flip st_flip ins ~flip_net:net in
+    let diff = ref 0 in
+    for o = 0 to Array.length good - 1 do
+      diff := !diff lor (good.(o) lxor bad.(o))
+    done;
+    observed := !observed + Eval_packed.popcount (!diff land Eval_packed.lane_mask lanes);
+    injected := !injected + lanes;
+    incr batches;
+    continue_ :=
+      !injected < config.vectors
+      && not (ci_met config ~observed:!observed ~injected:!injected)
   done;
-  !observed
+  (!observed, !injected, !batches)
 
-let node_logical_derating ?(config = default_config) nl net =
-  let rng = Rchls_util.Rng.create config.seed in
-  let st_ok = Eval.create nl and st_flip = Eval.create nl in
-  let obs = derating_of_net nl st_ok st_flip rng config.vectors net in
-  float_of_int obs /. float_of_int config.vectors
+let scalar_node nl st_ok st_flip rng config net =
+  let n_in = Array.length (Netlist.inputs nl) in
+  let observed = ref 0 and injected = ref 0 and batches = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let lanes = min (config.vectors - !injected) Eval_packed.lanes in
+    for _ = 1 to lanes do
+      let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+      let good = Eval.run st_ok ins in
+      let bad = Eval.run_with_flip st_flip ins ~flip_net:net in
+      if good <> bad then incr observed
+    done;
+    injected := !injected + lanes;
+    incr batches;
+    continue_ :=
+      !injected < config.vectors
+      && not (ci_met config ~observed:!observed ~injected:!injected)
+  done;
+  (!observed, !injected, !batches)
 
-let sample_nodes config nets =
-  match config.node_sample with
-  | None -> nets
-  | Some n when n <= 0 -> invalid_arg "Fault_sim: node_sample must be positive"
-  | Some n ->
-    let total = List.length nets in
-    if total <= n then nets
-    else begin
-      let arr = Array.of_list nets in
-      (* Even stride keeps the sample deterministic and spread across
-         the topological depth of the circuit. *)
-      List.init n (fun i -> arr.(i * total / n))
-    end
-
-let run ?(config = default_config) nl =
-  if config.vectors <= 0 then invalid_arg "Fault_sim.run: vectors must be positive";
-  let all = candidate_nets nl in
-  let chosen = sample_nodes config all in
-  let rng = Rchls_util.Rng.create config.seed in
-  let st_ok = Eval.create nl and st_flip = Eval.create nl in
-  let nodes =
-    List.map
-      (fun net ->
-        let kind =
-          match Netlist.driver nl net with
-          | Some g -> g.kind
-          | None -> assert false (* candidate nets are gate outputs *)
-        in
-        let rng' = Rchls_util.Rng.split rng in
-        let observed = derating_of_net nl st_ok st_flip rng' config.vectors net in
-        {
-          net;
-          kind;
-          observed;
-          injected = config.vectors;
-          logical_derating = float_of_int observed /. float_of_int config.vectors;
-        })
-      chosen
+let node_result_of nl ~net ~observed ~injected =
+  let kind =
+    match Netlist.driver nl net with
+    | Some g -> g.kind
+    | None -> assert false (* candidate nets are gate outputs *)
   in
+  let ci_low, ci_high = Stats.wilson_interval ~successes:observed ~trials:injected () in
   {
-    netlist_name = Netlist.name nl;
-    config;
-    nodes;
-    sampled_fraction =
-      (match all with
-      | [] -> 1.
-      | _ -> float_of_int (List.length chosen) /. float_of_int (List.length all));
+    net;
+    kind;
+    observed;
+    injected;
+    logical_derating = float_of_int observed /. float_of_int injected;
+    ci_low;
+    ci_high;
   }
+
+(* Packed simulation state reused across the nodes a worker domain
+   processes (two full-netlist states per node would otherwise dominate
+   small-circuit campaigns). *)
+let packed_states_key :
+    (Netlist.t * Eval_packed.state * Eval_packed.state) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let packed_states nl =
+  let slot = Domain.DLS.get packed_states_key in
+  match !slot with
+  | Some (nl', ok, flip) when nl' == nl -> (ok, flip)
+  | _ ->
+    let ok = Eval_packed.create nl and flip = Eval_packed.create nl in
+    slot := Some (nl, ok, flip);
+    (ok, flip)
+
+module Campaign = struct
+  type nonrec config = config = {
+    vectors : int;
+    seed : int;
+    sampling : Sampling.t;
+    ci_target : float option;
+    domains : int option;
+  }
+
+  let default = { vectors = 128; seed = 1; sampling = All; ci_target = None; domains = None }
+
+  (* Per-node RNGs are split off sequentially, in node order, BEFORE
+     any fan-out: every node's injection stream depends only on
+     (seed, node position), never on the number of worker domains. *)
+  let jobs_of config nl =
+    let all = candidate_nets nl in
+    let chosen = Sampling.select config.sampling all in
+    let rng = Rng.create config.seed in
+    let jobs = List.map (fun net -> (net, Rng.split rng)) chosen in
+    let fraction =
+      match all with
+      | [] -> 1.
+      | _ -> float_of_int (List.length chosen) /. float_of_int (List.length all)
+    in
+    (jobs, fraction)
+
+  let finish config nl ~fraction nodes =
+    Telemetry.add "fault.nodes" (List.length nodes);
+    Telemetry.add "fault.injections"
+      (List.fold_left (fun acc n -> acc + n.injected) 0 nodes);
+    { netlist_name = Netlist.name nl; config; nodes; sampled_fraction = fraction }
+
+  let compute config nl =
+    let jobs, fraction = jobs_of config nl in
+    let nodes =
+      Pool.map ?domains:config.domains
+        (fun (net, rng) ->
+          let st_ok, st_flip = packed_states nl in
+          let observed, injected, batches = packed_node nl st_ok st_flip rng config net in
+          Telemetry.add "fault.batches" batches;
+          node_result_of nl ~net ~observed ~injected)
+        jobs
+    in
+    finish config nl ~fraction nodes
+
+  let run_scalar ?(config = default) nl =
+    validate config;
+    let jobs, fraction = jobs_of config nl in
+    let st_ok = Eval.create nl and st_flip = Eval.create nl in
+    let nodes =
+      List.map
+        (fun (net, rng) ->
+          let observed, injected, batches = scalar_node nl st_ok st_flip rng config net in
+          Telemetry.add "fault.batches" batches;
+          node_result_of nl ~net ~observed ~injected)
+        jobs
+    in
+    finish config nl ~fraction nodes
+
+  (* Reports are memoized on (netlist fingerprint, result-affecting
+     config fields); [domains] only changes wall-clock, so it is
+     excluded from the key. *)
+  type cache_key = int64 * int * int * Sampling.t * float option
+
+  let cache : (cache_key, report) Hashtbl.t = Hashtbl.create 16
+  let cache_mutex = Mutex.create ()
+
+  let cache_clear () =
+    Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+
+  let run ?(config = default) nl =
+    validate config;
+    let key =
+      (Netlist.fingerprint nl, config.vectors, config.seed, config.sampling,
+       config.ci_target)
+    in
+    match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
+    | Some r ->
+      Telemetry.incr "fault.cache.hits";
+      r
+    | None ->
+      Telemetry.incr "fault.cache.misses";
+      let r = Telemetry.time "fault.campaign" (fun () -> compute config nl) in
+      Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r);
+      r
+end
+
+let default_config = Campaign.default
+
+let run = Campaign.run
+
+let node_logical_derating ?(config = Campaign.default) nl net =
+  validate config;
+  (* The node's stream comes straight off the seed (no split): the
+     historical single-node semantics. *)
+  let rng = Rng.create config.seed in
+  let st_ok = Eval_packed.create nl and st_flip = Eval_packed.create nl in
+  let observed, injected, _ = packed_node nl st_ok st_flip rng config net in
+  float_of_int observed /. float_of_int injected
 
 let average_derating r =
   match r.nodes with
   | [] -> 0.
-  | ns -> Rchls_util.Stats.mean (List.map (fun n -> n.logical_derating) ns)
+  | ns -> Stats.mean (List.map (fun n -> n.logical_derating) ns)

@@ -28,8 +28,8 @@ let effective_qcritical_of_mean_ser (env : Hazucha.env) mean_ser =
 
 let analyze ?(charge = Charge.default) ?(env = Hazucha.default)
     ?(derating = default_derating) ?fault_config nl =
-  let config = Option.value fault_config ~default:Fault_sim.default_config in
-  let report = Fault_sim.run ~config nl in
+  let config = Option.value fault_config ~default:Fault_sim.Campaign.default in
+  let report = Fault_sim.Campaign.run ~config nl in
   let nodes =
     List.map
       (fun (n : Fault_sim.node_result) ->

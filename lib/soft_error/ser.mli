@@ -45,10 +45,13 @@ val analyze :
   ?charge:Charge.params ->
   ?env:Hazucha.env ->
   ?derating:derating ->
-  ?fault_config:Fault_sim.config ->
+  ?fault_config:Fault_sim.Campaign.config ->
   Rchls_netlist.Netlist.t ->
   t
-(** Full characterization of one component netlist. *)
+(** Full characterization of one component netlist.  The fault
+    injection runs as a {!Fault_sim.Campaign} (bit-parallel,
+    domain-parallel, memoized), so re-analyzing an identical netlist
+    under an identical [fault_config] is effectively free. *)
 
 val effective_qcritical_of_mean_ser : Hazucha.env -> float -> float
 (** Invert the Hazucha exponential for a per-node mean SER. *)

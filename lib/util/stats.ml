@@ -43,6 +43,25 @@ let percentile p = function
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
     arr.(max 0 (min (n - 1) (rank - 1)))
 
+let wilson_interval ?(z = 1.96) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes out of [0, trials]";
+  if z <= 0. then invalid_arg "Stats.wilson_interval: z must be positive";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))
+
+let wilson_half_width ?z ~successes ~trials () =
+  let lo, hi = wilson_interval ?z ~successes ~trials () in
+  (hi -. lo) /. 2.
+
 let confidence_95 xs =
   match xs with
   | [] -> nan

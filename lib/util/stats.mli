@@ -24,3 +24,17 @@ val percentile : float -> float list -> float
 val confidence_95 : float list -> float
 (** Half-width of the normal-approximation 95% confidence interval of
     the mean: [1.96 * stddev / sqrt n]. *)
+
+val wilson_interval :
+  ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** Wilson score interval for a binomial proportion, clamped to [0,1]
+    ([z] defaults to 1.96, the two-sided 95% level).  Unlike the normal
+    approximation it stays informative at 0 or [trials] successes,
+    which fault-injection campaigns hit constantly (fully masked /
+    fully propagating nodes).  Raises [Invalid_argument] when [trials
+    <= 0], [successes] is outside [0, trials], or [z <= 0]. *)
+
+val wilson_half_width : ?z:float -> successes:int -> trials:int -> unit -> float
+(** Half the width of {!wilson_interval} — the early-termination
+    criterion of streaming campaigns.  Monotonically shrinks as
+    [trials] grows at a fixed observed proportion. *)

@@ -160,7 +160,7 @@ let test_measured_pipeline_runs () =
   (* Tiny configuration so the full netlist + fault-injection pipeline
      stays fast; we check structure, anchoring and value sanity, not
      the published numbers (see EXPERIMENTS.md). *)
-  let config = { Rchls_soft_error.Fault_sim.default_config with vectors = 8 } in
+  let config = { Rchls_soft_error.Fault_sim.Campaign.default with vectors = 8 } in
   let ms, lib' = Characterize.from_measurement ~width:4 ~fault_config:config () in
   Alcotest.(check int) "5 measurements" 5 (List.length ms);
   List.iter

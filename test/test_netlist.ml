@@ -232,6 +232,163 @@ let test_net_value_before_run () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Eval_packed --- *)
+
+let test_lane_mask () =
+  Alcotest.(check int) "0 lanes" 0 (Eval_packed.lane_mask 0);
+  Alcotest.(check int) "1 lane" 1 (Eval_packed.lane_mask 1);
+  Alcotest.(check int) "2 lanes" 3 (Eval_packed.lane_mask 2);
+  Alcotest.(check int) "full" (-1) (Eval_packed.lane_mask Eval_packed.lanes)
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (Eval_packed.popcount 0);
+  Alcotest.(check int) "one" 1 (Eval_packed.popcount 1);
+  Alcotest.(check int) "0b1011" 3 (Eval_packed.popcount 0b1011);
+  Alcotest.(check int) "all lanes" Eval_packed.lanes (Eval_packed.popcount (-1));
+  Alcotest.(check int) "mask n" 17 (Eval_packed.popcount (Eval_packed.lane_mask 17))
+
+let test_packed_and () =
+  (* Four lanes covering the AND truth table in one sweep. *)
+  let nl = tiny_and () in
+  let st = Eval_packed.create nl in
+  (* lane: 0 -> (0,0), 1 -> (1,0), 2 -> (0,1), 3 -> (1,1) *)
+  let out = Eval_packed.run st [| 0b1010; 0b1100 |] in
+  Alcotest.(check int) "only lane 3 true" 0b1000 (out.(0) land Eval_packed.lane_mask 4)
+
+let test_packed_input_mismatch () =
+  let nl = tiny_and () in
+  let st = Eval_packed.create nl in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Eval_packed.run st [| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_packed_net_value_before_run () =
+  let nl = tiny_and () in
+  let st = Eval_packed.create nl in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Eval_packed.net_value st 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* Random netlists for differential testing: a spec is a number of
+   inputs plus a list of (kind, fanin picks); fanins index into the
+   nets defined so far, so any spec builds a valid topological DAG. *)
+let gen_netlist_spec =
+  QCheck2.Gen.(
+    pair (int_range 1 4)
+      (list_size (int_range 1 24)
+         (pair (oneofl Gate.all) (triple nat nat nat))))
+
+let build_random (n_inputs, specs) =
+  let b = Netlist.builder "rand" in
+  let nets = ref [] in
+  for i = 0 to n_inputs - 1 do
+    nets := Netlist.input b (Printf.sprintf "i%d" i) :: !nets
+  done;
+  List.iter
+    (fun (k, (f1, f2, f3)) ->
+      let arr = Array.of_list !nets in
+      let pick f = arr.(f mod Array.length arr) in
+      let ins =
+        match Gate.arity k with
+        | 1 -> [ pick f1 ]
+        | 2 -> [ pick f1; pick f2 ]
+        | _ -> [ pick f1; pick f2; pick f3 ]
+      in
+      nets := Netlist.add_gate b k ins :: !nets)
+    specs;
+  (* Expose the three most recent nets so the deepest cones are
+     observable. *)
+  List.iteri
+    (fun i n -> if i < 3 then Netlist.output b (Printf.sprintf "o%d" i) n)
+    !nets;
+  Netlist.finalize b
+
+(* Lane l of packed input i = vectors.(l).(i). *)
+let pack_vectors ~n_in vectors =
+  Array.init n_in (fun i ->
+      let w = ref 0 in
+      Array.iteri (fun l v -> if v.(i) then w := !w lor (1 lsl l)) vectors;
+      !w)
+
+let lanes_agree ~n_vec packed_out scalar_outs =
+  let ok = ref true in
+  for l = 0 to n_vec - 1 do
+    Array.iteri
+      (fun o w -> if (w lsr l) land 1 = 1 <> scalar_outs.(l).(o) then ok := false)
+      packed_out
+  done;
+  !ok
+
+let prop_packed_matches_scalar =
+  QCheck2.Test.make ~name:"packed eval = scalar eval (random netlists)" ~count:60
+    QCheck2.Gen.(pair gen_netlist_spec (int_bound 1_000_000))
+    (fun (spec, seed) ->
+      let nl = build_random spec in
+      let n_in = Array.length (Netlist.inputs nl) in
+      let rng = Random.State.make [| seed |] in
+      let n_vec = 1 + Random.State.int rng Eval_packed.lanes in
+      let vectors =
+        Array.init n_vec (fun _ -> Array.init n_in (fun _ -> Random.State.bool rng))
+      in
+      let packed_out = Eval_packed.run (Eval_packed.create nl) (pack_vectors ~n_in vectors) in
+      let sst = Eval.create nl in
+      let scalar_outs = Array.map (fun v -> Array.copy (Eval.run sst v)) vectors in
+      lanes_agree ~n_vec packed_out scalar_outs)
+
+let prop_packed_flip_matches_scalar =
+  QCheck2.Test.make ~name:"packed flip = scalar flip (random netlists)" ~count:60
+    QCheck2.Gen.(pair gen_netlist_spec (int_bound 1_000_000))
+    (fun (spec, seed) ->
+      let nl = build_random spec in
+      let n_in = Array.length (Netlist.inputs nl) in
+      let rng = Random.State.make [| seed |] in
+      let flip_net = Random.State.int rng (Netlist.net_count nl) in
+      let n_vec = 1 + Random.State.int rng Eval_packed.lanes in
+      let vectors =
+        Array.init n_vec (fun _ -> Array.init n_in (fun _ -> Random.State.bool rng))
+      in
+      let packed_out =
+        Eval_packed.run_with_flip (Eval_packed.create nl) (pack_vectors ~n_in vectors)
+          ~flip_net
+      in
+      let sst = Eval.create nl in
+      let scalar_outs =
+        Array.map (fun v -> Array.copy (Eval.run_with_flip sst v ~flip_net)) vectors
+      in
+      lanes_agree ~n_vec packed_out scalar_outs)
+
+(* --- fingerprint --- *)
+
+let test_fingerprint_deterministic () =
+  let a = tiny_and () and b = tiny_and () in
+  Alcotest.(check bool) "same structure, same fingerprint" true
+    (Int64.equal (Netlist.fingerprint a) (Netlist.fingerprint b))
+
+let test_fingerprint_distinguishes () =
+  let base = tiny_and () in
+  let renamed =
+    let b = Netlist.builder "tiny_or" in
+    let x = Netlist.input b "x" in
+    let y = Netlist.input b "y" in
+    Netlist.output b "z" (Netlist.add_gate b Gate.And2 [ x; y ]);
+    Netlist.finalize b
+  in
+  let other_gate =
+    let b = Netlist.builder "tiny_and" in
+    let x = Netlist.input b "x" in
+    let y = Netlist.input b "y" in
+    Netlist.output b "z" (Netlist.add_gate b Gate.Or2 [ x; y ]);
+    Netlist.finalize b
+  in
+  Alcotest.(check bool) "name matters" false
+    (Int64.equal (Netlist.fingerprint base) (Netlist.fingerprint renamed));
+  Alcotest.(check bool) "gate kind matters" false
+    (Int64.equal (Netlist.fingerprint base) (Netlist.fingerprint other_gate))
+
 (* --- Delay --- *)
 
 let test_delay_monotone_in_depth () =
@@ -380,6 +537,20 @@ let () =
           Alcotest.test_case "net value" `Quick test_net_value;
           Alcotest.test_case "net value before run" `Quick test_net_value_before_run;
         ] );
+      ( "packed",
+        [
+          Alcotest.test_case "lane mask" `Quick test_lane_mask;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "and truth table" `Quick test_packed_and;
+          Alcotest.test_case "input mismatch" `Quick test_packed_input_mismatch;
+          Alcotest.test_case "net value before run" `Quick
+            test_packed_net_value_before_run;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fingerprint_deterministic;
+          Alcotest.test_case "distinguishes" `Quick test_fingerprint_distinguishes;
+        ] );
       ( "delay",
         [
           Alcotest.test_case "monotone in depth" `Quick test_delay_monotone_in_depth;
@@ -394,5 +565,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_demorgan; prop_double_flip_identity; prop_gate_eval_total ] );
+          [
+            prop_demorgan;
+            prop_double_flip_identity;
+            prop_gate_eval_total;
+            prop_packed_matches_scalar;
+            prop_packed_flip_matches_scalar;
+          ] );
     ]

@@ -171,7 +171,8 @@ let test_candidates () =
 let test_output_node_always_propagates () =
   let nl, _, o = and_or_netlist () in
   checkf "output derating 1" 1.
-    (Fault_sim.node_logical_derating ~config:{ Fault_sim.default_config with vectors = 64 }
+    (Fault_sim.node_logical_derating
+       ~config:{ Fault_sim.Campaign.default with vectors = 64 }
        nl o)
 
 let test_masked_node_derating () =
@@ -180,7 +181,7 @@ let test_masked_node_derating () =
   let nl, a, _ = and_or_netlist () in
   let d =
     Fault_sim.node_logical_derating
-      ~config:{ Fault_sim.default_config with vectors = 2000 }
+      ~config:{ Fault_sim.Campaign.default with vectors = 2000 }
       nl a
   in
   Alcotest.(check bool) "derating near 0.5" true (d > 0.4 && d < 0.6)
@@ -195,8 +196,8 @@ let test_run_deterministic () =
 
 let test_run_seed_changes_results () =
   let nl = inverter_chain 8 in
-  let r1 = Fault_sim.run ~config:{ Fault_sim.default_config with seed = 1 } nl in
-  let r2 = Fault_sim.run ~config:{ Fault_sim.default_config with seed = 2 } nl in
+  let r1 = Fault_sim.run ~config:{ Fault_sim.Campaign.default with seed = 1 } nl in
+  let r2 = Fault_sim.run ~config:{ Fault_sim.Campaign.default with seed = 2 } nl in
   (* An inverter chain propagates every flip, so even different seeds
      agree here; check instead that both report full derating. *)
   List.iter
@@ -206,24 +207,155 @@ let test_run_seed_changes_results () =
 let test_node_sampling () =
   let nl = inverter_chain 16 in
   let r =
-    Fault_sim.run ~config:{ Fault_sim.default_config with node_sample = Some 4 } nl
+    Fault_sim.run
+      ~config:{ Fault_sim.Campaign.default with sampling = Fault_sim.Sampling.Strided 4 }
+      nl
   in
   Alcotest.(check int) "4 nodes" 4 (List.length r.Fault_sim.nodes);
   Alcotest.(check (float 1e-9)) "fraction" 0.25 r.Fault_sim.sampled_fraction
 
+let test_fraction_sampling () =
+  let nl = inverter_chain 16 in
+  let r =
+    Fault_sim.run
+      ~config:
+        { Fault_sim.Campaign.default with sampling = Fault_sim.Sampling.Fraction 0.5 }
+      nl
+  in
+  Alcotest.(check int) "8 nodes" 8 (List.length r.Fault_sim.nodes);
+  Alcotest.(check (float 1e-9)) "fraction" 0.5 r.Fault_sim.sampled_fraction
+
 let test_invalid_config () =
   let nl = inverter_chain 2 in
-  Alcotest.(check bool) "rejects 0 vectors" true
-    (try
-       ignore (Fault_sim.run ~config:{ Fault_sim.default_config with vectors = 0 } nl);
-       false
-     with Invalid_argument _ -> true)
+  let rejects label config =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Fault_sim.run ~config nl);
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "rejects 0 vectors" { Fault_sim.Campaign.default with vectors = 0 };
+  rejects "rejects 0-node sample"
+    { Fault_sim.Campaign.default with sampling = Fault_sim.Sampling.Strided 0 };
+  rejects "rejects fraction > 1"
+    { Fault_sim.Campaign.default with sampling = Fault_sim.Sampling.Fraction 1.5 };
+  rejects "rejects 0 ci target" { Fault_sim.Campaign.default with ci_target = Some 0. };
+  rejects "rejects 0 domains" { Fault_sim.Campaign.default with domains = Some 0 }
+
+(* --- Campaign: packed engine, determinism, early stop, cache --- *)
+
+let node_results_equal (a : Fault_sim.node_result) (b : Fault_sim.node_result) =
+  a.net = b.net && a.kind = b.kind && a.observed = b.observed && a.injected = b.injected
+  && a.logical_derating = b.logical_derating
+  && a.ci_low = b.ci_low && a.ci_high = b.ci_high
+
+let reports_equal (a : Fault_sim.report) (b : Fault_sim.report) =
+  a.Fault_sim.netlist_name = b.Fault_sim.netlist_name
+  && a.Fault_sim.sampled_fraction = b.Fault_sim.sampled_fraction
+  && List.length a.Fault_sim.nodes = List.length b.Fault_sim.nodes
+  && List.for_all2 node_results_equal a.Fault_sim.nodes b.Fault_sim.nodes
+
+let test_packed_equals_scalar () =
+  (* The bit-parallel engine must be a pure speedup: bit-identical
+     reports on both a masked netlist and a real adder, at vector
+     counts spanning several 63-lane batches. *)
+  let nl_ao, _, _ = and_or_netlist () in
+  let nl_add = Rchls_circuits.Adder_ripple.netlist ~width:4 () in
+  List.iter
+    (fun vectors ->
+      let config = { Fault_sim.Campaign.default with vectors; domains = Some 1 } in
+      List.iter
+        (fun nl ->
+          Fault_sim.Campaign.cache_clear ();
+          let packed = Fault_sim.Campaign.run ~config nl in
+          let scalar = Fault_sim.Campaign.run_scalar ~config nl in
+          Alcotest.(check bool)
+            (Printf.sprintf "packed = scalar (%d vectors)" vectors)
+            true (reports_equal packed scalar))
+        [ nl_ao; nl_add ])
+    [ 1; 63; 64; 130 ]
+
+let test_campaign_domain_determinism () =
+  (* Per-node RNG streams are split before the fan-out, so the report
+     is identical however many domains process the nodes. *)
+  let nl = Rchls_circuits.Adder_ripple.netlist ~width:6 () in
+  let run domains =
+    Fault_sim.Campaign.cache_clear ();
+    Fault_sim.Campaign.run
+      ~config:{ Fault_sim.Campaign.default with vectors = 70; domains = Some domains }
+      nl
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains = sequential" domains)
+        true
+        (reports_equal r1 (run domains)))
+    [ 2; 4 ]
+
+let test_early_termination_stops () =
+  (* An inverter chain has derating exactly 1 at every node: the Wilson
+     half-width at p=1 shrinks fast, so a loose target must stop nodes
+     after few batches while a None target runs all vectors. *)
+  let nl = inverter_chain 6 in
+  Fault_sim.Campaign.cache_clear ();
+  let full =
+    Fault_sim.Campaign.run ~config:{ Fault_sim.Campaign.default with vectors = 630 } nl
+  in
+  let early =
+    Fault_sim.Campaign.run
+      ~config:{ Fault_sim.Campaign.default with vectors = 630; ci_target = Some 0.05 }
+      nl
+  in
+  List.iter
+    (fun (n : Fault_sim.node_result) ->
+      Alcotest.(check int) "full runs all vectors" 630 n.injected)
+    full.Fault_sim.nodes;
+  List.iter
+    (fun (n : Fault_sim.node_result) ->
+      Alcotest.(check bool) "early stop strictly before the cap" true (n.injected < 630);
+      Alcotest.(check bool) "stop only once the target is met" true
+        ((n.ci_high -. n.ci_low) /. 2. <= 0.05);
+      checkf "derating unaffected" 1. n.logical_derating)
+    early.Fault_sim.nodes
+
+let test_ci_bounds_bracket_derating () =
+  let nl = Rchls_circuits.Adder_ripple.netlist ~width:4 () in
+  Fault_sim.Campaign.cache_clear ();
+  let r = Fault_sim.Campaign.run ~config:{ Fault_sim.Campaign.default with vectors = 64 } nl in
+  List.iter
+    (fun (n : Fault_sim.node_result) ->
+      Alcotest.(check bool) "ci_low <= derating <= ci_high" true
+        (n.ci_low <= n.logical_derating && n.logical_derating <= n.ci_high);
+      Alcotest.(check bool) "ci in [0,1]" true (n.ci_low >= 0. && n.ci_high <= 1.))
+    r.Fault_sim.nodes
+
+let test_campaign_cache_hit () =
+  let nl = Rchls_circuits.Adder_brent_kung.netlist ~width:4 () in
+  let config = { Fault_sim.Campaign.default with vectors = 32 } in
+  Fault_sim.Campaign.cache_clear ();
+  Rchls_util.Telemetry.reset ();
+  let r1 = Fault_sim.Campaign.run ~config nl in
+  let misses = Rchls_util.Telemetry.counter "fault.cache.misses" in
+  let r2 = Fault_sim.Campaign.run ~config nl in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 (Rchls_util.Telemetry.counter "fault.cache.hits");
+  Alcotest.(check bool) "cached report is the same report" true (r1 == r2);
+  (* A structurally identical netlist built separately also hits. *)
+  let nl' = Rchls_circuits.Adder_brent_kung.netlist ~width:4 () in
+  let r3 = Fault_sim.Campaign.run ~config nl' in
+  Alcotest.(check bool) "fingerprint-equal netlist hits" true (reports_equal r1 r3);
+  (* A different config misses. *)
+  ignore (Fault_sim.Campaign.run ~config:{ config with seed = 2 } nl);
+  Alcotest.(check int) "different seed misses" 2
+    (Rchls_util.Telemetry.counter "fault.cache.misses")
 
 (* --- Ser --- *)
 
 let test_analyze_chain () =
   let nl = inverter_chain 6 in
-  let t = Ser.analyze ~fault_config:{ Fault_sim.default_config with vectors = 32 } nl in
+  let t = Ser.analyze ~fault_config:{ Fault_sim.Campaign.default with vectors = 32 } nl in
   Alcotest.(check int) "6 nodes" 6 (List.length t.Ser.nodes);
   Alcotest.(check bool) "positive total SER" true (t.Ser.total_ser > 0.);
   Alcotest.(check bool) "effective Qc positive" true (t.Ser.effective_qcritical > 0.)
@@ -238,10 +370,17 @@ let test_derated_below_raw () =
 
 let test_sampling_extrapolates_total () =
   let nl = inverter_chain 16 in
-  let full = Ser.analyze ~fault_config:{ Fault_sim.default_config with vectors = 16 } nl in
+  let full =
+    Ser.analyze ~fault_config:{ Fault_sim.Campaign.default with vectors = 16 } nl
+  in
   let sampled =
     Ser.analyze
-      ~fault_config:{ Fault_sim.default_config with vectors = 16; node_sample = Some 4 }
+      ~fault_config:
+        {
+          Fault_sim.Campaign.default with
+          vectors = 16;
+          sampling = Fault_sim.Sampling.Strided 4;
+        }
       nl
   in
   (* A uniform chain: the extrapolated total should be close to the
@@ -318,7 +457,16 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_run_deterministic;
           Alcotest.test_case "chain full derating" `Quick test_run_seed_changes_results;
           Alcotest.test_case "node sampling" `Quick test_node_sampling;
+          Alcotest.test_case "fraction sampling" `Quick test_fraction_sampling;
           Alcotest.test_case "invalid config" `Quick test_invalid_config;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "packed = scalar" `Quick test_packed_equals_scalar;
+          Alcotest.test_case "domain determinism" `Quick test_campaign_domain_determinism;
+          Alcotest.test_case "early termination" `Quick test_early_termination_stops;
+          Alcotest.test_case "ci brackets derating" `Quick test_ci_bounds_bracket_derating;
+          Alcotest.test_case "cache hit" `Quick test_campaign_cache_hit;
         ] );
       ( "ser",
         [

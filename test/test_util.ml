@@ -112,6 +112,40 @@ let test_confidence_interval () =
   let xs = List.init 100 (fun _ -> 5.) in
   check_float "zero spread" 0. (Stats.confidence_95 xs)
 
+let test_wilson_known_value () =
+  (* 50/100 at z=1.96: the textbook Wilson interval is approximately
+     [0.4038, 0.5962]. *)
+  let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 () in
+  Alcotest.(check (float 1e-3)) "low" 0.4038 lo;
+  Alcotest.(check (float 1e-3)) "high" 0.5962 hi
+
+let test_wilson_bounds_clamped () =
+  (* Extreme proportions stay inside [0,1] and never collapse to a
+     zero-width interval (unlike the Wald approximation). *)
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:20 () in
+  check_float "zero successes low" 0. lo0;
+  Alcotest.(check bool) "zero successes high > 0" true (hi0 > 0. && hi0 < 1.);
+  let lo1, hi1 = Stats.wilson_interval ~successes:20 ~trials:20 () in
+  check_float "all successes high" 1. hi1;
+  Alcotest.(check bool) "all successes low < 1" true (lo1 > 0. && lo1 < 1.)
+
+let test_wilson_half_width_shrinks () =
+  (* At a fixed proportion the interval tightens as trials grow. *)
+  let w n = Stats.wilson_half_width ~successes:(n / 2) ~trials:n () in
+  Alcotest.(check bool) "63 > 630" true (w 63 > w 630);
+  Alcotest.(check bool) "630 > 6300" true (w 630 > w 6300)
+
+let test_wilson_rejects () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero trials" true
+    (bad (fun () -> Stats.wilson_interval ~successes:0 ~trials:0 ()));
+  Alcotest.(check bool) "successes > trials" true
+    (bad (fun () -> Stats.wilson_interval ~successes:5 ~trials:4 ()));
+  Alcotest.(check bool) "negative successes" true
+    (bad (fun () -> Stats.wilson_interval ~successes:(-1) ~trials:4 ()));
+  Alcotest.(check bool) "non-positive z" true
+    (bad (fun () -> Stats.wilson_interval ~z:0. ~successes:2 ~trials:4 ()))
+
 (* --- Tablefmt --- *)
 
 let contains_substring hay needle =
@@ -179,6 +213,17 @@ let prop_rng_int_range =
       let v = Rng.int r bound in
       v >= 0 && v < bound)
 
+let prop_wilson_brackets_proportion =
+  QCheck2.Test.make ~name:"wilson interval brackets the sample proportion"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 10_000) (float_bound_inclusive 1.))
+    (fun (trials, frac) ->
+      let successes = int_of_float (frac *. float_of_int trials) in
+      let successes = min trials (max 0 successes) in
+      let lo, hi = Stats.wilson_interval ~successes ~trials () in
+      let p = float_of_int successes /. float_of_int trials in
+      0. <= lo && lo <= p +. 1e-12 && p <= hi +. 1e-12 && hi <= 1.)
+
 let () =
   Alcotest.run "util"
     [
@@ -207,6 +252,11 @@ let () =
           Alcotest.test_case "min max" `Quick test_min_max;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "confidence" `Quick test_confidence_interval;
+          Alcotest.test_case "wilson known value" `Quick test_wilson_known_value;
+          Alcotest.test_case "wilson clamped" `Quick test_wilson_bounds_clamped;
+          Alcotest.test_case "wilson half-width shrinks" `Quick
+            test_wilson_half_width_shrinks;
+          Alcotest.test_case "wilson rejects" `Quick test_wilson_rejects;
         ] );
       ( "tablefmt",
         [
@@ -219,5 +269,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_percentile_member; prop_mean_between_min_max; prop_rng_int_range ] );
+          [
+            prop_percentile_member;
+            prop_mean_between_min_max;
+            prop_rng_int_range;
+            prop_wilson_brackets_proportion;
+          ] );
     ]
