@@ -1,4 +1,5 @@
-.PHONY: all build test check repro bench bench-json bench-fault clean
+.PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
+  smoke clean
 
 # Fault-campaign benchmark knobs (see `bench fault` in bench/main.ml).
 FAULT_VECTORS ?= 64
@@ -37,6 +38,22 @@ bench-fault: build
 	dune exec bench/main.exe -- fault --vectors $(FAULT_VECTORS) \
 	  --width $(FAULT_WIDTH) BENCH_fault.json
 
+# Measure the observability layer itself: sharded-counter throughput
+# (with an exactness check under all-domain contention) and the
+# per-span overhead of Trace.with_span with no sink installed.
+bench-telemetry: build
+	dune exec bench/main.exe -- telemetry BENCH_telemetry.json
+
+# End-to-end smoke of the tracing/report surface: one synthesis with a
+# Chrome trace and a JSON run report, both validated as parseable.
+smoke: build
+	dune exec bin/main.exe -- synth fig4 --ld 8 --ad 300 \
+	  --trace-out trace.json --report json > report.json
+	python3 -m json.tool trace.json > /dev/null
+	python3 -m json.tool report.json > /dev/null
+	@echo "smoke: trace.json and report.json parse"
+
 clean:
 	dune clean
-	rm -f BENCH_sweep.json BENCH_fault.json
+	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
+	  trace.json report.json

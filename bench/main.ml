@@ -16,6 +16,10 @@
      (times the Fig-8/Table-2 sweep suite sequentially vs on the
       domain pool, checks cell-for-cell equality, and writes a
       machine-readable JSON record with the cache counters)
+   Telemetry overhead:  dune exec bench/main.exe -- telemetry [BENCH_telemetry.json]
+     (sharded-counter throughput alone and under all-domain
+      contention with an exactness check, and the per-span cost of
+      Trace.with_span with no sink installed)
    Fault campaigns:     dune exec bench/main.exe -- fault [BENCH_fault.json]
                           [--vectors N] [--width W]
      (times scalar vs bit-parallel vs domain-parallel fault-injection
@@ -320,6 +324,88 @@ let fault_bench ~vectors ~width out_path =
   Printf.printf "wrote %s\n%!" out_path;
   if not all_identical then exit 1
 
+(* --- telemetry micro-benchmark --------------------------------------- *)
+
+module Trace = Rchls_util.Trace
+module Json = Rchls_util.Json
+
+(* Exercises the observability layer itself: sharded-counter
+   throughput alone and under all-domain contention (checking the
+   aggregate stays exact), and the per-span cost of [Trace.with_span]
+   with no sink installed (the always-on configuration). *)
+let telemetry_bench out_path =
+  let domains = Pool.num_domains () in
+  Printf.printf "=== Telemetry: sharded counters, span overhead (%d domains) ===\n%!"
+    domains;
+  let iters = 2_000_000 in
+  Telemetry.reset ();
+  let t0 = now_s () in
+  for _ = 1 to iters do
+    Telemetry.incr "bench.counter"
+  done;
+  let t1 = now_s () in
+  let seq_s = t1 -. t0 in
+  let seq_exact = Telemetry.counter "bench.counter" = iters in
+  Printf.printf "counter 1 domain:   %8.1f ns/op  (%d ops, %s)\n%!"
+    (seq_s /. float_of_int iters *. 1e9)
+    iters
+    (if seq_exact then "exact" else "LOST UPDATES");
+  Telemetry.reset ();
+  let t2 = now_s () in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to iters do
+              Telemetry.incr "bench.counter"
+            done))
+  in
+  List.iter Domain.join workers;
+  let t3 = now_s () in
+  let par_s = t3 -. t2 in
+  let par_total = Telemetry.counter "bench.counter" in
+  let par_exact = par_total = domains * iters in
+  Printf.printf "counter %d domains:  %8.1f ns/op  (%d ops, %s)\n%!" domains
+    (par_s /. float_of_int (domains * iters) *. 1e9)
+    (domains * iters)
+    (if par_exact then "exact" else "LOST UPDATES");
+  Telemetry.reset ();
+  let spans = 200_000 in
+  let t4 = now_s () in
+  for _ = 1 to spans do
+    Trace.with_span "bench.span" (fun () -> ())
+  done;
+  let t5 = now_s () in
+  let span_ns = (t5 -. t4) /. float_of_int spans *. 1e9 in
+  let span_exact =
+    match Telemetry.histogram "bench.span" with
+    | Some h -> h.Telemetry.count = spans
+    | None -> false
+  in
+  Printf.printf "with_span (no sink): %7.1f ns/span  (%d spans, %s)\n%!" span_ns spans
+    (if span_exact then "all observed" else "DROPPED OBSERVATIONS");
+  let all_exact = seq_exact && par_exact && span_exact in
+  let record =
+    Json.Obj
+      [
+        ("domains", Json.Int domains);
+        ("counter_ops", Json.Int iters);
+        ("counter_seq_ns_per_op", Json.Float (seq_s /. float_of_int iters *. 1e9));
+        ( "counter_par_ns_per_op",
+          Json.Float (par_s /. float_of_int (domains * iters) *. 1e9) );
+        ("counter_par_total", Json.Int par_total);
+        ("counter_exact", Json.Bool (seq_exact && par_exact));
+        ("spans", Json.Int spans);
+        ("span_ns", Json.Float span_ns);
+        ("span_exact", Json.Bool span_exact);
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Json.to_string ~pretty:true record);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not all_exact then exit 1
+
 (* --- Bechamel performance benchmarks -------------------------------- *)
 
 let perf ~vectors ~width () =
@@ -409,6 +495,8 @@ let () =
     perf ~vectors ~width ()
   | _ :: "sweep" :: rest ->
     sweep_bench (match rest with path :: _ -> path | [] -> "BENCH_sweep.json")
+  | _ :: "telemetry" :: rest ->
+    telemetry_bench (match rest with path :: _ -> path | [] -> "BENCH_telemetry.json")
   | _ :: "fault" :: rest ->
     let positional, vectors, width = parse_flags ~vectors:64 ~width:16 rest in
     fault_bench ~vectors ~width

@@ -6,7 +6,12 @@
      characterize run the component characterization (Table 1)
      library      print or validate a resource library
      bench        list / dump the built-in benchmark DFGs
-     experiment   regenerate one of the paper's tables/figures *)
+     experiment   regenerate one of the paper's tables/figures
+
+   Cross-cutting flags: --stats (telemetry table), --trace-out FILE
+   (Chrome trace-event JSON, or JSONL when FILE ends in .jsonl) and
+   --report json (machine-readable run report on stdout, human output
+   on stderr). *)
 
 open Cmdliner
 module Library = Rchls_charlib.Library
@@ -17,6 +22,10 @@ module Rc = Rchls_core.Reliability_centric
 module Design = Rchls_core.Design
 module Experiments = Rchls_experiments.Experiments
 module Sweep = Rchls_experiments.Sweep
+module Report = Rchls_experiments.Report
+module Telemetry = Rchls_util.Telemetry
+module Trace = Rchls_util.Trace
+module Json = Rchls_util.Json
 
 let read_file path =
   let ic = open_in path in
@@ -67,18 +76,58 @@ let or_die = function
 let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print engine telemetry (scheduler/binder runs, evaluation-cache \
-               hits, downgrade steps, per-pass timings) after the run.")
+               hits, per-pass timings, span latency quantiles) after the run. \
+               Goes to stderr under $(b,--report).")
 
-(* Run [f ()] and, under [--stats], print the telemetry the run
-   accumulated. *)
-let with_stats stats f =
-  Rchls_util.Telemetry.reset ();
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the run's span/instant trace to $(docv) as Chrome \
+               trace-event JSON (load in Perfetto or chrome://tracing; one \
+               track per worker domain) — or, when $(docv) ends in \
+               $(b,.jsonl), stream one structured JSON event per line.")
+
+let report_arg =
+  Arg.(value & opt (some (Arg.enum [ ("json", `Json) ])) None
+       & info [ "report" ] ~docv:"FMT"
+           ~doc:"Emit a machine-readable run report (schema \
+                 rchls.run_report/1: result, counters, timers, histogram \
+                 quantiles, input fingerprints) on stdout.  $(docv) must be \
+                 $(b,json).  Human-readable output moves to stderr.")
+
+(* Run [f ()] on fresh telemetry and, under [--stats], print what the
+   run accumulated — to stderr when stdout carries a JSON report. *)
+let with_stats ?(err = false) stats f =
+  Telemetry.reset ();
   let v = f () in
   if stats then begin
-    let rendered = Rchls_util.Telemetry.render () in
-    if rendered <> "" then Printf.printf "\n%s\n" rendered
+    let rendered = Telemetry.render () in
+    if rendered <> "" then
+      if err then Printf.eprintf "\n%s\n%!" rendered
+      else Printf.printf "\n%s\n" rendered
   end;
   v
+
+(* Run [f ()] with the requested trace sinks installed; the Chrome
+   file is rendered after [f] returns (also on a failed synthesis —
+   failure paths return an exit code instead of exiting inline so this
+   finisher runs). *)
+let with_tracing ?(extra_sinks = []) trace_out f =
+  match trace_out with
+  | None -> (
+    match extra_sinks with [] -> f () | sinks -> Trace.with_sinks sinks f)
+  | Some path when Filename.check_suffix path ".jsonl" ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Trace.with_sinks (extra_sinks @ [ Trace.jsonl_sink oc ]) f)
+  | Some path ->
+    let c = Trace.collector () in
+    let v = Trace.with_sinks (extra_sinks @ [ Trace.collector_sink c ]) f in
+    Trace.write_chrome_file c path;
+    Printf.eprintf "rchls: wrote %s\n%!" path;
+    v
+
+let print_report report = print_endline (Json.to_string ~pretty:true report)
 
 (* --- synth --- *)
 
@@ -89,12 +138,19 @@ let strategy_arg =
   Arg.(value & opt strategy_conv `Best & info [ "strategy" ] ~docv:"STRATEGY"
          ~doc:"Search strategy: best (default), figure6, bottom-up.")
 
+let strategy_name = function
+  | `Best -> "best"
+  | `Figure6 -> "figure6"
+  | `Bottom_up -> "bottom-up"
+
 let scheduler_arg =
   let scheduler_conv =
     Arg.enum [ ("density", `Density); ("force-directed", `Force_directed) ]
   in
   Arg.(value & opt scheduler_conv `Density & info [ "scheduler" ] ~docv:"SCHED"
          ~doc:"Scheduler: density (the paper's) or force-directed.")
+
+let scheduler_name = function `Density -> "density" | `Force_directed -> "force-directed"
 
 let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
@@ -103,48 +159,81 @@ let dot_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the algorithm's decisions.")
 
+(* The historical [--trace] decision printer, reimplemented as a sink
+   over the engine's structured instant events (the typed callback
+   path it replaces printed byte-identical lines). *)
+let decision_printer (ev : Trace.event) =
+  match ev.kind with
+  | Trace.Instant ->
+    let s k = Option.value ~default:"" (Trace.attr_string ev.attrs k) in
+    let i k = Option.value ~default:0 (Trace.attr_int ev.attrs k) in
+    (match ev.name with
+    | "engine.initial" -> Printf.printf "* initial latency %d\n" (i "latency")
+    | "engine.latency_downgrade" ->
+      Printf.printf "* latency: %s %s -> %s (L=%d)\n" (s "node") (s "from") (s "to")
+        (i "latency")
+    | "engine.slack_exploited" ->
+      Printf.printf "* slack: reschedule at L=%d (area %d)\n" (i "latency") (i "area")
+    | "engine.area_downgrade" ->
+      Printf.printf "* area: [%s] %s -> %s (area %d)\n" (s "nodes") (s "from") (s "to")
+        (i "area")
+    | "engine.refine_upgrade" ->
+      Printf.printf "* refine: [%s] %s -> %s (R=%.5f)\n" (s "node") (s "from") (s "to")
+        (Option.value ~default:0. (Trace.attr_float ev.attrs "reliability"))
+    | _ -> ())
+  | Trace.Begin | Trace.End -> ()
+
 let synth_cmd =
-  let run graph_spec lib_file ld ad strategy scheduler dot trace stats =
-    with_stats stats @@ fun () ->
-    let g = or_die (load_graph graph_spec) in
-    let lib = or_die (load_library lib_file) in
-    let trace_fn =
-      if not trace then fun _ -> ()
-      else fun (ev : Rc.trace_event) ->
-        match ev with
-        | Rc.Initial { latency } -> Printf.printf "* initial latency %d\n" latency
-        | Rc.Latency_downgrade { node; from_version; to_version; latency } ->
-          Printf.printf "* latency: %s %s -> %s (L=%d)\n" node from_version to_version
-            latency
-        | Rc.Slack_exploited { latency; area } ->
-          Printf.printf "* slack: reschedule at L=%d (area %d)\n" latency area
-        | Rc.Area_downgrade { nodes; from_version; to_version; area } ->
-          Printf.printf "* area: [%s] %s -> %s (area %d)\n" (String.concat "," nodes)
-            from_version to_version area
-        | Rc.Refinement_upgrade { node; from_version; to_version; reliability } ->
-          Printf.printf "* refine: [%s] %s -> %s (R=%.5f)\n" node from_version to_version
-            reliability
+  let run graph_spec lib_file ld ad strategy scheduler dot trace trace_out report stats =
+    let code =
+      with_stats ~err:(report <> None) stats @@ fun () ->
+      with_tracing ~extra_sinks:(if trace then [ decision_printer ] else []) trace_out
+      @@ fun () ->
+      let g = or_die (load_graph graph_spec) in
+      let lib = or_die (load_library lib_file) in
+      let args =
+        [
+          ("graph", Json.Str graph_spec);
+          ("ld", Json.Int ld);
+          ("ad", Json.Int ad);
+          ("strategy", Json.Str (strategy_name strategy));
+          ("scheduler", Json.Str (scheduler_name scheduler));
+        ]
+      in
+      match Rc.synthesize ~scheduler ~strategy g lib ~ld ~ad with
+      | Error f ->
+        (match report with
+        | Some `Json ->
+          print_report
+            (Report.make ~command:"synth" ~args ~graph:g ~library:lib
+               ~result:(Report.failure_json f) ())
+        | None -> Format.printf "%a@." Rc.pp_failure f);
+        2
+      | Ok d ->
+        (match report with
+        | Some `Json ->
+          print_report
+            (Report.make ~command:"synth" ~args ~graph:g ~library:lib
+               ~result:(Report.design_json d) ())
+        | None -> Format.printf "%a" Design.pp_report d);
+        Option.iter
+          (fun path ->
+            let sched = Design.schedule d in
+            Rchls_dfg.Dot.write_file
+              ~step:(fun nd -> Some (Rchls_sched.Schedule.start sched nd.Dfg.id))
+              g path;
+            if report = None then Printf.printf "wrote %s\n" path
+            else Printf.eprintf "rchls: wrote %s\n%!" path)
+          dot;
+        0
     in
-    match Rc.synthesize ~scheduler ~strategy ~trace:trace_fn g lib ~ld ~ad with
-    | Error f ->
-      Format.printf "%a@." Rc.pp_failure f;
-      exit 2
-    | Ok d ->
-      Format.printf "%a" Design.pp_report d;
-      Option.iter
-        (fun path ->
-          let sched = Design.schedule d in
-          Rchls_dfg.Dot.write_file
-            ~step:(fun nd -> Some (Rchls_sched.Schedule.start sched nd.Dfg.id))
-            g path;
-          Printf.printf "wrote %s\n" path)
-        dot
+    if code <> 0 then exit code
   in
   let doc = "Synthesize a data-flow graph under latency and area bounds." in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ graph_arg $ library_arg $ ld_arg $ ad_arg $ strategy_arg
-      $ scheduler_arg $ dot_arg $ trace_arg $ stats_arg)
+      $ scheduler_arg $ dot_arg $ trace_arg $ trace_out_arg $ report_arg $ stats_arg)
 
 (* --- sweep --- *)
 
@@ -160,26 +249,46 @@ let approach_arg =
   Arg.(value & opt approach_conv Sweep.Ours & info [ "approach" ] ~docv:"A"
          ~doc:"Approach: ours (default), baseline (ref [3] NMR), combined.")
 
+let approach_name = function
+  | Sweep.Baseline -> "baseline"
+  | Sweep.Ours -> "ours"
+  | Sweep.Combined -> "combined"
+
 let sweep_cmd =
-  let run graph_spec lib_file lds ads approach domains stats =
-    with_stats stats @@ fun () ->
+  let run graph_spec lib_file lds ads approach domains trace_out report stats =
+    with_stats ~err:(report <> None) stats @@ fun () ->
+    with_tracing trace_out @@ fun () ->
     let g = or_die (load_graph graph_spec) in
     let lib = or_die (load_library lib_file) in
     let cells = Sweep.run ?domains approach g lib ~lds ~ads in
-    let t = Rchls_util.Tablefmt.create [ "Ld"; "Ad"; "Reliability"; "Area" ] in
-    List.iter
-      (fun (c : Sweep.cell) ->
-        Rchls_util.Tablefmt.add_row t
-          [
-            string_of_int c.ld;
-            string_of_int c.ad;
-            (match c.reliability with
-            | Some r -> Rchls_util.Tablefmt.float_cell r
-            | None -> "-");
-            (match c.area with Some a -> string_of_int a | None -> "-");
-          ])
-      cells;
-    Rchls_util.Tablefmt.print t
+    match report with
+    | Some `Json ->
+      let ints ns = Json.List (List.map (fun i -> Json.Int i) ns) in
+      print_report
+        (Report.make ~command:"sweep"
+           ~args:
+             [
+               ("graph", Json.Str graph_spec);
+               ("approach", Json.Str (approach_name approach));
+               ("lds", ints lds);
+               ("ads", ints ads);
+             ]
+           ~graph:g ~library:lib ~result:(Report.sweep_json cells) ())
+    | None ->
+      let t = Rchls_util.Tablefmt.create [ "Ld"; "Ad"; "Reliability"; "Area" ] in
+      List.iter
+        (fun (c : Sweep.cell) ->
+          Rchls_util.Tablefmt.add_row t
+            [
+              string_of_int c.ld;
+              string_of_int c.ad;
+              (match c.reliability with
+              | Some r -> Rchls_util.Tablefmt.float_cell r
+              | None -> "-");
+              (match c.area with Some a -> string_of_int a | None -> "-");
+            ])
+        cells;
+      Rchls_util.Tablefmt.print t
   in
   let doc = "Sweep a latency x area bounds grid." in
   Cmd.v (Cmd.info "sweep" ~doc)
@@ -191,13 +300,14 @@ let sweep_cmd =
       $ Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
                ~doc:"Worker domains for the grid (default: $(b,RCHLS_DOMAINS) \
                      or the recommended domain count; 1 = sequential).")
-      $ stats_arg)
+      $ trace_out_arg $ report_arg $ stats_arg)
 
 (* --- characterize --- *)
 
 let characterize_cmd =
-  let run measured width vectors seed ci_target domains stats =
+  let run measured width vectors seed ci_target domains trace_out stats =
     with_stats stats @@ fun () ->
+    with_tracing trace_out @@ fun () ->
     if measured then begin
       let fault_config =
         {
@@ -249,22 +359,25 @@ let characterize_cmd =
   let doc = "Regenerate the component characterization (Table 1 / Figure 2)." in
   Cmd.v (Cmd.info "characterize" ~doc)
     Term.(
-      const run $ measured $ width $ vectors $ seed $ ci_target $ domains $ stats_arg)
+      const run $ measured $ width $ vectors $ seed $ ci_target $ domains
+      $ trace_out_arg $ stats_arg)
 
 (* --- library --- *)
 
 let library_cmd =
-  let run lib_file =
+  let run lib_file stats =
+    with_stats stats @@ fun () ->
     let lib = or_die (load_library lib_file) in
     print_string (Library.to_text lib)
   in
   let doc = "Print (and thereby validate) a resource library." in
-  Cmd.v (Cmd.info "library" ~doc) Term.(const run $ library_arg)
+  Cmd.v (Cmd.info "library" ~doc) Term.(const run $ library_arg $ stats_arg)
 
 (* --- bench --- *)
 
 let bench_cmd =
-  let run which =
+  let run which stats =
+    with_stats stats @@ fun () ->
     match which with
     | None ->
       List.iter
@@ -282,27 +395,67 @@ let bench_cmd =
            ~doc:"Benchmark to dump in .dfg form; omit to list all.")
   in
   let doc = "List the built-in benchmarks or dump one as .dfg text." in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ which $ stats_arg)
 
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run id stats =
-    with_stats stats @@ fun () ->
-    match List.assoc_opt id Experiments.all with
-    | Some f -> print_string (f ())
-    | None ->
-      Printf.eprintf "unknown experiment %S; available: %s\n" id
-        (String.concat ", " (List.map fst Experiments.all));
-      exit 1
+  let run ids trace_out report stats =
+    let ids = if ids = [ "all" ] then List.map fst Experiments.all else ids in
+    List.iter
+      (fun id ->
+        if not (List.mem_assoc id Experiments.all) then begin
+          Printf.eprintf "unknown experiment %S; available: %s\n" id
+            (String.concat ", " (List.map fst Experiments.all @ [ "all" ]));
+          exit 1
+        end)
+      ids;
+    with_tracing trace_out @@ fun () ->
+    (* Telemetry is reset between experiments so each report (and each
+       [--stats] block) covers exactly one table/figure. *)
+    let reports =
+      List.map
+        (fun id ->
+          Telemetry.reset ();
+          let text = (List.assoc id Experiments.all) () in
+          let r =
+            match report with
+            | Some `Json ->
+              Some
+                (Report.make ~command:"experiment"
+                   ~args:[ ("id", Json.Str id) ]
+                   ~result:
+                     (Json.Obj
+                        [ ("experiment", Json.Str id); ("output", Json.Str text) ])
+                   ())
+            | None ->
+              print_string text;
+              None
+          in
+          if stats then begin
+            let rendered = Telemetry.render () in
+            if rendered <> "" then
+              if report <> None then Printf.eprintf "\n[%s]\n%s\n%!" id rendered
+              else Printf.printf "\n[%s]\n%s\n" id rendered
+          end;
+          r)
+        ids
+    in
+    match List.filter_map Fun.id reports with
+    | [] -> ()
+    | [ r ] -> print_report r
+    | rs ->
+      (* Several experiments: one compact report per line (JSONL). *)
+      List.iter (fun r -> print_endline (Json.to_string r)) rs
   in
-  let id =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
-           ~doc:"Experiment id: table1, fig2, fig5, fig7, fig8a, fig8b, table2a, \
-                 table2b, table2c, fig9.")
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids: table1, fig2, fig5, fig7, fig8a, fig8b, table2a, \
+                 table2b, table2c, fig9 — or $(b,all).  Telemetry resets between \
+                 ids, so $(b,--stats) and $(b,--report) cover each in isolation.")
   in
-  let doc = "Regenerate one of the paper's tables or figures." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ stats_arg)
+  let doc = "Regenerate the paper's tables or figures." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids $ trace_out_arg $ report_arg $ stats_arg)
 
 let () =
   let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in

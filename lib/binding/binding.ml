@@ -7,6 +7,7 @@ type instance = { resource : Resource.t; index : int; ops : Dfg.node_id list }
 type t = { instances : instance list; of_node : instance array }
 
 let bind sched ~assignment =
+  Rchls_util.Trace.with_span "bind.left_edge" @@ fun () ->
   Rchls_util.Telemetry.incr "bind.runs";
   let g = Schedule.graph sched in
   List.iter

@@ -4,6 +4,7 @@ module Library = Rchls_charlib.Library
 module Analysis = Rchls_dfg.Analysis
 module Binding = Rchls_binding.Binding
 module Telemetry = Rchls_util.Telemetry
+module Trace = Rchls_util.Trace
 
 type failure =
   | Latency_infeasible of { best_achievable : int }
@@ -65,6 +66,47 @@ type ctx = {
 }
 
 let delay_of ctx (nd : Dfg.node) = ctx.assignment.(nd.id).Resource.delay
+
+(* Forward every algorithm decision both to the caller's typed trace
+   callback and, as a structured instant event, to the Trace layer —
+   the CLI's [--trace] printer and [--trace-out] exports consume the
+   latter. *)
+let emit_trace ctx ev =
+  ctx.trace ev;
+  if Trace.enabled () then begin
+    let name, attrs =
+      match ev with
+      | Initial { latency } -> ("engine.initial", [ ("latency", Trace.Int latency) ])
+      | Latency_downgrade { node; from_version; to_version; latency } ->
+        ( "engine.latency_downgrade",
+          [
+            ("node", Trace.Str node);
+            ("from", Trace.Str from_version);
+            ("to", Trace.Str to_version);
+            ("latency", Trace.Int latency);
+          ] )
+      | Slack_exploited { latency; area } ->
+        ( "engine.slack_exploited",
+          [ ("latency", Trace.Int latency); ("area", Trace.Int area) ] )
+      | Area_downgrade { nodes; from_version; to_version; area } ->
+        ( "engine.area_downgrade",
+          [
+            ("nodes", Trace.Str (String.concat "," nodes));
+            ("from", Trace.Str from_version);
+            ("to", Trace.Str to_version);
+            ("area", Trace.Int area);
+          ] )
+      | Refinement_upgrade { node; from_version; to_version; reliability } ->
+        ( "engine.refine_upgrade",
+          [
+            ("node", Trace.Str node);
+            ("from", Trace.Str from_version);
+            ("to", Trace.Str to_version);
+            ("reliability", Trace.Float reliability);
+          ] )
+    in
+    Trace.instant name ~attrs
+  end
 
 let asap_of_preds ctx id =
   List.fold_left
@@ -168,7 +210,7 @@ let realize ctx ~latency =
       r
     | None ->
       Telemetry.incr "cache.misses";
-      let r = compute () in
+      let r = Trace.with_span "engine.design_eval" compute in
       Hashtbl.add ctx.cache key r;
       r
   end
@@ -254,7 +296,7 @@ let initial_alloc =
     run =
       (fun ctx ->
         Telemetry.incr "engine.runs";
-        ctx.trace (Initial { latency = current_latency ctx });
+        emit_trace ctx (Initial { latency = current_latency ctx });
         Ok ());
   }
 
@@ -295,7 +337,7 @@ let meet_latency =
             progress := true;
             Telemetry.incr "downgrade.steps";
             let l = current_latency ctx in
-            ctx.trace
+            emit_trace ctx
               (Latency_downgrade
                  {
                    node = nd.name;
@@ -328,7 +370,7 @@ let exploit_slack =
             | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
             | Ok d ->
               ctx.design <- Some d;
-              ctx.trace
+              emit_trace ctx
                 (Slack_exploited { latency = ctx.schedule_latency; area = Design.area d })
           done;
           Ok ());
@@ -375,7 +417,7 @@ let meet_area =
                   | Some d ->
                     ctx.design <- Some d;
                     Telemetry.incr "downgrade.steps";
-                    ctx.trace
+                    emit_trace ctx
                       (Area_downgrade
                          {
                            nodes =
@@ -425,7 +467,7 @@ let recovery =
                           | Some d ->
                             ctx.design <- Some d;
                             Telemetry.incr "downgrade.steps";
-                            ctx.trace
+                            emit_trace ctx
                               (Area_downgrade
                                  {
                                    nodes =
@@ -530,7 +572,7 @@ let refine =
                 ctx.design <- Some d;
                 improved := true;
                 Telemetry.incr "refine.upgrades";
-                ctx.trace
+                emit_trace ctx
                   (Refinement_upgrade
                      {
                        node =
@@ -564,7 +606,7 @@ let run_pipeline passes ctx =
   let rec go = function
     | [] -> finalize ctx
     | p :: rest -> (
-      match Telemetry.time ("pass." ^ p.name) (fun () -> p.run ctx) with
+      match Trace.with_span ("pass." ^ p.name) (fun () -> p.run ctx) with
       | Ok () -> go rest
       | Error e -> Error e)
   in
@@ -590,19 +632,37 @@ let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
   if ld <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive latency bound";
   if ad <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive area bound";
   check_classes g lib;
+  Trace.with_span "engine.synthesize"
+    ~attrs:
+      [
+        ("graph", Trace.Str (Dfg.name g));
+        ("ld", Trace.Int ld);
+        ("ad", Trace.Int ad);
+        ( "strategy",
+          Trace.Str
+            (match strategy with
+            | `Figure6 -> "figure6"
+            | `Bottom_up -> "bottom-up"
+            | `Best -> "best") );
+      ]
+  @@ fun () ->
   let pipeline = default_pipeline ~refine in
   (* One evaluation cache spans every direction tried: near convergence
      the two directions realize many identical assignments. *)
   let cache = create_cache () in
-  let run_from initial =
+  let run_from direction initial =
+    Trace.with_span "engine.pipeline" ~attrs:[ ("direction", Trace.Str direction) ]
+    @@ fun () ->
     let ctx = create ~scheduler ~cache ~use_cache ~trace g lib ~ld ~ad ~initial in
     run_pipeline pipeline ctx
   in
   let top_down () =
-    run_from (fun (nd : Dfg.node) -> Library.most_reliable lib (Op.resource_class nd.op))
+    run_from "top-down" (fun (nd : Dfg.node) ->
+        Library.most_reliable lib (Op.resource_class nd.op))
   in
   let bottom_up () =
-    run_from (fun (nd : Dfg.node) -> Library.fastest lib (Op.resource_class nd.op))
+    run_from "bottom-up" (fun (nd : Dfg.node) ->
+        Library.fastest lib (Op.resource_class nd.op))
   in
   match strategy with
   | `Figure6 -> top_down ()

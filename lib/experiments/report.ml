@@ -1,0 +1,154 @@
+module Json = Rchls_util.Json
+module Telemetry = Rchls_util.Telemetry
+module Design = Rchls_core.Design
+module Rc = Rchls_core.Reliability_centric
+module Library = Rchls_charlib.Library
+module Resource = Rchls_charlib.Resource
+module Dfg = Rchls_dfg.Dfg
+
+let schema = "rchls.run_report/1"
+
+(* Same FNV-1a construction as [Netlist.fingerprint], applied to the
+   canonical text form so the digest is stable across process runs and
+   independent of in-memory representation. *)
+let fingerprint s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fingerprint_hex s = Printf.sprintf "%016Lx" (fingerprint s)
+
+let graph_json g =
+  Json.Obj
+    [
+      ("name", Json.Str (Dfg.name g));
+      ("nodes", Json.Int (Dfg.node_count g));
+      ("edges", Json.Int (Dfg.edge_count g));
+      ("fingerprint", Json.Str (fingerprint_hex (Rchls_dfg.Parse.to_text g)));
+    ]
+
+let library_json lib =
+  Json.Obj
+    [
+      ("resources", Json.Int (List.length (Library.resources lib)));
+      ("fingerprint", Json.Str (fingerprint_hex (Library.to_text lib)));
+    ]
+
+let design_json d =
+  Json.Obj
+    [
+      ("status", Json.Str "ok");
+      ("latency", Json.Int (Design.latency d));
+      ("area", Json.Int (Design.area d));
+      ("reliability", Json.Float (Design.reliability d));
+      ( "instances",
+        Json.List
+          (List.map
+             (fun ((r : Resource.t), n) ->
+               Json.Obj [ ("resource", Json.Str r.id); ("count", Json.Int n) ])
+             (Design.instance_histogram d)) );
+    ]
+
+let failure_json (f : Rc.failure) =
+  let fields =
+    match f with
+    | Rc.Latency_infeasible { best_achievable } ->
+      [ ("reason", Json.Str "latency_infeasible");
+        ("best_achievable_latency", Json.Int best_achievable) ]
+    | Rc.Area_infeasible { best_achieved } ->
+      [ ("reason", Json.Str "area_infeasible");
+        ("best_achieved_area", Json.Int best_achieved) ]
+    | Rc.Scheduling_error msg ->
+      [ ("reason", Json.Str "scheduling_error"); ("message", Json.Str msg) ]
+  in
+  Json.Obj (("status", Json.Str "infeasible") :: fields)
+
+let opt_num f = function None -> Json.Null | Some v -> f v
+
+let sweep_json cells =
+  Json.Obj
+    [
+      ( "cells",
+        Json.List
+          (List.map
+             (fun (c : Sweep.cell) ->
+               Json.Obj
+                 [
+                   ("ld", Json.Int c.ld);
+                   ("ad", Json.Int c.ad);
+                   ("reliability", opt_num (fun r -> Json.Float r) c.reliability);
+                   ("area", opt_num (fun a -> Json.Int a) c.area);
+                 ])
+             cells) );
+    ]
+
+let telemetry_json () =
+  let counters =
+    List.map (fun (n, v) -> (n, Json.Int v)) (Telemetry.counters ())
+  in
+  let timers =
+    List.map
+      (fun (n, ns) -> (n, Json.Int (Int64.to_int ns)))
+      (Telemetry.timers ())
+  in
+  let hists =
+    List.map
+      (fun (n, (h : Telemetry.hist)) ->
+        ( n,
+          Json.Obj
+            [
+              ("count", Json.Int h.count);
+              ("sum_ns", Json.Int (Int64.to_int h.sum_ns));
+              ("p50_ns", Json.Float h.p50_ns);
+              ("p90_ns", Json.Float h.p90_ns);
+              ("p99_ns", Json.Float h.p99_ns);
+              ("max_ns", Json.Int (Int64.to_int h.max_ns));
+            ] ))
+      (Telemetry.histograms ())
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("timers_ns", Json.Obj timers);
+      ("histograms", Json.Obj hists);
+    ]
+
+let make ~command ?(args = []) ?graph ?library ~result () =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.Obj
+    (("schema", Json.Str schema)
+     :: ("command", Json.Str command)
+     :: (match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
+    @ opt "graph" graph_json graph
+    @ opt "library" library_json library
+    @ [ ("result", result); ("telemetry", telemetry_json ()) ])
+
+let validate j =
+  let ( let* ) = Result.bind in
+  let str_field name =
+    match Option.bind (Json.member name j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or non-string %S field" name)
+  in
+  let* tag = str_field "schema" in
+  let* _ = str_field "command" in
+  if tag <> schema then
+    Error (Printf.sprintf "unexpected schema tag %S (want %S)" tag schema)
+  else
+    match Json.member "telemetry" j with
+    | None -> Error "missing \"telemetry\" object"
+    | Some t ->
+      let sub name =
+        match Json.member name t with
+        | Some (Json.Obj _) -> Ok ()
+        | _ -> Error (Printf.sprintf "telemetry: missing %S object" name)
+      in
+      let* () = sub "counters" in
+      let* () = sub "timers_ns" in
+      let* () = sub "histograms" in
+      if Json.member "result" j = None then Error "missing \"result\" field"
+      else Ok ()

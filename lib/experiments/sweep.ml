@@ -3,6 +3,7 @@ module Rc = Rchls_core.Reliability_centric
 module Design = Rchls_core.Design
 module Pool = Rchls_util.Pool
 module Telemetry = Rchls_util.Telemetry
+module Trace = Rchls_util.Trace
 
 type approach = Baseline | Ours | Combined
 
@@ -80,12 +81,25 @@ let run ?scheduler ?refine ?domains approach g lib ~lds ~ads =
   let lds = List.sort_uniq compare lds in
   let ads = List.sort_uniq compare ads in
   let grid = List.concat_map (fun ld -> List.map (fun ad -> (ld, ad)) ads) lds in
+  let approach_name =
+    match approach with Baseline -> "baseline" | Ours -> "ours" | Combined -> "combined"
+  in
   let raw =
-    Telemetry.time "sweep.cells" (fun () ->
+    Trace.with_span "sweep.run"
+      ~attrs:
+        [
+          ("graph", Trace.Str (Rchls_dfg.Dfg.name g));
+          ("approach", Trace.Str approach_name);
+          ("cells", Trace.Int (List.length grid));
+        ]
+      (fun () ->
         Pool.map ?domains
           (fun (ld, ad) ->
-            Telemetry.incr "sweep.cells";
-            ((ld, ad), raw_cell ?scheduler ?refine approach g lib ~ld ~ad))
+            Trace.with_span "sweep.cell"
+              ~attrs:[ ("ld", Trace.Int ld); ("ad", Trace.Int ad) ]
+              (fun () ->
+                Telemetry.incr "sweep.cells";
+                ((ld, ad), raw_cell ?scheduler ?refine approach g lib ~ld ~ad)))
           grid)
   in
   envelope ~n_ads:(List.length ads) raw

@@ -1,6 +1,7 @@
 module Rc = Rchls_core.Reliability_centric
 
 let synthesize ?scheduler ?strategy g lib ~ld ~ad =
+  Rchls_util.Trace.with_span "redundancy.combined" @@ fun () ->
   Rchls_util.Telemetry.incr "redundancy.runs";
   match Rc.synthesize ?scheduler ?strategy g lib ~ld ~ad with
   | Error e -> Error e

@@ -78,6 +78,7 @@ let add_redundancy t ~ad =
   go t
 
 let synthesize ?(scheduler = `Density) g lib ~ld ~ad =
+  Rchls_util.Trace.with_span "redundancy.orailoglu" @@ fun () ->
   Rchls_util.Telemetry.incr "redundancy.runs";
   match base_design ~scheduler g lib ~ld with
   | Error e -> Error e

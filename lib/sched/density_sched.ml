@@ -4,6 +4,7 @@ module Analysis = Rchls_dfg.Analysis
 let constrained_ranges = Density.constrained_ranges
 
 let run g ~delay ~latency =
+  Rchls_util.Trace.with_span "sched.density" @@ fun () ->
   Rchls_util.Telemetry.incr "sched.runs";
   let min_latency = Analysis.asap_latency g ~delay in
   if latency < min_latency then

@@ -12,6 +12,7 @@ let mean_cost dens cls d lo hi =
   end
 
 let run g ~delay ~latency =
+  Rchls_util.Trace.with_span "sched.force_directed" @@ fun () ->
   Rchls_util.Telemetry.incr "sched.runs";
   let min_latency = Analysis.asap_latency g ~delay in
   if latency < min_latency then

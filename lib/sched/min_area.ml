@@ -1,6 +1,7 @@
 open Rchls_dfg
 
 let run g ~delay ~group ~group_area ~latency =
+  Rchls_util.Trace.with_span "sched.min_area" @@ fun () ->
   Rchls_util.Telemetry.incr "sched.runs";
   let min_latency = Analysis.asap_latency g ~delay in
   if latency < min_latency then

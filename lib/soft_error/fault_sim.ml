@@ -3,6 +3,7 @@ module Rng = Rchls_util.Rng
 module Stats = Rchls_util.Stats
 module Pool = Rchls_util.Pool
 module Telemetry = Rchls_util.Telemetry
+module Trace = Rchls_util.Trace
 
 module Sampling = struct
   type t = All | Strided of int | Fraction of float
@@ -200,14 +201,34 @@ module Campaign = struct
       (List.fold_left (fun acc n -> acc + n.injected) 0 nodes);
     { netlist_name = Netlist.name nl; config; nodes; sampled_fraction = fraction }
 
+  (* Span + convergence instant shared by the packed and scalar
+     engines: one [fault.node] span per injection target, and a
+     [fault.ci_converged] instant when the Wilson-interval target
+     stopped the node before its vector cap. *)
+  let traced_node config ~net inject =
+    Trace.with_span "fault.node" ~attrs:[ ("net", Trace.Int net) ] @@ fun () ->
+    let observed, injected, batches = inject () in
+    Telemetry.add "fault.batches" batches;
+    if config.ci_target <> None && ci_met config ~observed ~injected then
+      Trace.instant "fault.ci_converged"
+        ~attrs:
+          [
+            ("net", Trace.Int net);
+            ("observed", Trace.Int observed);
+            ("injected", Trace.Int injected);
+          ];
+    (observed, injected)
+
   let compute config nl =
     let jobs, fraction = jobs_of config nl in
     let nodes =
       Pool.map ?domains:config.domains
         (fun (net, rng) ->
           let st_ok, st_flip = packed_states nl in
-          let observed, injected, batches = packed_node nl st_ok st_flip rng config net in
-          Telemetry.add "fault.batches" batches;
+          let observed, injected =
+            traced_node config ~net (fun () ->
+                packed_node nl st_ok st_flip rng config net)
+          in
           node_result_of nl ~net ~observed ~injected)
         jobs
     in
@@ -220,8 +241,10 @@ module Campaign = struct
     let nodes =
       List.map
         (fun (net, rng) ->
-          let observed, injected, batches = scalar_node nl st_ok st_flip rng config net in
-          Telemetry.add "fault.batches" batches;
+          let observed, injected =
+            traced_node config ~net (fun () ->
+                scalar_node nl st_ok st_flip rng config net)
+          in
           node_result_of nl ~net ~observed ~injected)
         jobs
     in
@@ -250,7 +273,16 @@ module Campaign = struct
       r
     | None ->
       Telemetry.incr "fault.cache.misses";
-      let r = Telemetry.time "fault.campaign" (fun () -> compute config nl) in
+      let r =
+        Trace.with_span "fault.campaign"
+          ~attrs:
+            [
+              ("netlist", Trace.Str (Netlist.name nl));
+              ("vectors", Trace.Int config.vectors);
+              ("seed", Trace.Int config.seed);
+            ]
+          (fun () -> compute config nl)
+      in
       Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r);
       r
 end

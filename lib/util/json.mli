@@ -1,0 +1,40 @@
+(** Minimal JSON tree: enough to emit and re-read the observability
+    artifacts (Chrome traces, JSONL event streams, run reports)
+    without an external dependency.
+
+    The printer always produces valid JSON (non-finite floats become
+    [null]); the parser accepts the full JSON grammar, including
+    [\uXXXX] escapes and surrogate pairs, and rejects trailing
+    garbage.  Numbers without a fraction or exponent parse as {!Int}
+    when they fit in a native [int], as {!Float} otherwise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  [pretty] (default [false]) adds two-space indentation
+    and newlines; compact output has no whitespace at all. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error] carries a message with the byte
+    offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on a missing key or a
+    non-object. *)
+
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float_opt : t -> float option
+(** [Float] and [Int]. *)
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option

@@ -1,19 +1,92 @@
-(* Process-global registry.  Counter cells are Atomic ints so domains
-   bump them without locks; the hashtable itself is only mutated under
-   [registry_lock] (cell creation is rare, bumps are hot). *)
+(* Process-global registry.  Counter/timer cells are sharded arrays of
+   Atomic ints so domains bump them without contending on one cache
+   line; the hashtables themselves are only mutated under
+   [registry_lock] (cell creation is rare, bumps are hot).  Reads
+   aggregate across the shards, which is exact once the writing
+   domains have been joined. *)
 
-type event = Counter of { name : string; delta : int } | Timer of { name : string; ns : int64 }
+type hist = {
+  count : int;
+  sum_ns : int64;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int64;
+}
+
+type event =
+  | Counter of { name : string; delta : int }
+  | Timer of { name : string; ns : int64 }
+  | Observation of { name : string; ns : int64 }
+
+(* Power of two so the shard pick is one mask of the domain id.  8
+   shards already separates the handful of worker domains the pool
+   spawns at a time. *)
+let shards = 8
+
+type cell = int Atomic.t array
+
+(* Atomics allocated back to back share cache lines; interleaving a
+   dead 7-word block between them spaces the mutable words ~64 bytes
+   apart (best effort — the GC may compact, but allocation order is
+   usually preserved). *)
+let make_cell () : cell =
+  Array.init shards (fun _ ->
+      let a = Atomic.make 0 in
+      ignore (Sys.opaque_identity (Array.make 7 0));
+      a)
+
+let shard_of_domain () = (Domain.self () :> int) land (shards - 1)
+
+let cell_add (c : cell) n = ignore (Atomic.fetch_and_add c.(shard_of_domain ()) n)
+
+let cell_value (c : cell) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let cell_reset (c : cell) = Array.iter (fun a -> Atomic.set a 0) c
+
+(* Log-scale latency histogram: bucket [i] counts observations in
+   [2^i, 2^(i+1)) ns (bucket 0 holds everything below 2 ns).  One
+   Atomic per bucket — observations come from span completions, which
+   are orders of magnitude rarer than counter bumps. *)
+let hist_buckets = 63
+
+type hist_cell = {
+  buckets : int Atomic.t array;
+  h_count : cell;
+  h_sum : cell;
+  h_max : int Atomic.t;
+}
+
+let make_hist_cell () =
+  {
+    buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
+    h_count = make_cell ();
+    h_sum = make_cell ();
+    h_max = Atomic.make 0;
+  }
+
+let bucket_of ns =
+  if ns <= 1 then 0
+  else begin
+    let i = ref 0 and v = ref ns in
+    while !v > 1 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (hist_buckets - 1)
+  end
 
 let registry_lock = Mutex.create ()
-let counters_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
-let timers_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let counters_tbl : (string, cell) Hashtbl.t = Hashtbl.create 32
+let timers_tbl : (string, cell) Hashtbl.t = Hashtbl.create 16
+let hists_tbl : (string, hist_cell) Hashtbl.t = Hashtbl.create 16
 let sink : (event -> unit) option Atomic.t = Atomic.make None
 
 let set_sink s = Atomic.set sink s
 
 let emit ev = match Atomic.get sink with None -> () | Some f -> f ev
 
-let cell tbl name =
+let find_or_create tbl make name =
   match Hashtbl.find_opt tbl name with
   | Some c -> c
   | None ->
@@ -22,27 +95,29 @@ let cell tbl name =
       match Hashtbl.find_opt tbl name with
       | Some c -> c
       | None ->
-        let c = Atomic.make 0 in
+        let c = make () in
         Hashtbl.add tbl name c;
         c
     in
     Mutex.unlock registry_lock;
     c
 
-(* [Atomic.fetch_and_add] has no observable intermediate states we
-   rely on; sums are exact after domains join. *)
+let cell tbl name = find_or_create tbl make_cell name
+
+(* Per-shard [Atomic.fetch_and_add]s have no observable intermediate
+   states we rely on; sums are exact after domains join. *)
 let add name n =
-  ignore (Atomic.fetch_and_add (cell counters_tbl name) n);
+  cell_add (cell counters_tbl name) n;
   emit (Counter { name; delta = n })
 
 let incr name = add name 1
 
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with None -> 0 | Some c -> Atomic.get c
+  match Hashtbl.find_opt counters_tbl name with None -> 0 | Some c -> cell_value c
 
 let snapshot tbl =
   Mutex.lock registry_lock;
-  let xs = Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) tbl [] in
+  let xs = Hashtbl.fold (fun name c acc -> (name, cell_value c) :: acc) tbl [] in
   Mutex.unlock registry_lock;
   List.sort (fun (a, _) (b, _) -> compare a b) xs
 
@@ -51,7 +126,7 @@ let counters () = snapshot counters_tbl
 let now_ns () = Monotonic_clock.now ()
 
 let add_timer_ns name ns =
-  ignore (Atomic.fetch_and_add (cell timers_tbl name) (Int64.to_int ns));
+  cell_add (cell timers_tbl name) (Int64.to_int ns);
   emit (Timer { name; ns })
 
 let time name f =
@@ -61,28 +136,132 @@ let time name f =
 let timer_ns name =
   match Hashtbl.find_opt timers_tbl name with
   | None -> 0L
-  | Some c -> Int64.of_int (Atomic.get c)
+  | Some c -> Int64.of_int (cell_value c)
 
 let timers () = List.map (fun (n, v) -> (n, Int64.of_int v)) (snapshot timers_tbl)
 
+(* --- histograms ---------------------------------------------------- *)
+
+let observe name ns =
+  let h = find_or_create hists_tbl make_hist_cell name in
+  let v = Int64.to_int ns in
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+  cell_add h.h_count 1;
+  cell_add h.h_sum v;
+  (* Monotone max via CAS retry. *)
+  let rec bump () =
+    let cur = Atomic.get h.h_max in
+    if v > cur && not (Atomic.compare_and_set h.h_max cur v) then bump ()
+  in
+  bump ();
+  emit (Observation { name; ns })
+
+(* Quantile estimate: find the bucket where the cumulative count
+   crosses [q * total] and interpolate linearly inside its
+   [2^i, 2^(i+1)) range. *)
+let hist_quantile h q =
+  let total = cell_value h.h_count in
+  if total = 0 then 0.
+  else begin
+    let rank = q *. float_of_int total in
+    let acc = ref 0. and result = ref None in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         let c = float_of_int (Atomic.get h.buckets.(i)) in
+         if c > 0. then begin
+           let next = !acc +. c in
+           if next >= rank then begin
+             let lo = if i = 0 then 0. else float_of_int (1 lsl i) in
+             let hi = float_of_int (1 lsl (i + 1)) in
+             let frac = if c = 0. then 0. else (rank -. !acc) /. c in
+             result := Some (lo +. ((hi -. lo) *. frac));
+             raise Exit
+           end;
+           acc := next
+         end
+       done
+     with Exit -> ());
+    (* The in-bucket interpolation can overshoot the bucket's actual
+       occupants; the exact max is a tighter bound. *)
+    let cap = float_of_int (Atomic.get h.h_max) in
+    match !result with Some v -> Float.min v cap | None -> cap
+  end
+
+let hist_of_cell h =
+  {
+    count = cell_value h.h_count;
+    sum_ns = Int64.of_int (cell_value h.h_sum);
+    p50_ns = hist_quantile h 0.5;
+    p90_ns = hist_quantile h 0.9;
+    p99_ns = hist_quantile h 0.99;
+    max_ns = Int64.of_int (Atomic.get h.h_max);
+  }
+
+let histogram name =
+  match Hashtbl.find_opt hists_tbl name with
+  | None -> None
+  | Some h -> if cell_value h.h_count = 0 then None else Some (hist_of_cell h)
+
+let histograms () =
+  Mutex.lock registry_lock;
+  let xs =
+    Hashtbl.fold
+      (fun name h acc ->
+        if cell_value h.h_count = 0 then acc else (name, hist_of_cell h) :: acc)
+      hists_tbl []
+  in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) xs
+
 let reset () =
   Mutex.lock registry_lock;
-  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters_tbl;
-  Hashtbl.iter (fun _ c -> Atomic.set c 0) timers_tbl;
+  Hashtbl.iter (fun _ c -> cell_reset c) counters_tbl;
+  Hashtbl.iter (fun _ c -> cell_reset c) timers_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.iter (fun a -> Atomic.set a 0) h.buckets;
+      cell_reset h.h_count;
+      cell_reset h.h_sum;
+      Atomic.set h.h_max 0)
+    hists_tbl;
   Mutex.unlock registry_lock
+
+(* --- rendering ----------------------------------------------------- *)
+
+let format_ns ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Printf.sprintf "%Ld ns" ns
+  else if f < 1e6 then Printf.sprintf "%.2f us" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else Printf.sprintf "%.3f s" (f /. 1e9)
+
+let format_ns_f f =
+  if f < 1e3 then Printf.sprintf "%.0f ns" f
+  else if f < 1e6 then Printf.sprintf "%.2f us" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else Printf.sprintf "%.3f s" (f /. 1e9)
 
 let render () =
   let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
   let ts = List.filter (fun (_, v) -> v <> 0L) (timers ()) in
-  if cs = [] && ts = [] then ""
+  let hs = histograms () in
+  if cs = [] && ts = [] && hs = [] then ""
   else begin
     let t = Tablefmt.create ~aligns:[ Tablefmt.Left; Right ] [ "metric"; "value" ] in
     List.iter (fun (name, v) -> Tablefmt.add_row t [ name; string_of_int v ]) cs;
     if cs <> [] && ts <> [] then Tablefmt.add_sep t;
+    List.iter (fun (name, ns) -> Tablefmt.add_row t [ name; format_ns ns ]) ts;
+    if (cs <> [] || ts <> []) && hs <> [] then Tablefmt.add_sep t;
     List.iter
-      (fun (name, ns) ->
+      (fun (name, h) ->
         Tablefmt.add_row t
-          [ name; Printf.sprintf "%.3f ms" (Int64.to_float ns /. 1e6) ])
-      ts;
+          [
+            name ^ " [hist]";
+            Printf.sprintf "n=%d p50=%s p90=%s p99=%s max=%s" h.count
+              (format_ns_f h.p50_ns) (format_ns_f h.p90_ns) (format_ns_f h.p99_ns)
+              (format_ns h.max_ns);
+          ])
+      hs;
     Tablefmt.render t
   end

@@ -1,15 +1,18 @@
-(** Engine observability: named counters and monotonic-clock timers.
+(** Engine observability: named counters, monotonic-clock timers and
+    log-scale latency histograms.
 
     The synthesis layers (scheduling, binding, the pass-pipeline
     engine, the redundancy baseline) report how much work they do
     through a process-global registry of named counters
-    (["sched.runs"], ["cache.hits"], ["downgrade.steps"], ...) and
-    cumulative wall-clock timers (["pass.meet_latency"], ...).
+    (["sched.runs"], ["cache.hits"], ["downgrade.steps"], ...),
+    cumulative wall-clock timers (["pass.meet_latency"], ...) and
+    duration histograms fed by {!Trace.with_span}.
 
-    All counters are {!Atomic}-backed and safe to bump from multiple
-    domains — the parallel sweep driver aggregates worker activity
-    into the same registry.  Reads ({!counters}, {!timers}) are
-    snapshots, exact once the domains have been joined.
+    Counter and timer cells are {e sharded per domain} (one atomic per
+    shard, aggregated on read) so parallel sweep and fault-campaign
+    workers bump them without cache-line contention.  Reads
+    ({!counters}, {!timers}, {!histograms}) are snapshots, exact once
+    the domains have been joined.
 
     Recording is free of observable side effects on synthesis results:
     layers must never branch on telemetry state. *)
@@ -26,9 +29,15 @@ val counter : string -> int
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+val now_ns : unit -> int64
+(** The monotonic clock backing {!time} and {!Trace.with_span}. *)
+
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f ()], adding its monotonic-clock elapsed time
     to timer [name] (and re-raising any exception, still charged). *)
+
+val add_timer_ns : string -> int64 -> unit
+(** Add an externally measured duration to timer [name]. *)
 
 val timer_ns : string -> int64
 (** Accumulated nanoseconds; 0 for an unknown timer. *)
@@ -36,18 +45,53 @@ val timer_ns : string -> int64
 val timers : unit -> (string * int64) list
 (** All timers (name, cumulative ns), sorted by name. *)
 
-type event = Counter of { name : string; delta : int } | Timer of { name : string; ns : int64 }
+(** {1 Histograms} *)
+
+type hist = {
+  count : int;
+  sum_ns : int64;
+  p50_ns : float;  (** estimated from log2 buckets, linear in-bucket *)
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int64;  (** exact *)
+}
+
+val observe : string -> int64 -> unit
+(** Record one duration (ns) into histogram [name]: a log2-bucketed
+    latency histogram ([2^i, 2^(i+1)) ns buckets).  Span completions
+    feed these automatically via {!Trace.with_span}. *)
+
+val histogram : string -> hist option
+(** Snapshot with quantile estimates; [None] for an unknown or empty
+    histogram. *)
+
+val histograms : unit -> (string * hist) list
+(** All non-empty histograms, sorted by name. *)
+
+(** {1 Event stream} *)
+
+type event =
+  | Counter of { name : string; delta : int }
+  | Timer of { name : string; ns : int64 }
+  | Observation of { name : string; ns : int64 }
 
 val set_sink : (event -> unit) option -> unit
-(** Install (or remove) a sink observing every counter bump and timer
-    stop in addition to the registry accumulation.  The sink runs on
-    the domain that recorded the event; it must be thread-safe when
-    parallel sweeps are active.  Intended for streaming traces and
-    tests. *)
+(** Install (or remove) a sink observing every counter bump, timer
+    stop and histogram observation in addition to the registry
+    accumulation.  The sink runs on the domain that recorded the
+    event; it must be thread-safe when parallel sweeps are active.
+    Intended for streaming traces and tests. *)
 
 val reset : unit -> unit
-(** Zero every counter and timer (the registry keys survive). *)
+(** Zero every counter, timer and histogram (the registry keys
+    survive). *)
+
+(** {1 Rendering} *)
+
+val format_ns : int64 -> string
+(** Human units: ["870 ns"], ["12.40 us"], ["3.25 ms"], ["1.200 s"]. *)
 
 val render : unit -> string
-(** Counters and timers as an aligned two-column table, empty string
-    when nothing was recorded — the [--stats] output of the CLI. *)
+(** Counters, timers (human units) and histogram quantile rows as an
+    aligned two-column table, empty string when nothing was recorded —
+    the [--stats] output of the CLI. *)

@@ -189,6 +189,71 @@ let test_pct_cell () =
   Alcotest.(check string) "positive" "+23.79%" (Tablefmt.pct_cell 23.79);
   Alcotest.(check string) "negative" "-9.22%" (Tablefmt.pct_cell (-9.22))
 
+(* --- Telemetry --- *)
+
+let test_telemetry_counter_basics () =
+  Telemetry.reset ();
+  Telemetry.incr "t.a";
+  Telemetry.add "t.a" 4;
+  Alcotest.(check int) "accumulated" 5 (Telemetry.counter "t.a");
+  Alcotest.(check int) "unknown is 0" 0 (Telemetry.counter "t.never")
+
+let test_telemetry_sharding_exact () =
+  (* Four domains hammer one counter; the sharded cells must aggregate
+     to the exact total on read. *)
+  Telemetry.reset ();
+  let per = 25_000 and workers = 4 in
+  let ds =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Telemetry.incr "t.shard"
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (per * workers) (Telemetry.counter "t.shard")
+
+let test_format_ns () =
+  Alcotest.(check string) "ns" "870 ns" (Telemetry.format_ns 870L);
+  Alcotest.(check string) "us" "12.40 us" (Telemetry.format_ns 12_400L);
+  Alcotest.(check string) "ms" "3.25 ms" (Telemetry.format_ns 3_250_000L);
+  Alcotest.(check string) "s" "1.200 s" (Telemetry.format_ns 1_200_000_000L)
+
+let test_histogram_quantiles () =
+  Telemetry.reset ();
+  for i = 1 to 1000 do
+    Telemetry.observe "t.h" (Int64.of_int i)
+  done;
+  match Telemetry.histogram "t.h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 1000 h.Telemetry.count;
+    Alcotest.(check int64) "sum exact" 500_500L h.Telemetry.sum_ns;
+    Alcotest.(check int64) "max exact" 1000L h.Telemetry.max_ns;
+    (* Quantiles are log2-bucket estimates: within a bucket of truth. *)
+    Alcotest.(check bool) "p50 near 500" true (h.p50_ns >= 250. && h.p50_ns <= 1000.);
+    Alcotest.(check bool) "quantiles monotone" true
+      (h.p50_ns <= h.p90_ns && h.p90_ns <= h.p99_ns
+      && h.p99_ns <= Int64.to_float h.max_ns +. 1e-9)
+
+let test_histogram_empty () =
+  Telemetry.reset ();
+  Alcotest.(check bool) "unknown histogram" true (Telemetry.histogram "t.none" = None)
+
+let test_render_units_and_histograms () =
+  Telemetry.reset ();
+  Telemetry.incr "t.c";
+  Telemetry.add_timer_ns "t.timer" 12_400L;
+  Telemetry.observe "t.h" 100L;
+  let s = Telemetry.render () in
+  Alcotest.(check bool) "counter row" true (contains_substring s "t.c");
+  Alcotest.(check bool) "timer in human units" true (contains_substring s "12.40 us");
+  Alcotest.(check bool) "histogram row" true (contains_substring s "t.h [hist]");
+  Alcotest.(check bool) "quantile fields" true
+    (contains_substring s "p50=" && contains_substring s "p99=");
+  Telemetry.reset ();
+  Alcotest.(check string) "empty registry renders empty" "" (Telemetry.render ())
+
 (* --- properties --- *)
 
 let prop_percentile_member =
@@ -266,6 +331,17 @@ let () =
           Alcotest.test_case "aligns mismatch" `Quick test_table_aligns_mismatch;
           Alcotest.test_case "float cell" `Quick test_float_cell;
           Alcotest.test_case "pct cell" `Quick test_pct_cell;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_telemetry_counter_basics;
+          Alcotest.test_case "sharded counters exact" `Quick
+            test_telemetry_sharding_exact;
+          Alcotest.test_case "format_ns units" `Quick test_format_ns;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "render units + histograms" `Quick
+            test_render_units_and_histograms;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
