@@ -1,5 +1,8 @@
 .PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
-  smoke clean
+  bench-synth smoke clean
+
+# Synthesis hot-path benchmark knobs (see `bench synth` in bench/main.ml).
+SYNTH_REPS ?= 5
 
 # Fault-campaign benchmark knobs (see `bench fault` in bench/main.ml).
 FAULT_VECTORS ?= 64
@@ -38,6 +41,13 @@ bench-fault: build
 	dune exec bench/main.exe -- fault --vectors $(FAULT_VECTORS) \
 	  --width $(FAULT_WIDTH) BENCH_fault.json
 
+# Time full synthesis and single realizations, old-equivalent reference
+# path vs the incremental scheduler (+ parallel refine when the pool
+# has more than one domain), verify the synthesized designs are
+# identical, and record the result in BENCH_synth.json.
+bench-synth: build
+	dune exec bench/main.exe -- synth --reps $(SYNTH_REPS) BENCH_synth.json
+
 # Measure the observability layer itself: sharded-counter throughput
 # (with an exactness check under all-domain contention) and the
 # per-span overhead of Trace.with_span with no sink installed.
@@ -56,4 +66,4 @@ smoke: build
 clean:
 	dune clean
 	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
-	  trace.json report.json
+	  BENCH_synth.json trace.json report.json

@@ -145,12 +145,21 @@ let strategy_name = function
 
 let scheduler_arg =
   let scheduler_conv =
-    Arg.enum [ ("density", `Density); ("force-directed", `Force_directed) ]
+    Arg.enum
+      [
+        ("density", `Density);
+        ("density-reference", `Density_reference);
+        ("force-directed", `Force_directed);
+      ]
   in
   Arg.(value & opt scheduler_conv `Density & info [ "scheduler" ] ~docv:"SCHED"
-         ~doc:"Scheduler: density (the paper's) or force-directed.")
+         ~doc:"Scheduler: density (the paper's, incremental), density-reference \
+               (full-recompute oracle, same schedules) or force-directed.")
 
-let scheduler_name = function `Density -> "density" | `Force_directed -> "force-directed"
+let scheduler_name = function
+  | `Density -> "density"
+  | `Density_reference -> "density-reference"
+  | `Force_directed -> "force-directed"
 
 let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"

@@ -1,4 +1,12 @@
-type t = { items : Resource.t list }
+type t = { items : Resource.t list; index : (string, int) Hashtbl.t }
+
+(* Intern every id to its position in [items] at construction time —
+   hot paths (the engine's assignment fingerprint) key on these small
+   ints instead of concatenating id strings. *)
+let make_index rs =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i (r : Resource.t) -> Hashtbl.replace index r.id i) rs;
+  index
 
 let of_resources rs =
   let rec check_dup seen = function
@@ -17,7 +25,9 @@ let of_resources rs =
     match validate_all rs with
     | Error e -> Error e
     | Ok () -> (
-      match check_dup [] rs with Error e -> Error e | Ok () -> Ok { items = rs })
+      match check_dup [] rs with
+      | Error e -> Error e
+      | Ok () -> Ok { items = rs; index = make_index rs })
 
 let of_resources_exn rs =
   match of_resources rs with Ok t -> t | Error e -> failwith ("Library: " ^ e)
@@ -73,8 +83,19 @@ let table1 =
     ]
 
 let resources t = t.items
+let size t = List.length t.items
 
-let find t id = List.find_opt (fun (r : Resource.t) -> r.id = id) t.items
+let intern t id = Hashtbl.find_opt t.index id
+
+let intern_exn t id =
+  match intern t id with
+  | Some i -> i
+  | None -> invalid_arg ("Library.intern_exn: unknown resource id " ^ id)
+
+let find t id =
+  match Hashtbl.find_opt t.index id with
+  | Some i -> Some (List.nth t.items i)
+  | None -> None
 
 let find_exn t id =
   match find t id with

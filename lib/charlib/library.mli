@@ -29,8 +29,20 @@ val table1 : t
 val resources : t -> Resource.t list
 (** All versions, stable order. *)
 
+val size : t -> int
+(** Number of versions. *)
+
+val intern : t -> string -> int option
+(** The id's small-int code: its position in {!resources}.  Interning
+    happens once at construction; hot paths (e.g. the engine's
+    assignment fingerprint) pack these codes instead of hashing id
+    strings. *)
+
+val intern_exn : t -> string -> int
+(** {!intern} or [Invalid_argument]. *)
+
 val find : t -> string -> Resource.t option
-(** Lookup by id. *)
+(** Lookup by id — O(1) via the interning table. *)
 
 val find_exn : t -> string -> Resource.t
 

@@ -4,7 +4,7 @@ module Library = Rchls_charlib.Library
 module Schedule = Rchls_sched.Schedule
 module Binding = Rchls_binding.Binding
 
-type scheduler = [ `Density | `Force_directed ]
+type scheduler = [ `Density | `Density_reference | `Force_directed ]
 
 type t = {
   graph : Dfg.t;
@@ -16,10 +16,10 @@ type t = {
 
 let check_assignment g assignment =
   let bad =
-    List.find_opt
-      (fun (nd : Dfg.node) ->
-        (assignment nd).Resource.op_class <> Op.resource_class nd.op)
-      (Dfg.nodes g)
+    Dfg.fold_nodes g ~init:None (fun acc (nd : Dfg.node) ->
+        if acc = None && (assignment nd).Resource.op_class <> Op.resource_class nd.op
+        then Some nd
+        else acc)
   in
   match bad with
   | Some nd ->
@@ -37,6 +37,7 @@ let realize ?(scheduler = `Density) g lib ~assignment ~latency =
     let sched_result =
       match scheduler with
       | `Density -> Rchls_sched.Density_sched.run g ~delay ~latency
+      | `Density_reference -> Rchls_sched.Density_sched.run_reference g ~delay ~latency
       | `Force_directed -> Rchls_sched.Force_directed.run g ~delay ~latency
     in
     (match sched_result with
@@ -50,12 +51,10 @@ let realize ?(scheduler = `Density) g lib ~assignment ~latency =
       let binding = bind schedule in
       let lower_bound_area =
         let busy = Hashtbl.create 8 in
-        List.iter
-          (fun (nd : Dfg.node) ->
+        Dfg.iter_nodes g (fun (nd : Dfg.node) ->
             let r = assignment nd in
             let cur = Option.value (Hashtbl.find_opt busy r.Resource.id) ~default:(0, 0) in
-            Hashtbl.replace busy r.Resource.id (fst cur + r.Resource.delay, r.Resource.area))
-          (Dfg.nodes g);
+            Hashtbl.replace busy r.Resource.id (fst cur + r.Resource.delay, r.Resource.area));
         Hashtbl.fold
           (fun _ (cycles, area) acc -> acc + (((cycles + latency - 1) / latency) * area))
           busy 0
@@ -63,8 +62,16 @@ let realize ?(scheduler = `Density) g lib ~assignment ~latency =
       let schedule, binding =
         if Binding.area binding <= lower_bound_area then (schedule, binding)
         else
+          (* [`Density_reference] selects the whole old-equivalent
+             realize path, packer included, so the benchmark's
+             reference arm measures the historical cost end to end. *)
+          let min_area =
+            match scheduler with
+            | `Density_reference -> Rchls_sched.Min_area.run_reference
+            | `Density | `Force_directed -> Rchls_sched.Min_area.run
+          in
           match
-            Rchls_sched.Min_area.run g ~delay
+            min_area g ~delay
               ~group:(fun nd -> (assignment nd).Resource.id)
               ~group_area:(fun id -> (Library.find_exn lib id).Resource.area)
               ~latency
@@ -76,7 +83,7 @@ let realize ?(scheduler = `Density) g lib ~assignment ~latency =
               (packed, packed_binding)
             else (schedule, binding)
       in
-      let arr = Array.of_list (List.map (fun nd -> assignment nd) (Dfg.nodes g)) in
+      let arr = Array.init (Dfg.node_count g) (fun id -> assignment (Dfg.node g id)) in
       Ok { graph = g; library = lib; assignment = arr; schedule; binding })
 
 let realize_exn ?scheduler g lib ~assignment ~latency =
@@ -106,14 +113,20 @@ let node_reliabilities t =
     (Dfg.nodes t.graph)
 
 let version_histogram t =
-  let acc = ref [] in
+  (* Hashtbl tally instead of the historical O(n^2) assoc-list
+     accumulation; ids are unique per version, so the final sort
+     reproduces the exact historical output order. *)
+  let tally = Hashtbl.create 8 in
   Array.iter
     (fun (r : Resource.t) ->
-      match List.assoc_opt r !acc with
-      | Some n -> acc := (r, n + 1) :: List.remove_assoc r !acc
-      | None -> acc := (r, 1) :: !acc)
+      Hashtbl.replace tally r.Resource.id
+        (match Hashtbl.find_opt tally r.Resource.id with
+        | Some (_, n) -> (r, n + 1)
+        | None -> (r, 1)))
     t.assignment;
-  List.sort (fun (a, _) (b, _) -> compare a.Resource.id b.Resource.id) !acc
+  List.sort
+    (fun ((a : Resource.t), _) (b, _) -> compare a.Resource.id b.Resource.id)
+    (Hashtbl.fold (fun _ rn acc -> rn :: acc) tally [])
 
 let instance_histogram t = Binding.count_by_resource t.binding
 

@@ -9,8 +9,11 @@ open Rchls_dfg
 module Resource = Rchls_charlib.Resource
 module Library = Rchls_charlib.Library
 
-type scheduler = [ `Density | `Force_directed ]
-(** Which scheduler realizes designs; [`Density] is the paper's. *)
+type scheduler = [ `Density | `Density_reference | `Force_directed ]
+(** Which scheduler realizes designs; [`Density] is the paper's
+    (incremental implementation).  [`Density_reference] is its
+    full-recompute oracle — identical schedules, used for equivalence
+    testing and benchmarking. *)
 
 type t
 

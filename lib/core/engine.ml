@@ -42,9 +42,59 @@ type trace_event =
 
 (* --- context ------------------------------------------------------- *)
 
-type cache = (string, (Design.t, string) result) Hashtbl.t
+(* The evaluation cache is sharded and mutex-protected so one cache can
+   be shared across domains: between the [`Best] strategy's two
+   directions, across the move evaluators of a parallel refine round,
+   and across every cell of a design-space sweep.  Keys are the int64
+   FNV-1a fingerprint of (interned version codes, latency); values are
+   deterministic functions of the key's preimage, so concurrent
+   insert order never changes what a lookup returns.  An [overlay]
+   gives a worker a private write layer over a shared parent; the
+   worker's discoveries are published with [merge] afterwards. *)
 
-let create_cache () : cache = Hashtbl.create 64
+type cache = {
+  shards : (int64, (Design.t, string) result) Hashtbl.t array;
+  locks : Mutex.t array;
+  parent : cache option;
+}
+
+let cache_shards = 16
+
+let make_cache parent =
+  {
+    shards = Array.init cache_shards (fun _ -> Hashtbl.create 64);
+    locks = Array.init cache_shards (fun _ -> Mutex.create ());
+    parent;
+  }
+
+let create_cache () = make_cache None
+let overlay_cache parent = make_cache (Some parent)
+let shard_of key = Int64.to_int key land (cache_shards - 1)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let rec cache_find c key =
+  let i = shard_of key in
+  match with_lock c.locks.(i) (fun () -> Hashtbl.find_opt c.shards.(i) key) with
+  | Some _ as r -> r
+  | None -> ( match c.parent with Some p -> cache_find p key | None -> None)
+
+let cache_add c key v =
+  let i = shard_of key in
+  with_lock c.locks.(i) (fun () ->
+      if not (Hashtbl.mem c.shards.(i) key) then Hashtbl.add c.shards.(i) key v)
+
+let cache_merge ~into src =
+  Array.iteri
+    (fun i tbl ->
+      let entries =
+        with_lock src.locks.(i) (fun () ->
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      List.iter (fun (k, v) -> cache_add into k v) entries)
+    src.shards
 
 type ctx = {
   graph : Dfg.t;
@@ -54,7 +104,11 @@ type ctx = {
   scheduler : Design.scheduler;
   use_cache : bool;
   cache : cache;
+  domains : int;  (* worker domains for parallel move evaluation *)
   assignment : Resource.t array;
+  codes : int array;
+      (* interned library code of each node's version, kept in sync
+         with [assignment]; the raw material of [fingerprint] *)
   asap : int array;
       (* earliest starts under the current assignment, maintained
          incrementally by [set_version] *)
@@ -113,7 +167,7 @@ let asap_of_preds ctx id =
     (fun acc p -> max acc (ctx.asap.(p) + ctx.assignment.(p).Resource.delay))
     0 (Dfg.preds ctx.graph id)
 
-let create ?(scheduler = `Density) ?cache ?(use_cache = true)
+let create ?(scheduler = `Density) ?cache ?(use_cache = true) ?(domains = 1)
     ?(trace = fun _ -> ()) g lib ~ld ~ad ~initial =
   let assignment =
     Array.of_list (List.map (fun nd -> (initial nd : Resource.t)) (Dfg.nodes g))
@@ -133,7 +187,9 @@ let create ?(scheduler = `Density) ?cache ?(use_cache = true)
       scheduler;
       use_cache;
       cache = (match cache with Some c -> c | None -> create_cache ());
+      domains = max 1 domains;
       assignment;
+      codes = Array.map (fun (r : Resource.t) -> Library.intern_exn lib r.id) assignment;
       asap = Array.make n 0;
       topo;
       rank;
@@ -153,6 +209,7 @@ let design ctx = ctx.design
 let set_version ctx id (v : Resource.t) =
   let old = ctx.assignment.(id) in
   ctx.assignment.(id) <- v;
+  ctx.codes.(id) <- Library.intern_exn ctx.library v.Resource.id;
   if old.Resource.delay <> v.Resource.delay then begin
     (* The node's own ASAP only depends on its predecessors; a delay
        change propagates strictly downstream.  One scan over the dirty
@@ -184,15 +241,15 @@ let current_latency ctx =
 
 let full_latency ctx = Analysis.asap_latency ctx.graph ~delay:(delay_of ctx)
 
+(* Pack the interned version codes and the latency into one 64-bit
+   FNV-1a word.  Replaces the historical comma-joined id string: no
+   allocation, and the key doubles as the cache's shard selector.
+   Collision safety over the full cross product of library versions is
+   unit-tested (FNV mixes every byte of every code). *)
 let fingerprint ctx ~latency =
-  let b = Buffer.create (8 * Array.length ctx.assignment) in
-  Array.iter
-    (fun (r : Resource.t) ->
-      Buffer.add_string b r.Resource.id;
-      Buffer.add_char b ',')
-    ctx.assignment;
-  Buffer.add_string b (string_of_int latency);
-  Buffer.contents b
+  let h = ref (Rchls_util.Fnv.fold_int Rchls_util.Fnv.seed latency) in
+  Array.iter (fun code -> h := Rchls_util.Fnv.fold_int !h code) ctx.codes;
+  !h
 
 let realize ctx ~latency =
   Telemetry.incr "engine.realize";
@@ -204,18 +261,36 @@ let realize ctx ~latency =
   if not ctx.use_cache then compute ()
   else begin
     let key = fingerprint ctx ~latency in
-    match Hashtbl.find_opt ctx.cache key with
+    match cache_find ctx.cache key with
     | Some r ->
       Telemetry.incr "cache.hits";
       r
     | None ->
       Telemetry.incr "cache.misses";
       let r = Trace.with_span "engine.design_eval" compute in
-      Hashtbl.add ctx.cache key r;
+      cache_add ctx.cache key r;
       r
   end
 
 let realize_current ctx = realize ctx ~latency:ctx.schedule_latency
+
+(* A private copy of the mutable context state for one worker domain:
+   moves are applied and realized on the clone without disturbing the
+   main context, and evaluations cache into a private overlay whose
+   entries are published with [cache_merge] when the worker is done.
+   Evaluation is a deterministic function of the (shared, frozen
+   during a parallel round) base state, so a result computed on a
+   clone is the result the sequential scan would have computed. *)
+let clone_for_worker ctx =
+  {
+    ctx with
+    assignment = Array.copy ctx.assignment;
+    codes = Array.copy ctx.codes;
+    asap = Array.copy ctx.asap;
+    cache = overlay_cache ctx.cache;
+    domains = 1;
+    trace = (fun _ -> ());
+  }
 
 (* --- shared stage helpers ------------------------------------------ *)
 
@@ -248,7 +323,11 @@ let try_move ctx ~ids ~to_version ~guard ~accept =
    measured against the current scheduling horizon; the ranges are
    computed once per call (every candidate sees the same assignment). *)
 let subset_ids ?(exhaustive = false) ctx ~from () =
-  let movable = List.filter from (Dfg.nodes ctx.graph) in
+  let movable =
+    List.rev
+      (Dfg.fold_nodes ctx.graph ~init:[] (fun acc nd ->
+           if from nd then nd :: acc else acc))
+  in
   match movable with
   | [] -> []
   | _ ->
@@ -392,7 +471,8 @@ let meet_area =
               (fun (a : Dfg.node) b ->
                 compare ctx.assignment.(b.id).Resource.area
                   ctx.assignment.(a.id).Resource.area)
-              (Dfg.nodes ctx.graph)
+              (List.rev
+                 (Dfg.fold_nodes ctx.graph ~init:[] (fun acc nd -> nd :: acc)))
           in
           made_progress :=
             List.exists
@@ -451,34 +531,20 @@ let recovery =
           let made_progress = ref true in
           while Design.area (the_design ctx) > ctx.ad && !made_progress do
             let area_before = Design.area (the_design ctx) in
-            made_progress :=
-              List.exists
+            (* The historical triple [List.exists] accepted the first
+               candidate, in (class, version, subset) order, whose move
+               kept the latency bound and shrank the realized area.
+               The same enumeration is materialized so candidates can
+               be probed on worker clones in chunks; the first success
+               in order commits, so the outcome is identical for every
+               domain count. *)
+            let candidates =
+              List.concat_map
                 (fun cls ->
-                  List.exists
+                  List.concat_map
                     (fun (v : Resource.t) ->
-                      List.exists
-                        (fun ids ->
-                          match
-                            try_move ctx ~ids ~to_version:v
-                              ~guard:(fun () -> current_latency ctx <= ctx.ld)
-                              ~accept:(fun d -> Design.area d < area_before)
-                          with
-                          | None -> false
-                          | Some d ->
-                            ctx.design <- Some d;
-                            Telemetry.incr "downgrade.steps";
-                            emit_trace ctx
-                              (Area_downgrade
-                                 {
-                                   nodes =
-                                     List.map
-                                       (fun id -> (Dfg.node ctx.graph id).name)
-                                       ids;
-                                   from_version = "mixed";
-                                   to_version = v.Resource.id;
-                                   area = Design.area d;
-                                 });
-                            true)
+                      List.map
+                        (fun ids -> (ids, v))
                         (subset_ids ~exhaustive:true ctx
                            ~from:(fun (nd : Dfg.node) ->
                              Op.resource_class nd.op = cls
@@ -486,6 +552,64 @@ let recovery =
                            ()))
                     (Library.versions ctx.library cls))
                 classes
+            in
+            let commit (ids, (v : Resource.t)) =
+              match
+                try_move ctx ~ids ~to_version:v
+                  ~guard:(fun () -> current_latency ctx <= ctx.ld)
+                  ~accept:(fun d -> Design.area d < area_before)
+              with
+              | None -> false
+              | Some d ->
+                ctx.design <- Some d;
+                Telemetry.incr "downgrade.steps";
+                emit_trace ctx
+                  (Area_downgrade
+                     {
+                       nodes = List.map (fun id -> (Dfg.node ctx.graph id).name) ids;
+                       from_version = "mixed";
+                       to_version = v.Resource.id;
+                       area = Design.area d;
+                     });
+                true
+            in
+            made_progress :=
+              if ctx.domains <= 1 then List.exists commit candidates
+              else begin
+                let probe (ids, v) =
+                  let w = clone_for_worker ctx in
+                  List.iter (fun id -> set_version w id v) ids;
+                  let ok =
+                    current_latency w <= w.ld
+                    &&
+                    match realize_current w with
+                    | Ok d -> Design.area d < area_before
+                    | Error _ -> false
+                  in
+                  cache_merge ~into:ctx.cache w.cache;
+                  ok
+                in
+                let rec take k = function
+                  | x :: rest when k > 0 ->
+                    let chunk, tail = take (k - 1) rest in
+                    (x :: chunk, tail)
+                  | l -> ([], l)
+                in
+                let rec scan = function
+                  | [] -> false
+                  | cands -> (
+                    let chunk, rest = take (ctx.domains * 2) cands in
+                    let oks =
+                      Rchls_util.Pool.map ~domains:ctx.domains probe chunk
+                    in
+                    match
+                      List.find_opt (fun (_, ok) -> ok) (List.combine chunk oks)
+                    with
+                    | Some (cand, _) -> commit cand
+                    | None -> scan rest)
+                in
+                scan candidates
+              end
           done
         end;
         Ok ());
@@ -511,23 +635,23 @@ let refine =
               ctx.design <- Some d;
               ctx.schedule_latency <- ctx.ld
             end);
-          (* Evaluate a move without keeping it: returns the realized
-             design when it satisfies both bounds and improves
+          (* Evaluate a move on [ectx] without keeping it: returns the
+             realized design when it satisfies both bounds and improves
              reliability, always restoring the assignment. *)
-          let evaluate_move ~ids ~to_version ~base_r =
-            let olds = List.map (fun id -> (id, ctx.assignment.(id))) ids in
-            List.iter (fun id -> set_version ctx id (to_version : Resource.t)) ids;
+          let evaluate_move ectx ~ids ~to_version ~base_r =
+            let olds = List.map (fun id -> (id, ectx.assignment.(id))) ids in
+            List.iter (fun id -> set_version ectx id (to_version : Resource.t)) ids;
             let result =
-              if current_latency ctx > ctx.ld then None
+              if current_latency ectx > ectx.ld then None
               else
-                match realize_current ctx with
+                match realize_current ectx with
                 | Error _ -> None
                 | Ok d ->
-                  if Design.area d <= ctx.ad && Design.reliability d > base_r +. 1e-15
+                  if Design.area d <= ectx.ad && Design.reliability d > base_r +. 1e-15
                   then Some d
                   else None
             in
-            List.iter (fun (id, v) -> set_version ctx id v) olds;
+            List.iter (fun (id, v) -> set_version ectx id v) olds;
             result
           in
           let classes = List.map fst (Dfg.count_by_class ctx.graph) in
@@ -535,28 +659,61 @@ let refine =
           while !improved do
             improved := false;
             let base_r = Design.reliability (the_design ctx) in
+            (* Steepest ascent: every (class, target version, subset)
+               move is evaluated against the same frozen base state, so
+               the candidate list can be snapshot once, in the
+               historical enumeration order, and fanned over worker
+               domains.  The best-move fold below replays the
+               historical reduction rule — replace only on a strict
+               reliability improvement, in enumeration order — so the
+               chosen move is identical for every domain count. *)
+            let candidates =
+              List.concat_map
+                (fun cls ->
+                  List.concat_map
+                    (fun (v : Resource.t) ->
+                      List.map
+                        (fun ids -> (ids, v))
+                        (subset_ids ctx
+                           ~from:(fun (nd : Dfg.node) ->
+                             Op.resource_class nd.op = cls
+                             && ctx.assignment.(nd.id).Resource.reliability
+                                < v.Resource.reliability)
+                           ()))
+                    (Library.versions ctx.library cls))
+                classes
+            in
+            let results =
+              if ctx.domains <= 1 || List.length candidates <= 1 then
+                List.map
+                  (fun (ids, v) ->
+                    match evaluate_move ctx ~ids ~to_version:v ~base_r with
+                    | None -> None
+                    | Some d -> Some (ids, v, Design.reliability d))
+                  candidates
+              else
+                Rchls_util.Pool.map ~domains:ctx.domains
+                  (fun (ids, v) ->
+                    let w = clone_for_worker ctx in
+                    let r =
+                      match evaluate_move w ~ids ~to_version:v ~base_r with
+                      | None -> None
+                      | Some d -> Some (ids, v, Design.reliability d)
+                    in
+                    cache_merge ~into:ctx.cache w.cache;
+                    r)
+                  candidates
+            in
             let best = ref None in
             List.iter
-              (fun cls ->
-                List.iter
-                  (fun (v : Resource.t) ->
-                    List.iter
-                      (fun ids ->
-                        match evaluate_move ~ids ~to_version:v ~base_r with
-                        | None -> ()
-                        | Some d -> (
-                          let r = Design.reliability d in
-                          match !best with
-                          | Some (_, _, br) when br >= r -> ()
-                          | _ -> best := Some (ids, v, r)))
-                      (subset_ids ctx
-                         ~from:(fun (nd : Dfg.node) ->
-                           Op.resource_class nd.op = cls
-                           && ctx.assignment.(nd.id).Resource.reliability
-                              < v.Resource.reliability)
-                         ()))
-                  (Library.versions ctx.library cls))
-              classes;
+              (fun result ->
+                match result with
+                | None -> ()
+                | Some (ids, v, r) -> (
+                  match !best with
+                  | Some (_, _, br) when br >= r -> ()
+                  | _ -> best := Some (ids, v, r)))
+              results;
             match !best with
             | None -> ()
             | Some (ids, v, _) -> (
@@ -628,7 +785,7 @@ let check_classes g lib =
     (Dfg.count_by_class g)
 
 let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
-    ?(trace = fun _ -> ()) ?(use_cache = true) g lib ~ld ~ad =
+    ?(trace = fun _ -> ()) ?(use_cache = true) ?cache ?domains g lib ~ld ~ad =
   if ld <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive latency bound";
   if ad <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive area bound";
   check_classes g lib;
@@ -648,12 +805,20 @@ let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
   @@ fun () ->
   let pipeline = default_pipeline ~refine in
   (* One evaluation cache spans every direction tried: near convergence
-     the two directions realize many identical assignments. *)
-  let cache = create_cache () in
+     the two directions realize many identical assignments.  A caller
+     may pass its own (e.g. the sweep driver shares one across all grid
+     cells — the cache is sharded and mutex-protected exactly so it
+     can cross domains). *)
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let domains =
+    match domains with Some d -> max 1 d | None -> Rchls_util.Pool.num_domains ()
+  in
   let run_from direction initial =
     Trace.with_span "engine.pipeline" ~attrs:[ ("direction", Trace.Str direction) ]
     @@ fun () ->
-    let ctx = create ~scheduler ~cache ~use_cache ~trace g lib ~ld ~ad ~initial in
+    let ctx =
+      create ~scheduler ~cache ~use_cache ~domains ~trace g lib ~ld ~ad ~initial
+    in
     run_pipeline pipeline ctx
   in
   let top_down () =

@@ -68,11 +68,14 @@ type trace_event =
 (** {1 Engine context} *)
 
 type cache
-(** A memoization table mapping (assignment fingerprint, latency) to
-    realized designs.  A cache belongs to one (graph, library,
-    scheduler) combination and one domain; it is shared between the
-    [`Best] strategy's two pipeline runs but must not be shared across
-    domains. *)
+(** A memoization table mapping the int64 fingerprint of (interned
+    version codes, latency) to realized designs.  A cache belongs to
+    one (graph, library, scheduler) combination; it is sharded and
+    mutex-protected, so one cache may be shared across domains — the
+    [`Best] strategy's two pipeline runs, the worker domains of a
+    parallel refine round, and every cell of a design-space sweep all
+    share one.  Values are deterministic functions of the key's
+    preimage, so sharing never changes results. *)
 
 val create_cache : unit -> cache
 
@@ -86,6 +89,7 @@ val create :
   ?scheduler:Design.scheduler ->
   ?cache:cache ->
   ?use_cache:bool ->
+  ?domains:int ->
   ?trace:(trace_event -> unit) ->
   Dfg.t ->
   Library.t ->
@@ -94,9 +98,14 @@ val create :
   initial:(Dfg.node -> Resource.t) ->
   ctx
 (** Build a context with every operation on its [initial] version.
-    [use_cache:false] (default [true]) makes {!realize} bypass the
-    memoization table — every evaluation reruns the scheduler and
-    binder; results must be unchanged (tested). *)
+    Every version handled by the context (initial or moved-to) must
+    belong to the library — versions are interned to small codes for
+    fingerprinting.  [use_cache:false] (default [true]) makes
+    {!realize} bypass the memoization table — every evaluation reruns
+    the scheduler and binder; results must be unchanged (tested).
+    [domains] (default 1) fans the {!refine} and {!recovery} move
+    evaluations over that many worker domains; results are identical
+    for every value (tested). *)
 
 val graph : ctx -> Dfg.t
 val version_of : ctx -> Dfg.node_id -> Resource.t
@@ -113,6 +122,11 @@ val full_latency : ctx -> int
 (** The same quantity recomputed from scratch via
     [Analysis.asap_latency]; exposed so tests can assert it always
     equals {!current_latency}. *)
+
+val fingerprint : ctx -> latency:int -> int64
+(** The evaluation-cache key of the current assignment at [latency]:
+    FNV-1a over the interned version codes and the latency.  Exposed
+    for the collision-safety tests. *)
 
 val realize : ctx -> latency:int -> (Design.t, string) result
 (** Schedule + bind the current assignment at [latency], memoized. *)
@@ -170,6 +184,8 @@ val synthesize :
   ?strategy:strategy ->
   ?trace:(trace_event -> unit) ->
   ?use_cache:bool ->
+  ?cache:cache ->
+  ?domains:int ->
   Dfg.t ->
   Library.t ->
   ld:int ->
@@ -178,5 +194,9 @@ val synthesize :
 (** The full algorithm: run {!default_pipeline} from the
     strategy-dependent initial allocation(s); [`Best] runs both
     directions over one shared evaluation cache and keeps the more
-    reliable feasible design.  {!Reliability_centric.synthesize} is
-    this function with [use_cache] defaulted. *)
+    reliable feasible design.  [cache] substitutes a caller-owned
+    (shareable) evaluation cache; [domains] (default
+    [Rchls_util.Pool.num_domains ()]) fans refine/recovery move
+    evaluation over worker domains — results are independent of it.
+    {!Reliability_centric.synthesize} is this function with
+    [use_cache] defaulted. *)

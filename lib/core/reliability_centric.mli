@@ -49,6 +49,8 @@ val synthesize :
   ?refine:bool ->
   ?strategy:strategy ->
   ?trace:(trace_event -> unit) ->
+  ?cache:Engine.cache ->
+  ?domains:int ->
   Dfg.t ->
   Library.t ->
   ld:int ->

@@ -5,6 +5,7 @@ type node = { id : node_id; name : string; op : Op.t }
 type t = {
   g_name : string;
   g_nodes : node array;
+  g_by_name : (string, node_id) Hashtbl.t;
   g_preds : node_id list array;
   g_succs : node_id list array;
   g_edge_count : int;
@@ -75,6 +76,7 @@ let create ~name ~nodes ~edges =
             {
               g_name = name;
               g_nodes = node_arr;
+              g_by_name = by_name;
               g_preds = preds;
               g_succs = succs;
               g_edge_count = List.length edges;
@@ -91,13 +93,20 @@ let name t = t.g_name
 let node_count t = Array.length t.g_nodes
 let edge_count t = t.g_edge_count
 let nodes t = Array.to_list t.g_nodes
+let iter_nodes t f = Array.iter f t.g_nodes
+let fold_nodes t ~init f = Array.fold_left f init t.g_nodes
 
 let node t id =
   if id < 0 || id >= Array.length t.g_nodes then
     invalid_arg (Printf.sprintf "Dfg.node: unknown id %d" id);
   t.g_nodes.(id)
 
-let find t n = Array.find_opt (fun x -> x.name = n) t.g_nodes
+(* The construction-time name table is retained, so lookup is O(1)
+   rather than a scan. *)
+let find t n =
+  match Hashtbl.find_opt t.g_by_name n with
+  | Some id -> Some t.g_nodes.(id)
+  | None -> None
 
 let find_exn t n =
   match find t n with

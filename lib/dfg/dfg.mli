@@ -29,13 +29,20 @@ val node_count : t -> int
 val edge_count : t -> int
 
 val nodes : t -> node list
-(** In id order. *)
+(** In id order.  Allocates a fresh list per call — hot loops should
+    prefer {!iter_nodes} / {!fold_nodes}. *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+(** Apply to every node in id order, without allocating a list. *)
+
+val fold_nodes : t -> init:'a -> ('a -> node -> 'a) -> 'a
+(** Fold over the nodes in id order, without allocating a list. *)
 
 val node : t -> node_id -> node
 (** Raises [Invalid_argument] on an unknown id. *)
 
 val find : t -> string -> node option
-(** Lookup by name. *)
+(** Lookup by name — O(1) via the construction-time name table. *)
 
 val find_exn : t -> string -> node
 

@@ -11,16 +11,9 @@ let schema = "rchls.run_report/1"
 (* Same FNV-1a construction as [Netlist.fingerprint], applied to the
    canonical text form so the digest is stable across process runs and
    independent of in-memory representation. *)
-let fingerprint s =
-  let prime = 0x100000001B3L in
-  let h = ref 0xCBF29CE484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-    s;
-  !h
+let fingerprint s = Rchls_util.Fnv.hash_string s
 
-let fingerprint_hex s = Printf.sprintf "%016Lx" (fingerprint s)
+let fingerprint_hex s = Rchls_util.Fnv.to_hex (fingerprint s)
 
 let graph_json g =
   Json.Obj

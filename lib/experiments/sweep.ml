@@ -9,7 +9,12 @@ type approach = Baseline | Ours | Combined
 
 type cell = { ld : int; ad : int; reliability : float option; area : int option }
 
-let raw_cell ?scheduler ?refine approach g lib ~ld ~ad =
+(* Cells pass [~domains:1] to the engine: the grid is already fanned
+   across the domain pool, so per-cell parallel move evaluation would
+   only oversubscribe.  [cache] is one sharded evaluation cache shared
+   by every cell of the sweep (cells with nearby bounds realize many
+   identical assignments). *)
+let raw_cell ?scheduler ?refine ?cache approach g lib ~ld ~ad =
   match approach with
   | Baseline -> (
     match Rchls_redundancy.Orailoglu.synthesize ?scheduler g lib ~ld ~ad with
@@ -18,11 +23,14 @@ let raw_cell ?scheduler ?refine approach g lib ~ld ~ad =
         Some (Rchls_redundancy.Nmr_design.area t) )
     | Error _ -> (None, None))
   | Ours -> (
-    match Rc.synthesize ?scheduler ?refine g lib ~ld ~ad with
+    match Rc.synthesize ?scheduler ?refine ?cache ~domains:1 g lib ~ld ~ad with
     | Ok d -> (Some (Design.reliability d), Some (Design.area d))
     | Error _ -> (None, None))
   | Combined -> (
-    match Rchls_redundancy.Combined.synthesize ?scheduler g lib ~ld ~ad with
+    match
+      Rchls_redundancy.Combined.synthesize ?scheduler ?cache ~domains:1 g lib ~ld
+        ~ad
+    with
     | Ok t ->
       ( Some (Rchls_redundancy.Nmr_design.reliability t),
         Some (Rchls_redundancy.Nmr_design.area t) )
@@ -84,6 +92,7 @@ let run ?scheduler ?refine ?domains approach g lib ~lds ~ads =
   let approach_name =
     match approach with Baseline -> "baseline" | Ours -> "ours" | Combined -> "combined"
   in
+  let cache = Rchls_core.Engine.create_cache () in
   let raw =
     Trace.with_span "sweep.run"
       ~attrs:
@@ -99,7 +108,7 @@ let run ?scheduler ?refine ?domains approach g lib ~lds ~ads =
               ~attrs:[ ("ld", Trace.Int ld); ("ad", Trace.Int ad) ]
               (fun () ->
                 Telemetry.incr "sweep.cells";
-                ((ld, ad), raw_cell ?scheduler ?refine approach g lib ~ld ~ad)))
+                ((ld, ad), raw_cell ?scheduler ?refine ~cache approach g lib ~ld ~ad)))
           grid)
   in
   envelope ~n_ads:(List.length ads) raw

@@ -1,8 +1,8 @@
 module Rc = Rchls_core.Reliability_centric
 
-let synthesize ?scheduler ?strategy g lib ~ld ~ad =
+let synthesize ?scheduler ?strategy ?cache ?domains g lib ~ld ~ad =
   Rchls_util.Trace.with_span "redundancy.combined" @@ fun () ->
   Rchls_util.Telemetry.incr "redundancy.runs";
-  match Rc.synthesize ?scheduler ?strategy g lib ~ld ~ad with
+  match Rc.synthesize ?scheduler ?strategy ?cache ?domains g lib ~ld ~ad with
   | Error e -> Error e
   | Ok d -> Ok (Orailoglu.add_redundancy (Nmr_design.of_design d) ~ad)

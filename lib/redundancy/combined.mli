@@ -10,6 +10,8 @@ module Rc = Rchls_core.Reliability_centric
 val synthesize :
   ?scheduler:Rchls_core.Design.scheduler ->
   ?strategy:Rc.strategy ->
+  ?cache:Rchls_core.Engine.cache ->
+  ?domains:int ->
   Rchls_dfg.Dfg.t ->
   Rchls_charlib.Library.t ->
   ld:int ->

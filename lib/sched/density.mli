@@ -40,6 +40,38 @@ val placement_cost :
 
 val pp : Format.formatter -> t -> unit
 
+(** Incremental distribution: the same densities as {!build}, kept as
+    integer start-position counts per (class, step, denominator) so a
+    single node's mass can be moved exactly when its range tightens.
+    Floats are rendered from the counts on demand in a fixed order, so
+    equal counts give bit-equal densities regardless of update
+    history — the basis of the incremental scheduler's equivalence to
+    a full per-placement recompute. *)
+module Dist : sig
+  type t
+
+  val create : latency:int -> kmax:int -> t
+  (** [kmax] bounds the largest denominator (mobility + 1) ever added;
+      exceeding it is [Invalid_argument]. *)
+
+  val add :
+    t -> Rchls_charlib.Resource.op_class -> lo:int -> hi:int -> d:int -> unit
+  (** Deposit the mass of a node with start range [lo..hi] and delay
+      [d].  An empty range ([lo > hi]) contributes nothing.  A fixed
+      node is [lo = hi]. *)
+
+  val remove :
+    t -> Rchls_charlib.Resource.op_class -> lo:int -> hi:int -> d:int -> unit
+  (** Inverse of {!add}. *)
+
+  val density : t -> Rchls_charlib.Resource.op_class -> int -> float
+  (** Density of a class at a step; 0 outside the horizon. *)
+
+  val cost :
+    t -> Rchls_charlib.Resource.op_class -> start:int -> delay:int -> float
+  (** Sum of densities over the steps an execution would occupy. *)
+end
+
 val constrained_ranges :
   Dfg.t ->
   delay:(Dfg.node -> int) ->

@@ -12,6 +12,19 @@ open Rchls_dfg
 val run :
   Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> (Schedule.t, string) result
 (** Schedule within [latency] steps.  Fails if [latency] is below the
-    ASAP latency. *)
+    ASAP latency.
+
+    Incremental: range tightenings are propagated from each placed
+    node along topological order and a single persistent
+    {!Density.Dist} is updated per affected node, instead of
+    recomputing ranges and rebuilding the distribution per placement.
+    Produces exactly the schedule of {!run_reference} (see the
+    exactness argument on {!Density.Dist}). *)
+
+val run_reference :
+  Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> (Schedule.t, string) result
+(** The historical full-recompute algorithm: fresh constrained ranges
+    and a fresh distribution per placed node.  Oracle for {!run} and
+    the "before" arm of the synthesis benchmark. *)
 
 val run_exn : Dfg.t -> delay:(Dfg.node -> int) -> latency:int -> Schedule.t

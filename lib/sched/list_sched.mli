@@ -31,6 +31,53 @@ val run_exn :
   limit:('k -> int) ->
   Schedule.t
 
+val run_reference :
+  ?priority_latency:int ->
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  limit:('k -> int) ->
+  (Schedule.t, string) result
+(** The historical dispatch loop (whole-graph readiness filter every
+    step, hashed occupancy): same results as {!run}, old cost profile.
+    Reference arm of the synthesis benchmark and oracle for the
+    dispatch-equivalence property tests. *)
+
+val run_starts :
+  priority:int array ->
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  limit:('k -> int) ->
+  (int array * int, string) result
+(** The dispatch loop alone, with a caller-supplied priority array
+    (higher = first; index by node id): returns the start array and
+    the achieved latency without building a [Schedule.t].  The dispatch
+    order is exactly {!run}'s. *)
+
+(** {2 Reusable dispatcher}
+
+    For callers probing many limit vectors against one graph and
+    priority (the min-area packer): the per-graph setup — delays,
+    dense group codes, predecessor counts, scratch arrays — is paid
+    once, and each {!dispatch} only resets scratch. *)
+
+type 'k dispatcher
+
+val dispatcher :
+  Dfg.t -> delay:(Dfg.node -> int) -> group:(Dfg.node -> 'k) -> 'k dispatcher
+
+val limits_of : 'k dispatcher -> limit:('k -> int) -> int array
+(** Evaluate [limit] once per distinct group, indexed by the
+    dispatcher's dense group codes, for {!dispatch}. *)
+
+val dispatch : 'k dispatcher -> limits:int array -> prio:int array -> int array * int
+(** One dispatch run; same order as {!run}.  The returned start array
+    aliases the dispatcher's scratch: copy it before the next
+    {!dispatch} if it must survive.  Raises on non-positive limits via
+    non-termination guard only — callers must validate limits
+    (see {!run_starts}). *)
+
 val minimum_latency_with_limits :
   Dfg.t ->
   delay:(Dfg.node -> int) ->

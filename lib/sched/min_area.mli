@@ -18,3 +18,15 @@ val run :
   (Schedule.t, string) result
 (** Fails only if [latency] is below the ASAP latency (unreachable even
     with unbounded resources). *)
+
+val run_reference :
+  Dfg.t ->
+  delay:(Dfg.node -> int) ->
+  group:(Dfg.node -> 'k) ->
+  group_area:('k -> int) ->
+  latency:int ->
+  (Schedule.t, string) result
+(** Same results as {!run}, with the historical cost profile (per-probe
+    ALAP recompute and schedule validation on the whole-graph dispatch
+    loop).  Reference arm of the synthesis benchmark and oracle for the
+    property tests. *)

@@ -1,0 +1,21 @@
+(** 64-bit FNV-1a hashing, the one fingerprint construction shared by
+    run reports ([Rchls_experiments.Report]), netlist digests and the
+    synthesis engine's packed assignment keys. *)
+
+val seed : int64
+(** The FNV-1a offset basis. *)
+
+val fold_byte : int64 -> int -> int64
+(** Absorb one byte (low 8 bits of the argument). *)
+
+val fold_string : int64 -> string -> int64
+(** Absorb every byte of the string in order. *)
+
+val fold_int : int64 -> int -> int64
+(** Absorb a native int as 8 little-endian bytes. *)
+
+val hash_string : string -> int64
+(** [fold_string seed s]. *)
+
+val to_hex : int64 -> string
+(** 16-digit lowercase hex rendering. *)

@@ -108,6 +108,72 @@ let prop_incremental_latency g_name g =
         flips;
       true)
 
+(* --- parallel refine == sequential refine --------------------------- *)
+
+(* The fanned-out move evaluation (and chunked recovery scan) must be
+   invisible: synthesis results may not depend on the domain count. *)
+let test_refine_domains_invariant () =
+  List.iter
+    (fun (name, g, ld, ad) ->
+      let run domains = Engine.synthesize ~domains g lib ~ld ~ad in
+      let r1 = run 1 in
+      List.iter
+        (fun d ->
+          Alcotest.check result_testable
+            (Printf.sprintf "%s (ld=%d, ad=%d): 1 domain = %d domains" name ld ad d)
+            r1 (run d))
+        [ 2; 4 ])
+    [
+      ("fir16", Benchmarks.fir16, 11, 8);
+      ("ewf", Benchmarks.ewf, 14, 9);
+      ("ewf-tight", Benchmarks.ewf, 17, 5);
+      ("diffeq", Benchmarks.diffeq, 6, 13);
+    ]
+
+(* --- fingerprint collision safety ----------------------------------- *)
+
+(* The packed cache key must distinguish every assignment: enumerate the
+   full version cross product on fig4 (all-adder graph, 3 versions per
+   node) at several latencies and require all fingerprints distinct. *)
+let test_fingerprint_collision_free () =
+  let g = Benchmarks.example_fig4 in
+  let n = Dfg.node_count g in
+  let versions = Array.of_list (Library.versions lib Resource.Add) in
+  let ctx =
+    Engine.create g lib ~ld:1000 ~ad:1000
+      ~initial:(Rc.most_reliable_assignment g lib)
+  in
+  let cur = Array.make n "" in
+  let seen = Hashtbl.create 4096 in
+  let latencies = [ 6; 8; 12 ] in
+  let rec enum id =
+    if id = n then
+      List.iter
+        (fun latency ->
+          let fp = Engine.fingerprint ctx ~latency in
+          let preimage =
+            String.concat "," (Array.to_list cur) ^ ";" ^ string_of_int latency
+          in
+          match Hashtbl.find_opt seen fp with
+          | Some other when other <> preimage ->
+            Alcotest.failf "fingerprint collision: %s and %s share %Ld" other
+              preimage fp
+          | Some _ -> ()
+          | None -> Hashtbl.add seen fp preimage)
+        latencies
+    else
+      Array.iter
+        (fun (v : Resource.t) ->
+          Engine.set_version ctx id v;
+          cur.(id) <- v.Resource.id;
+          enum (id + 1))
+        versions
+  in
+  enum 0;
+  Alcotest.(check int) "distinct keys"
+    (List.length latencies * int_of_float (float_of_int (Array.length versions) ** float_of_int n))
+    (Hashtbl.length seen)
+
 (* --- telemetry ------------------------------------------------------ *)
 
 let test_counters_monotone_and_cache_hit () =
@@ -162,6 +228,16 @@ let () =
           qt (prop_incremental_latency "fir16" Benchmarks.fir16);
           qt (prop_incremental_latency "ewf" Benchmarks.ewf);
           qt (prop_incremental_latency "diffeq" Benchmarks.diffeq);
+        ] );
+      ( "parallel refine",
+        [
+          Alcotest.test_case "domain count invisible" `Quick
+            test_refine_domains_invariant;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "collision-free on fig4 cross product" `Quick
+            test_fingerprint_collision_free;
         ] );
       ( "telemetry",
         [

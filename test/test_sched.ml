@@ -301,6 +301,75 @@ let prop_list_sched_limit_respected =
       in
       List.for_all (fun (_, c) -> c <= k) (Schedule.max_concurrency s ~key:(fun _ -> ())))
 
+(* The incremental density scheduler must reproduce the full-recompute
+   reference start-for-start: same least-dense tie handling, same
+   constrained-range fixpoint.  Randomized over graph shape, delay
+   model and latency slack. *)
+let delay_variants =
+  [|
+    unit_delay;
+    delay_by_op;
+    (fun (nd : Dfg.node) -> 1 + (nd.id mod 3));
+  |]
+
+let prop_incremental_density_equals_reference =
+  QCheck2.Test.make
+    ~name:"incremental density scheduler = full-recompute reference" ~count:300
+    QCheck2.Gen.(triple gen_dag (int_range 0 2) (int_range 0 4))
+    (fun (g, di, slack) ->
+      let delay = delay_variants.(di) in
+      let latency = Analysis.asap_latency g ~delay + slack in
+      match
+        ( Density_sched.run g ~delay ~latency,
+          Density_sched.run_reference g ~delay ~latency )
+      with
+      | Ok a, Ok b ->
+        List.for_all
+          (fun (nd : Dfg.node) -> Schedule.start a nd.id = Schedule.start b nd.id)
+          (Dfg.nodes g)
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_list_dispatch_equals_reference =
+  QCheck2.Test.make ~name:"list dispatch = historical reference" ~count:200
+    QCheck2.Gen.(triple gen_dag (int_range 1 3) bool)
+    (fun (g, k, use_alap) ->
+      let delay = delay_by_op in
+      let group (nd : Dfg.node) = Op.resource_class nd.op in
+      let limit (_ : Resource.op_class) = k in
+      let priority_latency =
+        if use_alap then Some (Analysis.asap_latency g ~delay + 1) else None
+      in
+      match
+        ( List_sched.run ?priority_latency g ~delay ~group ~limit,
+          List_sched.run_reference ?priority_latency g ~delay ~group ~limit )
+      with
+      | Ok a, Ok b ->
+        List.for_all
+          (fun (nd : Dfg.node) -> Schedule.start a nd.id = Schedule.start b nd.id)
+          (Dfg.nodes g)
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_min_area_equals_reference =
+  QCheck2.Test.make ~name:"min-area packer = historical reference" ~count:200
+    QCheck2.Gen.(triple gen_dag (int_range 0 2) (int_range 0 3))
+    (fun (g, di, slack) ->
+      let delay = delay_variants.(di) in
+      let group (nd : Dfg.node) = Op.resource_class nd.op in
+      let group_area = function Resource.Add -> 2 | Resource.Mul -> 4 in
+      let latency = Analysis.asap_latency g ~delay + slack in
+      match
+        ( Min_area.run g ~delay ~group ~group_area ~latency,
+          Min_area.run_reference g ~delay ~group ~group_area ~latency )
+      with
+      | Ok a, Ok b ->
+        List.for_all
+          (fun (nd : Dfg.node) -> Schedule.start a nd.id = Schedule.start b nd.id)
+          (Dfg.nodes g)
+      | Error _, Error _ -> true
+      | _ -> false)
+
 let prop_min_area_never_beats_lower_bound =
   QCheck2.Test.make ~name:"min-area concurrency >= occupancy lower bound" ~count:100
     gen_dag (fun g ->
@@ -366,5 +435,7 @@ let () =
           [
             prop_density_sched_valid; prop_list_sched_limit_respected;
             prop_min_area_never_beats_lower_bound;
+            prop_incremental_density_equals_reference;
+            prop_list_dispatch_equals_reference; prop_min_area_equals_reference;
           ] );
     ]
