@@ -1,5 +1,9 @@
 .PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
-  bench-synth smoke clean
+  bench-synth bench-fuzz fuzz smoke clean
+
+# Fuzzing knobs (see `rchls fuzz --help` and `bench fuzz` in bench/main.ml).
+FUZZ_SEED ?= 42
+FUZZ_CASES ?= 1000
 
 # Synthesis hot-path benchmark knobs (see `bench synth` in bench/main.ml).
 SYNTH_REPS ?= 5
@@ -48,6 +52,19 @@ bench-fault: build
 bench-synth: build
 	dune exec bench/main.exe -- synth --reps $(SYNTH_REPS) BENCH_synth.json
 
+# Deterministic fuzzing smoke: every differential/metamorphic property
+# of the correctness layer over FUZZ_CASES seeded cases; a failure
+# prints a shrunk counterexample in replayable .dfg text and exits 2.
+fuzz: build
+	dune exec bin/main.exe -- fuzz --seed $(FUZZ_SEED) --cases $(FUZZ_CASES)
+
+# Time the fuzzing harness per property (cases/s) and the validity
+# checker's overhead on the synthesis hot path; record in
+# BENCH_fuzz.json and fail unless every property passes.
+bench-fuzz: build
+	dune exec bench/main.exe -- fuzz --seed $(FUZZ_SEED) \
+	  --cases $(FUZZ_CASES) BENCH_fuzz.json
+
 # Measure the observability layer itself: sharded-counter throughput
 # (with an exactness check under all-domain contention) and the
 # per-span overhead of Trace.with_span with no sink installed.
@@ -66,4 +83,4 @@ smoke: build
 clean:
 	dune clean
 	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
-	  BENCH_synth.json trace.json report.json
+	  BENCH_synth.json BENCH_fuzz.json trace.json report.json fuzz_report.json

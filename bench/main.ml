@@ -30,6 +30,12 @@
      (times scalar vs bit-parallel vs domain-parallel fault-injection
       campaigns on the characterization circuits, verifies the reports
       are identical node for node, and records the result)
+   Fuzz smoke:          dune exec bench/main.exe -- fuzz [BENCH_fuzz.json]
+                          [--cases N] [--seed S]
+     (runs every differential/metamorphic fuzzing property at a fixed
+      seed, times the throughput per property, measures the validity
+      checker's overhead on a full synthesis, and fails on any
+      counterexample)
 
    --vectors / --width are shared with `bin/main.exe characterize
    --measured` and apply to the perf characterization kernel and the
@@ -466,10 +472,94 @@ let fault_bench ~vectors ~width out_path =
   Printf.printf "wrote %s\n%!" out_path;
   if not all_identical then exit 1
 
+(* --- fuzz smoke benchmark -------------------------------------------- *)
+
+module Check = Rchls_check.Check
+module Fuzz = Rchls_check.Fuzz
+module Json = Rchls_util.Json
+
+(* Deterministic fuzzing as a benchmark arm: every property must hold
+   at the fixed seed (exit 1 with the shrunk counterexample otherwise),
+   and the record tracks cases/second per property plus the overhead
+   the installed validity checker adds to a full synthesis. *)
+let fuzz_bench ~seed ~cases out_path =
+  Printf.printf "=== Fuzz smoke: %d cases/property, seed %d ===\n%!" cases seed;
+  Telemetry.reset ();
+  let results =
+    List.map
+      (fun name ->
+        let t0 = now_s () in
+        let outcome =
+          List.hd (Fuzz.run ~properties:[ name ] ~seed ~cases ())
+        in
+        let dt = now_s () -. t0 in
+        Printf.printf "%-24s %5d cases  %7.3fs  %9.0f cases/s  %s\n%!" name
+          outcome.Fuzz.cases_run dt
+          (float_of_int outcome.Fuzz.cases_run /. dt)
+          (match outcome.Fuzz.failure with
+          | None -> "pass"
+          | Some _ -> "FAIL");
+        (match outcome.Fuzz.failure with
+        | None -> ()
+        | Some _ -> Format.printf "%a@." Fuzz.pp_outcome outcome);
+        (name, outcome.Fuzz.cases_run, dt, outcome.Fuzz.failure = None))
+      Fuzz.property_names
+  in
+  let all_passed = List.for_all (fun (_, _, _, ok) -> ok) results in
+  (* Checker overhead: the same synthesis with and without the
+     validity checker validating every realized design. *)
+  let g = Benchmarks.diffeq in
+  let time_synth () =
+    let t0 = now_s () in
+    (match Rc.synthesize g Library.table1 ~ld:6 ~ad:13 with
+    | Ok _ -> ()
+    | Error _ -> failwith "fuzz bench: diffeq synthesis failed");
+    now_s () -. t0
+  in
+  let plain = ref infinity and checked = ref infinity in
+  for _ = 1 to 5 do
+    plain := Float.min !plain (time_synth ());
+    Check.enable ();
+    Fun.protect ~finally:Check.disable (fun () ->
+        checked := Float.min !checked (time_synth ()))
+  done;
+  Printf.printf "checker overhead on diffeq synth: %.4fs -> %.4fs (x%.2f)  (%s)\n%!"
+    !plain !checked (!checked /. !plain)
+    (if all_passed then "all properties passed" else "PROPERTY FAILED");
+  let record =
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("cases_per_property", Json.Int cases);
+        ("all_passed", Json.Bool all_passed);
+        ("fuzz_cases", Json.Int (Telemetry.counter "fuzz.cases"));
+        ("synth_plain_s", Json.Float !plain);
+        ("synth_checked_s", Json.Float !checked);
+        ("checker_overhead", Json.Float (!checked /. !plain));
+        ( "properties",
+          Json.List
+            (List.map
+               (fun (name, run, dt, ok) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("cases", Json.Int run);
+                     ("seconds", Json.Float dt);
+                     ("passed", Json.Bool ok);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Json.to_string ~pretty:true record);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not all_passed then exit 1
+
 (* --- telemetry micro-benchmark --------------------------------------- *)
 
 module Trace = Rchls_util.Trace
-module Json = Rchls_util.Json
 
 (* Exercises the observability layer itself: sharded-counter
    throughput alone and under all-domain contention (checking the
@@ -656,6 +746,24 @@ let () =
     let positional, vectors, width = parse_flags ~vectors:64 ~width:16 rest in
     fault_bench ~vectors ~width
       (match positional with path :: _ -> path | [] -> "BENCH_fault.json")
+  | _ :: "fuzz" :: rest ->
+    let rec split seed cases positional = function
+      | [] -> (seed, cases, List.rev positional)
+      | "--seed" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n -> split n cases positional tl
+        | None -> failwith "--seed expects an integer")
+      | [ "--seed" ] -> failwith "--seed expects an integer"
+      | "--cases" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> split seed n positional tl
+        | _ -> failwith "--cases expects a positive integer")
+      | [ "--cases" ] -> failwith "--cases expects a positive integer"
+      | x :: tl -> split seed cases (x :: positional) tl
+    in
+    let seed, cases, positional = split 42 1000 [] rest in
+    fuzz_bench ~seed ~cases
+      (match positional with path :: _ -> path | [] -> "BENCH_fuzz.json")
   | _ ->
     reproduction None;
     perf ~vectors:8 ~width:8 ()

@@ -7,11 +7,13 @@
      library      print or validate a resource library
      bench        list / dump the built-in benchmark DFGs
      experiment   regenerate one of the paper's tables/figures
+     fuzz         run the generative differential fuzzing properties
 
    Cross-cutting flags: --stats (telemetry table), --trace-out FILE
-   (Chrome trace-event JSON, or JSONL when FILE ends in .jsonl) and
+   (Chrome trace-event JSON, or JSONL when FILE ends in .jsonl),
    --report json (machine-readable run report on stdout, human output
-   on stderr). *)
+   on stderr) and --check (independent design-validity checking of
+   every realized design). *)
 
 open Cmdliner
 module Library = Rchls_charlib.Library
@@ -26,6 +28,8 @@ module Report = Rchls_experiments.Report
 module Telemetry = Rchls_util.Telemetry
 module Trace = Rchls_util.Trace
 module Json = Rchls_util.Json
+module Check = Rchls_check.Check
+module Fuzz = Rchls_check.Fuzz
 
 let read_file path =
   let ic = open_in path in
@@ -93,6 +97,34 @@ let report_arg =
                  rchls.run_report/1: result, counters, timers, histogram \
                  quantiles, input fingerprints) on stdout.  $(docv) must be \
                  $(b,json).  Human-readable output moves to stderr.")
+
+let check_flag =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Re-validate every design the engine realizes (and every \
+               redundancy-protected design a sweep produces) with the \
+               independent design-validity checker: precedence edges, \
+               conflict-free binding, library membership and recomputed \
+               objective totals.  A violation aborts the run with a \
+               diagnostic; a summary count goes to stderr.")
+
+(* Run [f ()] with the design checker installed; the summary goes to
+   stderr so checked runs keep byte-identical stdout. *)
+let with_check check f =
+  if not check then f ()
+  else begin
+    Check.reset_stats ();
+    Check.enable ();
+    Fun.protect ~finally:Check.disable @@ fun () ->
+    match f () with
+    | v ->
+      Printf.eprintf "rchls: check: %d designs validated, %d violations\n%!"
+        (Check.designs_checked ())
+        (Check.violations_found ());
+      v
+    | exception Failure msg ->
+      Printf.eprintf "rchls: %s\n%!" msg;
+      exit 3
+  end
 
 (* Run [f ()] on fresh telemetry and, under [--stats], print what the
    run accumulated — to stderr when stdout carries a JSON report. *)
@@ -193,9 +225,11 @@ let decision_printer (ev : Trace.event) =
   | Trace.Begin | Trace.End -> ()
 
 let synth_cmd =
-  let run graph_spec lib_file ld ad strategy scheduler dot trace trace_out report stats =
+  let run graph_spec lib_file ld ad strategy scheduler dot trace trace_out report stats
+      check =
     let code =
       with_stats ~err:(report <> None) stats @@ fun () ->
+      with_check check @@ fun () ->
       with_tracing ~extra_sinks:(if trace then [ decision_printer ] else []) trace_out
       @@ fun () ->
       let g = or_die (load_graph graph_spec) in
@@ -242,7 +276,8 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ graph_arg $ library_arg $ ld_arg $ ad_arg $ strategy_arg
-      $ scheduler_arg $ dot_arg $ trace_arg $ trace_out_arg $ report_arg $ stats_arg)
+      $ scheduler_arg $ dot_arg $ trace_arg $ trace_out_arg $ report_arg $ stats_arg
+      $ check_flag)
 
 (* --- sweep --- *)
 
@@ -264,8 +299,9 @@ let approach_name = function
   | Sweep.Combined -> "combined"
 
 let sweep_cmd =
-  let run graph_spec lib_file lds ads approach domains trace_out report stats =
+  let run graph_spec lib_file lds ads approach domains trace_out report stats check =
     with_stats ~err:(report <> None) stats @@ fun () ->
+    with_check check @@ fun () ->
     with_tracing trace_out @@ fun () ->
     let g = or_die (load_graph graph_spec) in
     let lib = or_die (load_library lib_file) in
@@ -309,7 +345,7 @@ let sweep_cmd =
       $ Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
                ~doc:"Worker domains for the grid (default: $(b,RCHLS_DOMAINS) \
                      or the recommended domain count; 1 = sequential).")
-      $ trace_out_arg $ report_arg $ stats_arg)
+      $ trace_out_arg $ report_arg $ stats_arg $ check_flag)
 
 (* --- characterize --- *)
 
@@ -409,7 +445,7 @@ let bench_cmd =
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run ids trace_out report stats =
+  let run ids trace_out report stats check =
     let ids = if ids = [ "all" ] then List.map fst Experiments.all else ids in
     List.iter
       (fun id ->
@@ -419,6 +455,7 @@ let experiment_cmd =
           exit 1
         end)
       ids;
+    with_check check @@ fun () ->
     with_tracing trace_out @@ fun () ->
     (* Telemetry is reset between experiments so each report (and each
        [--stats] block) covers exactly one table/figure. *)
@@ -464,7 +501,88 @@ let experiment_cmd =
                  ids, so $(b,--stats) and $(b,--report) cover each in isolation.")
   in
   let doc = "Regenerate the paper's tables or figures." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids $ trace_out_arg $ report_arg $ stats_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ ids $ trace_out_arg $ report_arg $ stats_arg $ check_flag)
+
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let run seed cases max_nodes props trace_out report stats =
+    let code =
+      with_stats ~err:(report <> None) stats @@ fun () ->
+      with_tracing trace_out @@ fun () ->
+      let outcomes =
+        try Fuzz.run ~max_nodes ?properties:props ~seed ~cases ()
+        with Invalid_argument m ->
+          Printf.eprintf "rchls: %s\n" m;
+          exit 1
+      in
+      (match report with
+      | Some `Json ->
+        let outcome_json (o : Fuzz.outcome) =
+          Json.Obj
+            ([
+               ("property", Json.Str o.property);
+               ("cases", Json.Int o.cases_run);
+               ("passed", Json.Bool (o.failure = None));
+             ]
+            @
+            match o.failure with
+            | None -> []
+            | Some f ->
+              [
+                ( "failure",
+                  Json.Obj
+                    [
+                      ("case", Json.Int f.case);
+                      ("message", Json.Str f.message);
+                      ("shrink_steps", Json.Int f.shrink_steps);
+                      ("counterexample", Json.Str (Rchls_check.Gen.spec_to_text f.spec));
+                    ] );
+              ])
+        in
+        print_report
+          (Report.make ~command:"fuzz"
+             ~args:
+               [
+                 ("seed", Json.Int seed);
+                 ("cases", Json.Int cases);
+                 ("max_nodes", Json.Int max_nodes);
+               ]
+             ~result:(Json.List (List.map outcome_json outcomes))
+             ())
+      | None ->
+        List.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes);
+      if Fuzz.all_passed outcomes then 0 else 2
+    in
+    if code <> 0 then exit code
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Fuzzing PRNG seed.  Every case is reproducible from (seed, \
+                 property, case index) alone.")
+  in
+  let cases =
+    Arg.(value & opt int 250 & info [ "cases" ] ~docv:"N"
+           ~doc:"Cases per property.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 12 & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Largest generated graph.")
+  in
+  let props =
+    Arg.(value & opt (some (list string)) None & info [ "properties" ] ~docv:"P1,P2,..."
+           ~doc:(Printf.sprintf "Properties to run (default: all): %s."
+                   (String.concat ", " Fuzz.property_names)))
+  in
+  let doc =
+    "Fuzz the synthesis stack: random designs, differential scheduler oracles, \
+     metamorphic reliability properties, independent validity checking."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed $ cases $ max_nodes $ props $ trace_out_arg $ report_arg
+      $ stats_arg)
 
 let () =
   let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in
@@ -472,4 +590,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; sweep_cmd; characterize_cmd; library_cmd; bench_cmd; experiment_cmd ]))
+          [
+            synth_cmd;
+            sweep_cmd;
+            characterize_cmd;
+            library_cmd;
+            bench_cmd;
+            experiment_cmd;
+            fuzz_cmd;
+          ]))

@@ -1,0 +1,244 @@
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Design = Rchls_core.Design
+module Engine = Rchls_core.Engine
+module Schedule = Rchls_sched.Schedule
+module Binding = Rchls_binding.Binding
+module Nmr_design = Rchls_redundancy.Nmr_design
+module Telemetry = Rchls_util.Telemetry
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.invariant v.detail
+
+type reported = { latency : int; area : int; reliability : float }
+
+(* --- the core checker ---------------------------------------------- *)
+
+(* Everything below recomputes from the parts alone: delays come from
+   [version_of], never from the schedule's own delay table (which is
+   itself under test), occupancy from the instance op lists, totals
+   from naive folds. *)
+let parts_violations ?(eps = 1e-12) ~graph:g ~library:lib ~version_of ~schedule:sched
+    ~binding ~reported () =
+  let out = ref [] in
+  let fail invariant fmt =
+    Printf.ksprintf (fun detail -> out := { invariant; detail } :: !out) fmt
+  in
+  (* 1. Assignment: class-correct, library-resident versions. *)
+  Dfg.iter_nodes g (fun nd ->
+      let v = version_of nd.id in
+      if v.Resource.op_class <> Op.resource_class nd.op then
+        fail "assignment-class" "node %s (%s) bound to %s-class version %s" nd.name
+          (Op.name nd.op)
+          (Resource.class_name v.Resource.op_class)
+          v.Resource.id;
+      match Library.find lib v.Resource.id with
+      | None -> fail "assignment-library" "version %s of node %s not in the library"
+                  v.Resource.id nd.name
+      | Some lv ->
+        if lv <> v then
+          fail "assignment-library"
+            "version %s of node %s differs from the library's %s (area %d/%d, delay \
+             %d/%d, R %.12g/%.12g)"
+            v.Resource.id nd.name lv.Resource.id v.Resource.area lv.Resource.area
+            v.Resource.delay lv.Resource.delay v.Resource.reliability
+            lv.Resource.reliability);
+  (* 2. Schedule: right graph, assigned delays, non-negative starts,
+     precedence edges respected. *)
+  let sg = Schedule.graph sched in
+  if Dfg.node_count sg <> Dfg.node_count g || Dfg.name sg <> Dfg.name g then
+    fail "schedule-graph" "schedule built for %s (%d nodes), design graph is %s (%d)"
+      (Dfg.name sg) (Dfg.node_count sg) (Dfg.name g) (Dfg.node_count g)
+  else begin
+    Dfg.iter_nodes g (fun nd ->
+        let v = version_of nd.id in
+        let s = Schedule.start sched nd.id in
+        if Schedule.delay_of sched nd.id <> v.Resource.delay then
+          fail "schedule-delay" "node %s scheduled with delay %d but version %s takes %d"
+            nd.name
+            (Schedule.delay_of sched nd.id)
+            v.Resource.id v.Resource.delay;
+        if s < 0 then fail "schedule-start" "node %s starts at negative step %d" nd.name s;
+        List.iter
+          (fun p ->
+            let pf = Schedule.start sched p + (version_of p).Resource.delay in
+            if s < pf then
+              fail "precedence" "node %s starts at %d before predecessor %s finishes at %d"
+                nd.name s (Dfg.node g p).name pf)
+          (Dfg.preds g nd.id));
+    (* 3. Binding: a partition of the operations onto instances of
+       their own version, conflict-free per control step. *)
+    let hosted = Array.make (Dfg.node_count g) 0 in
+    List.iter
+      (fun (inst : Binding.instance) ->
+        List.iter
+          (fun id ->
+            if id < 0 || id >= Array.length hosted then
+              fail "binding-partition" "instance %s#%d hosts unknown node id %d"
+                inst.resource.Resource.id inst.index id
+            else begin
+              hosted.(id) <- hosted.(id) + 1;
+              let v = version_of id in
+              if inst.resource <> v then
+                fail "binding-version" "node %s assigned %s but hosted by a %s instance"
+                  (Dfg.node g id).name v.Resource.id inst.resource.Resource.id
+            end)
+          inst.ops;
+        (* Conflict-freedom: sort the hosted intervals by start and
+           require each to begin no earlier than its predecessor ends —
+           equivalent to "at most one running operation per step". *)
+        let intervals =
+          List.sort compare
+            (List.map
+               (fun id ->
+                 (Schedule.start sched id, Schedule.start sched id + (version_of id).Resource.delay, id))
+               inst.ops)
+        in
+        ignore
+          (List.fold_left
+             (fun prev (s, f, id) ->
+               (match prev with
+               | Some (_, pf, pid) when s < pf ->
+                 fail "binding-conflict"
+                   "instance %s#%d runs %s (steps %d-%d) and %s (steps %d-%d) at once"
+                   inst.resource.Resource.id inst.index (Dfg.node g pid).name
+                   (Schedule.start sched pid) (pf - 1) (Dfg.node g id).name s (f - 1)
+               | _ -> ());
+               Some (s, f, id))
+             None intervals))
+      (Binding.instances binding);
+    Dfg.iter_nodes g (fun nd ->
+        if hosted.(nd.id) = 0 then fail "binding-partition" "node %s hosted by no instance" nd.name
+        else if hosted.(nd.id) > 1 then
+          fail "binding-partition" "node %s hosted by %d instances" nd.name hosted.(nd.id))
+  end;
+  (* 4. Objective totals, recomputed from scratch. *)
+  let latency =
+    Dfg.fold_nodes g ~init:0 (fun acc nd ->
+        max acc (Schedule.start sched nd.id + (version_of nd.id).Resource.delay))
+  in
+  if latency <> reported.latency then
+    fail "latency-total" "reported latency %d, recomputed %d" reported.latency latency;
+  let area =
+    List.fold_left
+      (fun acc (inst : Binding.instance) -> acc + inst.resource.Resource.area)
+      0 (Binding.instances binding)
+  in
+  if area <> reported.area then
+    fail "area-total" "reported area %d, recomputed %d" reported.area area;
+  let reliability =
+    Dfg.fold_nodes g ~init:1. (fun acc nd -> acc *. (version_of nd.id).Resource.reliability)
+  in
+  if
+    Float.abs (reliability -. reported.reliability) > eps
+    || not (Float.is_finite reported.reliability)
+  then
+    fail "reliability-total" "reported reliability %.17g, recomputed %.17g"
+      reported.reliability reliability;
+  List.rev !out
+
+let design_violations ?eps d =
+  parts_violations ?eps ~graph:(Design.graph d) ~library:(Design.library d)
+    ~version_of:(Design.version_of d) ~schedule:(Design.schedule d)
+    ~binding:(Design.binding d)
+    ~reported:
+      {
+        latency = Design.latency d;
+        area = Design.area d;
+        reliability = Design.reliability d;
+      }
+    ()
+
+let nmr_violations ?(eps = 1e-12) t =
+  let d = Nmr_design.design t in
+  let out = ref (design_violations ~eps d) in
+  let fail invariant fmt =
+    Printf.ksprintf (fun detail -> out := !out @ [ { invariant; detail } ]) fmt
+  in
+  let levels = Nmr_design.levels t in
+  let instances = Binding.instances (Design.binding d) in
+  if List.length levels <> List.length instances then
+    fail "nmr-levels" "%d protection levels for %d instances" (List.length levels)
+      (List.length instances)
+  else begin
+    (* Redundant copies cost their version's area per copy; reliability
+       is the product of boosted per-operation reliabilities. *)
+    let extra =
+      List.fold_left
+        (fun acc ((inst : Binding.instance), level) ->
+          acc + ((Nmr_design.level_copies level - 1) * inst.resource.Resource.area))
+        0 levels
+    in
+    if Nmr_design.redundancy_area t <> extra then
+      fail "nmr-area" "reported redundancy area %d, recomputed %d"
+        (Nmr_design.redundancy_area t) extra;
+    if Nmr_design.area t <> Design.area d + extra then
+      fail "nmr-area" "reported protected area %d, recomputed %d" (Nmr_design.area t)
+        (Design.area d + extra);
+    let reliability =
+      List.fold_left
+        (fun acc ((inst : Binding.instance), level) ->
+          let r = inst.resource.Resource.reliability in
+          let boosted = Nmr_design.boosted level r in
+          if boosted < r -. eps then
+            fail "nmr-boost" "%s protection lowers reliability %.12g -> %.12g"
+              inst.resource.Resource.id r boosted;
+          acc *. (boosted ** float_of_int (List.length inst.ops)))
+        1. levels
+    in
+    if Float.abs (reliability -. Nmr_design.reliability t) > eps then
+      fail "nmr-reliability" "reported protected reliability %.17g, recomputed %.17g"
+        (Nmr_design.reliability t) reliability
+  end;
+  !out
+
+(* --- enforcement ---------------------------------------------------- *)
+
+(* Cross-reset counters: the CLI resets Telemetry between experiments,
+   but the run-wide "N designs validated, 0 violations" summary must
+   survive those resets. *)
+let checked = Atomic.make 0
+let found = Atomic.make 0
+
+let designs_checked () = Atomic.get checked
+let violations_found () = Atomic.get found
+
+let reset_stats () =
+  Atomic.set checked 0;
+  Atomic.set found 0
+
+let report violations what =
+  Telemetry.incr "check.designs";
+  Atomic.incr checked;
+  match violations with
+  | [] -> ()
+  | vs ->
+    List.iter (fun _ -> Telemetry.incr "check.violations") vs;
+    List.iter (fun _ -> Atomic.incr found) vs;
+    failwith
+      (Printf.sprintf "design-validity check failed on %s:\n%s" what
+         (String.concat "\n"
+            (List.map
+               (fun v -> Printf.sprintf "  [%s] %s" v.invariant v.detail)
+               vs)))
+
+let check_design_exn d =
+  report (design_violations d) (Dfg.name (Design.graph d))
+
+let check_nmr_exn t =
+  report (nmr_violations t)
+    (Dfg.name (Design.graph (Nmr_design.design t)) ^ " (NMR)")
+
+let is_enabled = Atomic.make false
+
+let enable () =
+  Atomic.set is_enabled true;
+  Engine.set_design_checker (Some check_design_exn)
+
+let disable () =
+  Atomic.set is_enabled false;
+  Engine.set_design_checker None
+
+let enabled () = Atomic.get is_enabled

@@ -1,0 +1,97 @@
+(** Design-validity checking: re-derive, from first principles and
+    independently of the engine's bookkeeping, that a design is legal.
+
+    The engine, the schedulers and the binder each maintain their own
+    incremental state (ASAP tables, partition counts, evaluation
+    caches); every reproduction so far has been defended by golden
+    tables alone.  This module is the independent correctness layer:
+    given only a design's parts — graph, library, per-node version,
+    schedule, binding and the reported objective totals — it rechecks
+    every legality invariant with naive full recomputation:
+
+    - every operation's bound version exists in the library and
+      belongs to the operation's functional-unit class;
+    - the schedule was validated against exactly the assigned delays,
+      starts are non-negative, and every precedence edge is respected
+      ([start v >= start u + delay u], delays re-read from the
+      assignment, not from the schedule);
+    - the binding partitions the operations (each hosted by exactly
+      one instance of its own version) and is conflict-free per
+      control step (no instance runs two operations at once);
+    - the reported latency and area equal the from-scratch
+      recomputation exactly, and the reported reliability equals the
+      serial product within [eps] (default 1e-12).
+
+    {!nmr_violations} extends the same treatment to
+    redundancy-protected designs: level bookkeeping, redundant-copy
+    area and boosted-reliability totals.
+
+    {!enable} installs the checker into the synthesis engine
+    ({!Rchls_core.Engine.set_design_checker}), where it validates
+    every design the engine realizes plus the pipeline's final design
+    (the [--check] CLI flag), counting work in the [check.designs] /
+    [check.violations] telemetry counters and this module's own
+    cross-reset counters. *)
+
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Design = Rchls_core.Design
+module Nmr_design = Rchls_redundancy.Nmr_design
+
+type violation = { invariant : string; detail : string }
+(** One failed invariant: a stable machine-greppable name
+    (e.g. ["precedence"], ["area-total"]) and a human explanation. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type reported = { latency : int; area : int; reliability : float }
+(** The objective totals the design claims; the checker recomputes
+    each from scratch and compares. *)
+
+val parts_violations :
+  ?eps:float ->
+  graph:Rchls_dfg.Dfg.t ->
+  library:Library.t ->
+  version_of:(Rchls_dfg.Dfg.node_id -> Resource.t) ->
+  schedule:Rchls_sched.Schedule.t ->
+  binding:Rchls_binding.Binding.t ->
+  reported:reported ->
+  unit ->
+  violation list
+(** The checker on raw parts — the form the negative tests use to
+    feed deliberately inconsistent combinations.  Empty list = legal. *)
+
+val design_violations : ?eps:float -> Design.t -> violation list
+(** {!parts_violations} applied to a design's own parts and reported
+    objectives. *)
+
+val nmr_violations : ?eps:float -> Nmr_design.t -> violation list
+(** The inner design's violations plus the redundancy layer's: one
+    protection level per instance, redundant-copy area exact, boosted
+    per-operation reliabilities never below the unprotected ones, and
+    the reported protected area/reliability matching recomputation. *)
+
+(** {1 Enforcement} *)
+
+val check_design_exn : Design.t -> unit
+(** Validate and count; raises [Failure] listing every violation. *)
+
+val check_nmr_exn : Nmr_design.t -> unit
+
+val enable : unit -> unit
+(** Install {!check_design_exn} as the engine's design checker and
+    start counting.  Idempotent. *)
+
+val disable : unit -> unit
+(** Uninstall. *)
+
+val enabled : unit -> bool
+
+val designs_checked : unit -> int
+(** Designs validated (plain and NMR) since {!reset_stats} — kept
+    outside [Telemetry] so per-experiment telemetry resets do not
+    erase the run-wide total the CLI reports. *)
+
+val violations_found : unit -> int
+
+val reset_stats : unit -> unit

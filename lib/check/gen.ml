@@ -1,0 +1,139 @@
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Rng = Rchls_util.Rng
+
+(* --- graph blueprints ---------------------------------------------- *)
+
+type spec = { ops : Op.t array; edges : (int * int) list }
+
+let node_name i = Printf.sprintf "n%d" i
+
+let graph_of_spec spec =
+  let nodes = Array.to_list (Array.mapi (fun i op -> (node_name i, op)) spec.ops) in
+  let edges = List.map (fun (a, b) -> (node_name a, node_name b)) spec.edges in
+  Dfg.create_exn ~name:"rand" ~nodes ~edges
+
+let spec_to_text spec = Parse.to_text (graph_of_spec spec)
+
+let normalize_edges n raw =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (a, b) ->
+         if a = b || a < 0 || b < 0 || a >= n || b >= n then None
+         else if a < b then Some (a, b)
+         else Some (b, a))
+       raw)
+
+let random_op rng =
+  match Rng.int rng 5 with
+  | 0 -> Op.Mul
+  | 1 -> Op.Sub
+  | 2 -> Op.Comp
+  | _ -> Op.Add
+
+let random_spec ?(max_nodes = 12) rng =
+  let n = 1 + Rng.int rng max_nodes in
+  let ops = Array.init n (fun _ -> random_op rng) in
+  let raw =
+    List.init (Rng.int rng ((2 * n) + 1)) (fun _ ->
+        (Rng.int rng n, Rng.int rng n))
+  in
+  { ops; edges = normalize_edges n raw }
+
+(* Dropping node [i]: survivors keep their relative order, edges
+   touching [i] disappear, the rest re-index.  The a < b orientation
+   survives re-indexing because the order of the survivors does. *)
+let drop_node spec i =
+  let n = Array.length spec.ops in
+  let ops = Array.init (n - 1) (fun j -> spec.ops.(if j < i then j else j + 1)) in
+  let remap j = if j < i then j else j - 1 in
+  let edges =
+    List.filter_map
+      (fun (a, b) -> if a = i || b = i then None else Some (remap a, remap b))
+      spec.edges
+  in
+  { ops; edges }
+
+let take_prefix spec k =
+  {
+    ops = Array.sub spec.ops 0 k;
+    edges = List.filter (fun (_, b) -> b < k) spec.edges;
+  }
+
+let shrink_spec spec =
+  let n = Array.length spec.ops in
+  let halves () =
+    if n > 1 then Seq.return (take_prefix spec ((n + 1) / 2)) else Seq.empty
+  in
+  let node_drops () =
+    if n > 1 then Seq.map (drop_node spec) (Seq.init n Fun.id) else Seq.empty
+  in
+  let edge_drops () =
+    Seq.map
+      (fun i ->
+        { spec with edges = List.filteri (fun j _ -> j <> i) spec.edges })
+      (Seq.init (List.length spec.edges) Fun.id)
+  in
+  let op_simplifications () =
+    Seq.filter_map
+      (fun i ->
+        if spec.ops.(i) = Op.Add then None
+        else begin
+          let ops = Array.copy spec.ops in
+          ops.(i) <- Op.Add;
+          Some { spec with ops }
+        end)
+      (Seq.init n Fun.id)
+  in
+  Seq.concat
+    (List.to_seq [ halves (); node_drops (); edge_drops (); op_simplifications () ])
+
+(* --- random libraries and assignments ------------------------------ *)
+
+let random_versions rng cls prefix display k =
+  List.init k (fun i ->
+      {
+        Resource.id = Printf.sprintf "%s%d" prefix (i + 1);
+        display = Printf.sprintf "%s %d" display (i + 1);
+        op_class = cls;
+        architecture = "rand";
+        area = 1 + Rng.int rng 8;
+        delay = 1 + Rng.int rng 4;
+        reliability = 0.90 +. Rng.float rng 0.0999;
+      })
+
+let random_library ?(max_versions = 3) rng =
+  let adds =
+    random_versions rng Resource.Add "add" "Adder" (1 + Rng.int rng max_versions)
+  in
+  let muls =
+    random_versions rng Resource.Mul "mul" "Multiplier" (1 + Rng.int rng max_versions)
+  in
+  Library.of_resources_exn (adds @ muls)
+
+let random_assignment rng lib g =
+  Array.init (Dfg.node_count g) (fun id ->
+      let nd = Dfg.node g id in
+      let versions = Library.versions lib (Op.resource_class nd.op) in
+      List.nth versions (Rng.int rng (List.length versions)))
+
+(* --- QCheck front end ---------------------------------------------- *)
+
+let default_op i = if i mod 3 = 0 then Op.Mul else Op.Add
+
+let qcheck_dag ?(min_nodes = 1) ?(max_nodes = 12) ?(edge_factor = 2)
+    ?(op_of_index = default_op) () =
+  QCheck2.Gen.(
+    bind (int_range min_nodes max_nodes) (fun n ->
+        bind
+          (list_size (int_range 0 (n * edge_factor))
+             (pair (int_bound (n - 1)) (int_bound (n - 1))))
+          (fun raw ->
+            let nodes = List.init n (fun i -> (node_name i, op_of_index i)) in
+            let edges =
+              List.map
+                (fun (a, b) -> (node_name a, node_name b))
+                (normalize_edges n raw)
+            in
+            return (Dfg.create_exn ~name:"rand" ~nodes ~edges))))

@@ -1,0 +1,72 @@
+(** Random well-formed synthesis inputs: data-flow graphs,
+    characterized libraries and version assignments.
+
+    Two front ends share one construction:
+
+    - {!random_spec} / {!random_library} draw from the repository's
+      seeded splitmix generator ([Rchls_util.Rng]) — the fuzzing
+      harness uses these so every case is reproducible from
+      [(seed, case index)] alone, and {!shrink_spec} minimizes a
+      failing graph structurally;
+    - {!qcheck_dag} is the same DAG distribution as a
+      [QCheck2.Gen.t] for the property tests (the one generator that
+      used to be copy-pasted across test files). *)
+
+open Rchls_dfg
+module Resource = Rchls_charlib.Resource
+module Library = Rchls_charlib.Library
+module Rng = Rchls_util.Rng
+
+(** {1 Graph blueprints} *)
+
+type spec = {
+  ops : Op.t array;  (** one operation per node; node [i] is ["n<i>"] *)
+  edges : (int * int) list;
+      (** strictly ascending pairs [(a, b)], [a < b] — acyclic by
+          construction — sorted and duplicate-free *)
+}
+(** A graph blueprint: everything {!graph_of_spec} needs, in a shape
+    the shrinker can edit. *)
+
+val graph_of_spec : spec -> Dfg.t
+(** Materialize.  Total: a well-formed spec always builds. *)
+
+val spec_to_text : spec -> string
+(** The graph in the textual [.dfg] format — printed with failing fuzz
+    cases so a counterexample can be replayed through the CLI. *)
+
+val random_spec : ?max_nodes:int -> Rng.t -> spec
+(** A random DAG blueprint with 1 to [max_nodes] (default 12) nodes,
+    mixed operation kinds, and a random edge set oriented low-to-high
+    index. *)
+
+val shrink_spec : spec -> spec Seq.t
+(** Candidate reductions of a failing spec, most aggressive first:
+    drop the second half of the nodes, drop one node (edges re-indexed),
+    drop one edge, simplify one operation to [Add].  Every candidate is
+    well-formed; the sequence is finite and lazily produced. *)
+
+(** {1 Random libraries and assignments} *)
+
+val random_library : ?max_versions:int -> Rng.t -> Library.t
+(** A valid characterized library with 1 to [max_versions] (default 3)
+    versions per class (adders and multipliers), random area 1-8,
+    delay 1-4 and reliability in [0.90, 1.0). *)
+
+val random_assignment : Rng.t -> Library.t -> Dfg.t -> Resource.t array
+(** A class-correct version choice per node id. *)
+
+(** {1 QCheck front end} *)
+
+val qcheck_dag :
+  ?min_nodes:int ->
+  ?max_nodes:int ->
+  ?edge_factor:int ->
+  ?op_of_index:(int -> Op.t) ->
+  unit ->
+  Dfg.t QCheck2.Gen.t
+(** The shared random-DAG generator for property tests: [min_nodes]
+    (default 1) to [max_nodes] (default 12) nodes, up to
+    [edge_factor * n] (default 2) raw edge draws oriented
+    low-to-high, operation of node [i] given by [op_of_index]
+    (default: every third node a multiplication, the rest additions). *)

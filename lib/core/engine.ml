@@ -251,12 +251,28 @@ let fingerprint ctx ~latency =
   Array.iter (fun code -> h := Rchls_util.Fnv.fold_int !h code) ctx.codes;
   !h
 
+(* Externally installed design checker (the correctness layer in
+   [Rchls_check], which depends on this library and so cannot be a
+   direct dependency).  When installed, every freshly computed design
+   is validated before it enters the evaluation cache, and
+   [default_pipeline] appends the [check] pass. *)
+let design_checker : (Design.t -> unit) option Atomic.t = Atomic.make None
+let set_design_checker f = Atomic.set design_checker f
+let design_checker_installed () = Atomic.get design_checker <> None
+
+let run_checker d =
+  match Atomic.get design_checker with None -> () | Some f -> f d
+
 let realize ctx ~latency =
   Telemetry.incr "engine.realize";
   let compute () =
-    Design.realize ~scheduler:ctx.scheduler ctx.graph ctx.library
-      ~assignment:(fun (nd : Dfg.node) -> ctx.assignment.(nd.id))
-      ~latency
+    let r =
+      Design.realize ~scheduler:ctx.scheduler ctx.graph ctx.library
+        ~assignment:(fun (nd : Dfg.node) -> ctx.assignment.(nd.id))
+        ~latency
+    in
+    (match r with Ok d -> run_checker d | Error _ -> ());
+    r
   in
   if not ctx.use_cache then compute ()
   else begin
@@ -744,9 +760,23 @@ let refine =
         Ok ());
   }
 
+(* Re-validate the pipeline's final design with the installed checker.
+   [realize] already checks designs as they are computed, but cache
+   hits skip the compute path — this pass guarantees the design about
+   to be returned was checked at least once per pipeline run. *)
+let check =
+  {
+    name = "check";
+    run =
+      (fun ctx ->
+        (match ctx.design with Some d -> run_checker d | None -> ());
+        Ok ());
+  }
+
 let default_pipeline ~refine:want_refine =
   [ initial_alloc; meet_latency; exploit_slack; meet_area; recovery ]
   @ (if want_refine then [ refine ] else [])
+  @ (if design_checker_installed () then [ check ] else [])
 
 (* Lines 29-30: final bound check. *)
 let finalize ctx =

@@ -131,6 +131,15 @@ val fingerprint : ctx -> latency:int -> int64
 val realize : ctx -> latency:int -> (Design.t, string) result
 (** Schedule + bind the current assignment at [latency], memoized. *)
 
+val set_design_checker : (Design.t -> unit) option -> unit
+(** Install (or with [None] remove) a validity checker called on every
+    freshly computed design before it enters the evaluation cache.
+    The checker signals an invalid design by raising.  Installed by
+    [Rchls_check.Check.enable] — kept as a hook because that library
+    depends on this one. *)
+
+val design_checker_installed : unit -> bool
+
 val design : ctx -> Design.t option
 (** The design realized by the passes run so far. *)
 
@@ -166,9 +175,16 @@ val refine : pass
 (** Extension: with both bounds met, steepest-ascent subset upgrades
     back to more reliable versions wherever slack allows. *)
 
+val check : pass
+(** Re-validate the pipeline's final design with the installed design
+    checker (a no-op when none is installed).  Appended by
+    {!default_pipeline} when a checker is installed, covering designs
+    served from the evaluation cache. *)
+
 val default_pipeline : refine:bool -> pass list
 (** [initial_alloc; meet_latency; exploit_slack; meet_area; recovery]
-    plus {!refine} when [refine] is true — the Figure-6 flow. *)
+    plus {!refine} when [refine] is true — the Figure-6 flow — plus
+    {!check} when a design checker is installed. *)
 
 val run_pipeline : pass list -> ctx -> (Design.t, failure) result
 (** Run the passes in order, then check both bounds on the final

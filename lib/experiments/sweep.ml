@@ -14,13 +14,19 @@ type cell = { ld : int; ad : int; reliability : float option; area : int option 
    only oversubscribe.  [cache] is one sharded evaluation cache shared
    by every cell of the sweep (cells with nearby bounds realize many
    identical assignments). *)
+(* NMR designs never pass through the engine's realize path, so the
+   [--check] hook cannot see their redundancy layer; validate them
+   here when the checker is on. *)
+let checked_nmr t =
+  if Rchls_check.Check.enabled () then Rchls_check.Check.check_nmr_exn t;
+  ( Some (Rchls_redundancy.Nmr_design.reliability t),
+    Some (Rchls_redundancy.Nmr_design.area t) )
+
 let raw_cell ?scheduler ?refine ?cache approach g lib ~ld ~ad =
   match approach with
   | Baseline -> (
     match Rchls_redundancy.Orailoglu.synthesize ?scheduler g lib ~ld ~ad with
-    | Ok t ->
-      ( Some (Rchls_redundancy.Nmr_design.reliability t),
-        Some (Rchls_redundancy.Nmr_design.area t) )
+    | Ok t -> checked_nmr t
     | Error _ -> (None, None))
   | Ours -> (
     match Rc.synthesize ?scheduler ?refine ?cache ~domains:1 g lib ~ld ~ad with
@@ -31,9 +37,7 @@ let raw_cell ?scheduler ?refine ?cache approach g lib ~ld ~ad =
       Rchls_redundancy.Combined.synthesize ?scheduler ?cache ~domains:1 g lib ~ld
         ~ad
     with
-    | Ok t ->
-      ( Some (Rchls_redundancy.Nmr_design.reliability t),
-        Some (Rchls_redundancy.Nmr_design.area t) )
+    | Ok t -> checked_nmr t
     | Error _ -> (None, None))
 
 (* Monotone envelope: a cell inherits any dominated cell's better

@@ -91,7 +91,9 @@ let to_string ?(pretty = false) t =
 
 exception Parse_error of int * string
 
-let of_string s =
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -136,10 +138,22 @@ let of_string s =
     end
   in
   let hex4 () =
+    (* Hand-rolled: [int_of_string "0x…"] would accept underscores and
+       a second "0x" prefix smuggled into the four escape characters. *)
     if !pos + 4 > n then fail "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-    pos := !pos + 4;
-    v
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail (Printf.sprintf "invalid hex digit %C in \\u escape" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -221,11 +235,16 @@ let of_string s =
       | Some i -> Int i
       | None -> Float (float_of_string text)
   in
-  let rec parse_value () =
+  (* [depth] bounds container nesting: the parser recurses per '['/'{',
+     so without a limit a few hundred thousand bytes of "[[[[…" turn
+     into a [Stack_overflow] escaping the [result] contract. *)
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
+      if depth >= max_depth then
+        fail (Printf.sprintf "nesting deeper than %d" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some '}' then begin
@@ -238,7 +257,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -252,6 +271,8 @@ let of_string s =
         Obj (members [])
       end
     | Some '[' ->
+      if depth >= max_depth then
+        fail (Printf.sprintf "nesting deeper than %d" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some ']' then begin
@@ -260,7 +281,7 @@ let of_string s =
       end
       else begin
         let rec elements acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -281,7 +302,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
@@ -290,6 +311,9 @@ let of_string s =
   | exception Parse_error (at, msg) ->
     Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
   | exception Failure msg -> Error (Printf.sprintf "JSON parse error: %s" msg)
+  | exception Stack_overflow ->
+    (* Unreachable at the default limit; guards caller-raised limits. *)
+    Error "JSON parse error: nesting overflowed the stack"
 
 (* --- accessors ----------------------------------------------------- *)
 

@@ -21,9 +21,12 @@ val to_string : ?pretty:bool -> t -> string
 (** Serialize.  [pretty] (default [false]) adds two-space indentation
     and newlines; compact output has no whitespace at all. *)
 
-val of_string : string -> (t, string) result
+val of_string : ?max_depth:int -> string -> (t, string) result
 (** Parse one JSON document; [Error] carries a message with the byte
-    offset of the failure. *)
+    offset of the failure.  Containers nested deeper than [max_depth]
+    (default 512) are an explicit parse error instead of a
+    [Stack_overflow], so adversarial ["[[[[…"] input cannot escape the
+    [result] contract. *)
 
 val member : string -> t -> t option
 (** [member key (Obj _)] looks up [key]; [None] on a missing key or a

@@ -1,0 +1,37 @@
+(* Golden-output generator for the RTL back-end: prints the emitted
+   Verilog (or the cost-model breakdown) for a fixed benchmark design
+   to stdout.  Paired with `(diff golden/... ...)` runtest rules so any
+   drift in the datapath, the emitter or the cost weights shows up as a
+   reviewable diff; refresh intentionally with `dune promote`. *)
+
+open Rchls_dfg
+module Library = Rchls_charlib.Library
+module Design = Rchls_core.Design
+module Datapath = Rchls_rtl.Datapath
+module Cost = Rchls_rtl.Cost
+module Emit = Rchls_rtl.Emit
+
+let lib = Library.table1
+
+let design_of ~latency g =
+  let assignment (nd : Dfg.node) =
+    Library.most_reliable lib (Op.resource_class nd.op)
+  in
+  Design.realize_exn g lib ~assignment ~latency
+
+let datapath_of = function
+  | "diffeq" -> Datapath.build (design_of ~latency:10 Benchmarks.diffeq)
+  | "ewf" -> Datapath.build (design_of ~latency:28 Benchmarks.ewf)
+  | name -> failwith ("unknown benchmark " ^ name)
+
+let () =
+  match Sys.argv with
+  | [| _; "verilog"; bench |] -> print_string (Emit.to_string (datapath_of bench))
+  | [| _; "cost"; bench |] ->
+    let dp = datapath_of bench in
+    Format.printf "%s: %a@." bench Cost.pp (Cost.evaluate dp);
+    Format.printf "%s: registers %d, mux inputs %d, max live %d@." bench
+      dp.Datapath.register_count dp.Datapath.mux_inputs (Datapath.max_live dp)
+  | _ ->
+    prerr_endline "usage: gen_golden (verilog|cost) (diffeq|ewf)";
+    exit 2

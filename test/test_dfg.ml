@@ -257,24 +257,7 @@ let test_benchmark_lookup () =
 
 (* --- properties --- *)
 
-let gen_dag =
-  (* Random DAG: n nodes, edges only from lower to higher index. *)
-  QCheck2.Gen.(
-    bind (int_range 1 12) (fun n ->
-        bind (list_size (int_range 0 (n * 2)) (pair (int_bound (n - 1)) (int_bound (n - 1))))
-          (fun raw_edges ->
-            let nodes = List.init n (fun i -> (Printf.sprintf "n%d" i, Op.Add)) in
-            let edges =
-              List.sort_uniq compare
-                (List.filter_map
-                   (fun (a, b) ->
-                     if a < b then Some (Printf.sprintf "n%d" a, Printf.sprintf "n%d" b)
-                     else if b < a then
-                       Some (Printf.sprintf "n%d" b, Printf.sprintf "n%d" a)
-                     else None)
-                   raw_edges)
-            in
-            return (Dfg.create_exn ~name:"rand" ~nodes ~edges))))
+let gen_dag = Rchls_check.Gen.qcheck_dag ~op_of_index:(fun _ -> Op.Add) ()
 
 let prop_asap_respects_deps =
   QCheck2.Test.make ~name:"ASAP respects dependencies" ~count:200 gen_dag (fun g ->

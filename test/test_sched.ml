@@ -256,26 +256,7 @@ let test_force_directed_balances () =
 
 (* --- properties --- *)
 
-let gen_dag =
-  QCheck2.Gen.(
-    bind (int_range 1 10) (fun n ->
-        bind (list_size (int_range 0 n) (pair (int_bound (n - 1)) (int_bound (n - 1))))
-          (fun raw ->
-            let nodes =
-              List.init n (fun i ->
-                  (Printf.sprintf "n%d" i, if i mod 3 = 0 then Op.Mul else Op.Add))
-            in
-            let edges =
-              List.sort_uniq compare
-                (List.filter_map
-                   (fun (a, b) ->
-                     if a < b then Some (Printf.sprintf "n%d" a, Printf.sprintf "n%d" b)
-                     else if b < a then
-                       Some (Printf.sprintf "n%d" b, Printf.sprintf "n%d" a)
-                     else None)
-                   raw)
-            in
-            return (Dfg.create_exn ~name:"rand" ~nodes ~edges))))
+let gen_dag = Rchls_check.Gen.qcheck_dag ~max_nodes:10 ~edge_factor:1 ()
 
 let prop_density_sched_valid =
   QCheck2.Test.make ~name:"density scheduler yields valid schedules" ~count:150 gen_dag

@@ -103,6 +103,63 @@ let test_json_parser_basics () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "malformed object accepted"
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_json_depth_limit () =
+  (* Deep nesting must be an explicit error, never a Stack_overflow
+     escaping the result contract. *)
+  let deep k = String.make k '[' ^ "1" ^ String.make k ']' in
+  (match Json.of_string (deep 1_000_000) with
+  | Error e ->
+    Alcotest.(check bool) "mentions nesting" true (contains ~sub:"nesting" e)
+  | Ok _ -> Alcotest.fail "million-deep nesting accepted");
+  (match Json.of_string (deep 513) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "default limit not enforced");
+  (match Json.of_string (deep 512) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("512 levels rejected: " ^ e));
+  (* The limit is per nesting level, not per value: a wide flat list
+     is fine. *)
+  (match
+     Json.of_string ("[" ^ String.concat "," (List.init 10_000 string_of_int) ^ "]")
+   with
+  | Ok (Json.List l) -> Alcotest.(check int) "wide list" 10_000 (List.length l)
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string ~max_depth:2 "[[[1]]]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "custom limit not enforced");
+  match Json.of_string ~max_depth:2 "[[1]]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("custom limit too eager: " ^ e)
+
+let test_json_trailing_and_escapes () =
+  List.iter
+    (fun (input, what) ->
+      match Json.of_string input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (what ^ " accepted"))
+    [
+      ("[1] [2]", "second top-level value");
+      ("{} x", "trailing word after object");
+      ("1,", "trailing comma after number");
+      ({|"a\u12_4"|}, "underscore in \\u escape");
+      ({|"a\u0x12"|}, "0x prefix in \\u escape");
+      ({|"a\uzzzz"|}, "non-hex \\u escape");
+      ({|"a\u00"|}, "truncated \\u escape");
+    ];
+  (* Whitespace after the value is not garbage; a valid escape parses. *)
+  (match Json.of_string "[1]  \n\t " with
+  | Ok (Json.List [ Json.Int 1 ]) -> ()
+  | _ -> Alcotest.fail "trailing whitespace rejected");
+  match Json.of_string {|"A\u00e9"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf8" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "valid \\u escapes rejected"
+
 let test_json_members () =
   let j = Json.Obj [ ("a", Json.Int 7); ("b", Json.Str "x") ] in
   Alcotest.(check (option int)) "member int" (Some 7)
@@ -360,6 +417,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parser basics" `Quick test_json_parser_basics;
+          Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
+          Alcotest.test_case "trailing + escapes" `Quick test_json_trailing_and_escapes;
           Alcotest.test_case "members" `Quick test_json_members;
         ] );
       ( "chrome",
