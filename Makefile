@@ -1,5 +1,5 @@
 .PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
-  bench-synth bench-fuzz fuzz smoke clean
+  bench-synth bench-fuzz bench-serve fuzz smoke clean
 
 # Fuzzing knobs (see `rchls fuzz --help` and `bench fuzz` in bench/main.ml).
 FUZZ_SEED ?= 42
@@ -65,6 +65,13 @@ bench-fuzz: build
 	dune exec bench/main.exe -- fuzz --seed $(FUZZ_SEED) \
 	  --cases $(FUZZ_CASES) BENCH_fuzz.json
 
+# Start an in-process serve daemon on a private socket, replay a mixed
+# synthesis workload cold / warm / after a daemon restart, verify every
+# payload is byte-identical across tiers, and record throughput and
+# cache telemetry in BENCH_serve.json (fails below a 5x warm speedup).
+bench-serve: build
+	dune exec bench/main.exe -- serve BENCH_serve.json
+
 # Measure the observability layer itself: sharded-counter throughput
 # (with an exactness check under all-domain contention) and the
 # per-span overhead of Trace.with_span with no sink installed.
@@ -83,4 +90,5 @@ smoke: build
 clean:
 	dune clean
 	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
-	  BENCH_synth.json BENCH_fuzz.json trace.json report.json fuzz_report.json
+	  BENCH_synth.json BENCH_fuzz.json BENCH_serve.json trace.json \
+	  report.json fuzz_report.json rchls.sock

@@ -30,6 +30,12 @@
      (times scalar vs bit-parallel vs domain-parallel fault-injection
       campaigns on the characterization circuits, verifies the reports
       are identical node for node, and records the result)
+   Serve daemon:        dune exec bench/main.exe -- serve [BENCH_serve.json]
+     (starts an in-process rchls serve daemon on a Unix socket, load
+      tests it cold / warm / after a restart onto the same cache
+      directory, asserts payloads byte-identical across all three and
+      that the warm memory tier and the post-restart disk tier answer,
+      and fails unless the warm pass is at least 5x cold throughput)
    Fuzz smoke:          dune exec bench/main.exe -- fuzz [BENCH_fuzz.json]
                           [--cases N] [--seed S]
      (runs every differential/metamorphic fuzzing property at a fixed
@@ -638,6 +644,180 @@ let telemetry_bench out_path =
   Printf.printf "wrote %s\n%!" out_path;
   if not all_exact then exit 1
 
+(* --- serve: daemon throughput and the response cache ----------------- *)
+
+module Server = Rchls_serve.Server
+module Sclient = Rchls_serve.Client
+module Api_req = Rchls_api.Request
+
+(* Load-tests an in-process [rchls serve] daemon over a Unix socket:
+   a cold pass (every request computes), a warm pass (every request
+   must hit the memory tier), and a daemon restart onto the same cache
+   directory (the first repeat must hit the disk tier).  Payloads are
+   asserted byte-identical across all three, and the warm/cold
+   throughput ratio is the headline number. *)
+let serve_bench out_path =
+  Printf.printf "=== Serve: daemon throughput, two-tier response cache ===\n%!";
+  Telemetry.reset ();
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rchls-serve-bench-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let socket = Filename.concat dir "rchls.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket socket)) with
+      Server.cache_dir = Some cache_dir;
+      queue_max = 4096;
+    }
+  in
+  let workload =
+    List.concat_map
+      (fun (name, lds, ads) ->
+        List.concat_map
+          (fun ld ->
+            List.map
+              (fun ad ->
+                {
+                  Api_req.id = Some (Printf.sprintf "%s-%d-%d" name ld ad);
+                  job =
+                    Api_req.Synth
+                      {
+                        graph = Api_req.Named name;
+                        library = Api_req.Lib_default;
+                        ld;
+                        ad;
+                        strategy = Api_req.Best;
+                        scheduler = Api_req.Density;
+                      };
+                })
+              ads)
+          lds)
+      [
+        ("fig4", [ 5; 6; 7 ], [ 3; 4; 5 ]);
+        ("diffeq", [ 6; 7 ], [ 7; 10; 13 ]);
+        ("ewf", [ 14; 15 ], [ 9; 11 ]);
+        ("fir16", [ 11; 12 ], [ 9; 11 ]);
+      ]
+  in
+  let n = List.length workload in
+  let die msg =
+    Printf.eprintf "serve bench: %s\n%!" msg;
+    exit 1
+  in
+  let ok = function Ok v -> v | Error e -> die e in
+  (* Pipelined: write the whole workload, then collect [n] responses,
+     stamping each arrival (responses correlate by id, not order). *)
+  let run_pass client =
+    let t0 = now_s () in
+    List.iter (fun r -> ok (Sclient.send client r)) workload;
+    let responses =
+      List.init n (fun _ ->
+          let line = ok (Sclient.recv_raw client) in
+          (line, (now_s () -. t0) *. 1e3))
+    in
+    (responses, now_s () -. t0)
+  in
+  let parse line =
+    match Json.of_string line with
+    | Error e -> die ("unparseable response: " ^ e)
+    | Ok j -> j
+  in
+  (* id -> serialized result payload, the [cache] envelope field
+     excluded: the bytes that must not depend on where a response came
+     from. *)
+  let results_by_id responses =
+    List.sort compare
+      (List.map
+         (fun (line, _) ->
+           let j = parse line in
+           match (Json.member "id" j, Json.member "result" j) with
+           | Some (Json.Str id), Some r -> (id, Json.to_string r)
+           | _ -> die ("response without id/result: " ^ line))
+         responses)
+  in
+  let tier_count tier responses =
+    List.length
+      (List.filter
+         (fun (line, _) ->
+           match Json.member "cache" (parse line) with
+           | Some c -> Json.member "tier" c = Some (Json.Str tier)
+           | None -> false)
+         responses)
+  in
+  let quantile q latencies =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    a.(min (Array.length a - 1) (int_of_float (q *. float_of_int (Array.length a))))
+  in
+  (* cold + warm passes against one daemon *)
+  let server = ok (Server.start config) in
+  let client = ok (Sclient.connect_unix socket) in
+  let cold, cold_s = run_pass client in
+  let warm, warm_s = run_pass client in
+  Sclient.close client;
+  Server.stop server;
+  let cold_results = results_by_id cold and warm_results = results_by_id warm in
+  if cold_results <> warm_results then
+    die "warm-pass payloads differ from cold-pass payloads";
+  let warm_mem = tier_count "memory" warm in
+  if warm_mem <> n then
+    die (Printf.sprintf "only %d/%d warm responses hit the memory tier" warm_mem n);
+  (* restart onto the same cache directory: the disk tier must answer *)
+  let server = ok (Server.start config) in
+  let client = ok (Sclient.connect_unix socket) in
+  let restart, _ = run_pass client in
+  Sclient.close client;
+  Server.stop server;
+  if results_by_id restart <> cold_results then
+    die "post-restart payloads differ from cold-pass payloads";
+  let disk_hits = tier_count "disk" restart in
+  if disk_hits = 0 then die "no disk-tier hit after daemon restart";
+  let cold_rps = float_of_int n /. cold_s
+  and warm_rps = float_of_int n /. warm_s in
+  let speedup = warm_rps /. cold_rps in
+  let lat = List.map snd in
+  Printf.printf "%d requests (%d distinct synth jobs)\n" (3 * n) n;
+  Printf.printf "cold:    %8.1f req/s  (p50 %6.2f ms, p99 %6.2f ms)\n"
+    cold_rps (quantile 0.5 (lat cold)) (quantile 0.99 (lat cold));
+  Printf.printf "warm:    %8.1f req/s  (p50 %6.2f ms, p99 %6.2f ms)  %.0fx cold\n"
+    warm_rps (quantile 0.5 (lat warm)) (quantile 0.99 (lat warm)) speedup;
+  Printf.printf "restart: %d/%d disk-tier hits, payloads byte-identical\n%!"
+    disk_hits n;
+  let record =
+    Json.Obj
+      [
+        ("requests", Json.Int n);
+        ("domains", Json.Int (Pool.num_domains ()));
+        ("batch_max", Json.Int config.Server.batch_max);
+        ("cold_s", Json.Float cold_s);
+        ("warm_s", Json.Float warm_s);
+        ("cold_rps", Json.Float cold_rps);
+        ("warm_rps", Json.Float warm_rps);
+        ("warm_speedup", Json.Float speedup);
+        ("cold_p50_ms", Json.Float (quantile 0.5 (lat cold)));
+        ("cold_p99_ms", Json.Float (quantile 0.99 (lat cold)));
+        ("warm_p50_ms", Json.Float (quantile 0.5 (lat warm)));
+        ("warm_p99_ms", Json.Float (quantile 0.99 (lat warm)));
+        ("warm_memory_hits", Json.Int warm_mem);
+        ("restart_disk_hits", Json.Int disk_hits);
+        ("payloads_identical", Json.Bool true);
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Json.to_string ~pretty:true record);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if speedup < 5.0 then
+    die (Printf.sprintf "warm cache speedup %.1fx below the 5x floor" speedup)
+
 (* --- Bechamel performance benchmarks -------------------------------- *)
 
 let perf ~vectors ~width () =
@@ -742,6 +922,8 @@ let () =
       (match positional with path :: _ -> path | [] -> "BENCH_synth.json")
   | _ :: "telemetry" :: rest ->
     telemetry_bench (match rest with path :: _ -> path | [] -> "BENCH_telemetry.json")
+  | _ :: "serve" :: rest ->
+    serve_bench (match rest with path :: _ -> path | [] -> "BENCH_serve.json")
   | _ :: "fault" :: rest ->
     let positional, vectors, width = parse_flags ~vectors:64 ~width:16 rest in
     fault_bench ~vectors ~width

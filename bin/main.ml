@@ -8,6 +8,13 @@
      bench        list / dump the built-in benchmark DFGs
      experiment   regenerate one of the paper's tables/figures
      fuzz         run the generative differential fuzzing properties
+     serve        run the synthesis daemon (NDJSON over a socket)
+     request      send API request lines to a running daemon
+
+   The synth/sweep/fuzz subcommands are thin clients of the
+   [Rchls_api] job schema: they construct the same typed requests the
+   serve wire format carries and execute them in-process through
+   [Rchls_experiments.Service] — one public surface, two transports.
 
    Cross-cutting flags: --stats (telemetry table), --trace-out FILE
    (Chrome trace-event JSON, or JSONL when FILE ends in .jsonl),
@@ -25,33 +32,19 @@ module Design = Rchls_core.Design
 module Experiments = Rchls_experiments.Experiments
 module Sweep = Rchls_experiments.Sweep
 module Report = Rchls_experiments.Report
+module Loader = Rchls_experiments.Loader
+module Service = Rchls_experiments.Service
 module Telemetry = Rchls_util.Telemetry
 module Trace = Rchls_util.Trace
 module Json = Rchls_util.Json
 module Check = Rchls_check.Check
 module Fuzz = Rchls_check.Fuzz
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+module Server = Rchls_serve.Server
+module Client = Rchls_serve.Client
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let load_graph spec =
-  match Benchmarks.find spec with
-  | Some g -> Ok g
-  | None ->
-    if Sys.file_exists spec then Parse.of_text (read_file spec)
-    else
-      Error
-        (Printf.sprintf "unknown benchmark %S (known: %s) and no such file" spec
-           (String.concat ", " (List.map fst Benchmarks.all)))
-
-let load_library = function
-  | None -> Ok Library.table1
-  | Some path ->
-    if Sys.file_exists path then Library.of_text (read_file path)
-    else Error (Printf.sprintf "no such library file %S" path)
+let load_library = Loader.load_library
 
 (* --- common args --- *)
 
@@ -165,33 +158,42 @@ let print_report report = print_endline (Json.to_string ~pretty:true report)
 
 let strategy_arg =
   let strategy_conv =
-    Arg.enum [ ("best", `Best); ("figure6", `Figure6); ("bottom-up", `Bottom_up) ]
+    Arg.enum
+      [
+        ("best", Request.Best);
+        ("figure6", Request.Figure6);
+        ("bottom-up", Request.Bottom_up);
+      ]
   in
-  Arg.(value & opt strategy_conv `Best & info [ "strategy" ] ~docv:"STRATEGY"
+  Arg.(value & opt strategy_conv Request.Best & info [ "strategy" ] ~docv:"STRATEGY"
          ~doc:"Search strategy: best (default), figure6, bottom-up.")
 
 let strategy_name = function
-  | `Best -> "best"
-  | `Figure6 -> "figure6"
-  | `Bottom_up -> "bottom-up"
+  | Request.Best -> "best"
+  | Request.Figure6 -> "figure6"
+  | Request.Bottom_up -> "bottom-up"
 
 let scheduler_arg =
   let scheduler_conv =
     Arg.enum
       [
-        ("density", `Density);
-        ("density-reference", `Density_reference);
-        ("force-directed", `Force_directed);
+        ("density", Request.Density);
+        ("density-reference", Request.Density_reference);
+        ("force-directed", Request.Force_directed);
       ]
   in
-  Arg.(value & opt scheduler_conv `Density & info [ "scheduler" ] ~docv:"SCHED"
+  Arg.(value & opt scheduler_conv Request.Density & info [ "scheduler" ] ~docv:"SCHED"
          ~doc:"Scheduler: density (the paper's, incremental), density-reference \
                (full-recompute oracle, same schedules) or force-directed.")
 
 let scheduler_name = function
-  | `Density -> "density"
-  | `Density_reference -> "density-reference"
-  | `Force_directed -> "force-directed"
+  | Request.Density -> "density"
+  | Request.Density_reference -> "density-reference"
+  | Request.Force_directed -> "force-directed"
+
+let library_source = function
+  | None -> Request.Lib_default
+  | Some path -> Request.Lib_file path
 
 let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
@@ -232,8 +234,18 @@ let synth_cmd =
       with_check check @@ fun () ->
       with_tracing ~extra_sinks:(if trace then [ decision_printer ] else []) trace_out
       @@ fun () ->
-      let g = or_die (load_graph graph_spec) in
-      let lib = or_die (load_library lib_file) in
+      let job =
+        {
+          Request.graph = Request.Named graph_spec;
+          library = library_source lib_file;
+          ld;
+          ad;
+          strategy;
+          scheduler;
+        }
+      in
+      let resolved = or_die (Service.resolve job.Request.graph job.Request.library) in
+      let g = resolved.Service.graph and lib = resolved.Service.library in
       let args =
         [
           ("graph", Json.Str graph_spec);
@@ -243,7 +255,7 @@ let synth_cmd =
           ("scheduler", Json.Str (scheduler_name scheduler));
         ]
       in
-      match Rc.synthesize ~scheduler ~strategy g lib ~ld ~ad with
+      match or_die (Service.run_synth ~resolved job) with
       | Error f ->
         (match report with
         | Some `Json ->
@@ -288,24 +300,38 @@ let ints_arg name docv doc =
 let approach_arg =
   let approach_conv =
     Arg.enum
-      [ ("ours", Sweep.Ours); ("baseline", Sweep.Baseline); ("combined", Sweep.Combined) ]
+      [
+        ("ours", Request.Ours);
+        ("baseline", Request.Baseline);
+        ("combined", Request.Combined);
+      ]
   in
-  Arg.(value & opt approach_conv Sweep.Ours & info [ "approach" ] ~docv:"A"
+  Arg.(value & opt approach_conv Request.Ours & info [ "approach" ] ~docv:"A"
          ~doc:"Approach: ours (default), baseline (ref [3] NMR), combined.")
 
 let approach_name = function
-  | Sweep.Baseline -> "baseline"
-  | Sweep.Ours -> "ours"
-  | Sweep.Combined -> "combined"
+  | Request.Baseline -> "baseline"
+  | Request.Ours -> "ours"
+  | Request.Combined -> "combined"
 
 let sweep_cmd =
   let run graph_spec lib_file lds ads approach domains trace_out report stats check =
     with_stats ~err:(report <> None) stats @@ fun () ->
     with_check check @@ fun () ->
     with_tracing trace_out @@ fun () ->
-    let g = or_die (load_graph graph_spec) in
-    let lib = or_die (load_library lib_file) in
-    let cells = Sweep.run ?domains approach g lib ~lds ~ads in
+    let job =
+      {
+        Request.graph = Request.Named graph_spec;
+        library = library_source lib_file;
+        lds;
+        ads;
+        approach;
+        scheduler = Request.Density;
+      }
+    in
+    let resolved = or_die (Service.resolve job.Request.graph job.Request.library) in
+    let g = resolved.Service.graph and lib = resolved.Service.library in
+    let cells = or_die (Service.run_sweep ~resolved ?domains job) in
     match report with
     | Some `Json ->
       let ints ns = Json.List (List.map (fun i -> Json.Int i) ns) in
@@ -511,36 +537,16 @@ let fuzz_cmd =
     let code =
       with_stats ~err:(report <> None) stats @@ fun () ->
       with_tracing trace_out @@ fun () ->
+      let job = { Request.seed; cases; max_nodes; properties = props } in
       let outcomes =
-        try Fuzz.run ~max_nodes ?properties:props ~seed ~cases ()
-        with Invalid_argument m ->
+        match Service.run_fuzz job with
+        | Ok outcomes -> outcomes
+        | Error m ->
           Printf.eprintf "rchls: %s\n" m;
           exit 1
       in
       (match report with
       | Some `Json ->
-        let outcome_json (o : Fuzz.outcome) =
-          Json.Obj
-            ([
-               ("property", Json.Str o.property);
-               ("cases", Json.Int o.cases_run);
-               ("passed", Json.Bool (o.failure = None));
-             ]
-            @
-            match o.failure with
-            | None -> []
-            | Some f ->
-              [
-                ( "failure",
-                  Json.Obj
-                    [
-                      ("case", Json.Int f.case);
-                      ("message", Json.Str f.message);
-                      ("shrink_steps", Json.Int f.shrink_steps);
-                      ("counterexample", Json.Str (Rchls_check.Gen.spec_to_text f.spec));
-                    ] );
-              ])
-        in
         print_report
           (Report.make ~command:"fuzz"
              ~args:
@@ -549,7 +555,7 @@ let fuzz_cmd =
                  ("cases", Json.Int cases);
                  ("max_nodes", Json.Int max_nodes);
                ]
-             ~result:(Json.List (List.map outcome_json outcomes))
+             ~result:(Response.payload_to_json (Service.payload_of_fuzz outcomes))
              ())
       | None ->
         List.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes);
@@ -584,6 +590,145 @@ let fuzz_cmd =
       const run $ seed $ cases $ max_nodes $ props $ trace_out_arg $ report_arg
       $ stats_arg)
 
+(* --- serve --- *)
+
+let socket_arg =
+  Arg.(value & opt string "rchls.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path (ignored under $(b,--tcp)).")
+
+let tcp_arg =
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+         ~doc:"Listen on 127.0.0.1:$(docv) instead of a Unix socket \
+               (0 = ephemeral; the bound port is printed on stderr).")
+
+let serve_addr socket tcp =
+  match tcp with
+  | Some port -> Server.Tcp ("127.0.0.1", port)
+  | None -> Server.Unix_socket socket
+
+let serve_cmd =
+  let run socket tcp cache_dir cache_entries domains batch_max queue_max stats =
+    Telemetry.reset ();
+    let config =
+      {
+        Server.addr = serve_addr socket tcp;
+        cache_dir;
+        cache_entries;
+        domains;
+        batch_max;
+        queue_max;
+      }
+    in
+    match Server.start config with
+    | Error e ->
+      Printf.eprintf "rchls: %s\n" e;
+      exit 1
+    | Ok server ->
+      (match config.Server.addr with
+      | Server.Tcp (host, _) ->
+        Printf.eprintf "rchls: serving on %s:%d\n%!" host
+          (Option.value ~default:0 (Server.port server))
+      | Server.Unix_socket path -> Printf.eprintf "rchls: serving on %s\n%!" path);
+      let stop = Atomic.make false in
+      let request_stop _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      while not (Atomic.get stop) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Printf.eprintf "rchls: shutting down\n%!";
+      Server.stop server;
+      if stats then begin
+        let rendered = Telemetry.render () in
+        if rendered <> "" then Printf.eprintf "\n%s\n%!" rendered
+      end
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Enable the persistent response-cache tier rooted at $(docv) \
+                 (entries survive daemon restarts; see DESIGN.md par. 12).")
+  in
+  let cache_entries =
+    Arg.(value & opt int 4096 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Entry bound for each response-cache tier.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains per batch (default: $(b,RCHLS_DOMAINS) or the \
+                 recommended domain count).  Responses are independent of it.")
+  in
+  let batch_max =
+    Arg.(value & opt int 8 & info [ "batch-max" ] ~docv:"N"
+           ~doc:"Jobs computed per scheduler round.")
+  in
+  let queue_max =
+    Arg.(value & opt int 64 & info [ "queue-max" ] ~docv:"N"
+           ~doc:"Queued-job bound; further requests answer the \
+                 $(b,overloaded) error until the queue drains.")
+  in
+  let doc = "Run the synthesis daemon (rchls.api/1 NDJSON over a socket)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ cache_dir $ cache_entries $ domains
+      $ batch_max $ queue_max $ stats_arg)
+
+(* --- request --- *)
+
+let request_cmd =
+  let run socket tcp file =
+    let client =
+      or_die
+        (match tcp with
+        | Some port -> Client.connect_tcp ~host:"127.0.0.1" ~port
+        | None -> Client.connect_unix socket)
+    in
+    let ic =
+      match file with
+      | None | Some "-" -> stdin
+      | Some path ->
+        if Sys.file_exists path then open_in path
+        else begin
+          Printf.eprintf "rchls: no such file %S\n" path;
+          exit 1
+        end
+    in
+    (* One call per input line, in order; the exit code reflects the
+       worst response seen. *)
+    let code = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           (match Client.send_raw client line with
+           | Ok () -> ()
+           | Error e ->
+             Printf.eprintf "rchls: %s\n" e;
+             exit 1);
+           match Client.recv_raw client with
+           | Error e ->
+             Printf.eprintf "rchls: %s\n" e;
+             exit 1
+           | Ok reply ->
+             print_endline reply;
+             (match Response.of_string reply with
+             | Ok { Response.result = Ok _; _ } -> ()
+             | Ok { Response.result = Error _; _ } -> code := 2
+             | Error _ -> code := max !code 1)
+         end
+       done
+     with End_of_file -> ());
+    Client.close client;
+    if !code <> 0 then exit !code
+  in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"File of request lines (rchls.api/1 NDJSON); omit or use \
+                 $(b,-) for stdin.  Responses print to stdout, one line per \
+                 request.")
+  in
+  let doc = "Send API request lines to a running rchls serve daemon." in
+  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket_arg $ tcp_arg $ file)
+
 let () =
   let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in
   let info = Cmd.info "rchls" ~version:"1.0.0" ~doc in
@@ -598,4 +743,6 @@ let () =
             bench_cmd;
             experiment_cmd;
             fuzz_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

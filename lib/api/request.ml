@@ -1,0 +1,263 @@
+module Json = Rchls_util.Json
+module Fnv = Rchls_util.Fnv
+
+type source = Named of string | Inline of string
+type library_source = Lib_default | Lib_file of string | Lib_inline of string
+type strategy = Best | Figure6 | Bottom_up
+type scheduler = Density | Density_reference | Force_directed
+type approach = Ours | Baseline | Combined
+
+type synth = {
+  graph : source;
+  library : library_source;
+  ld : int;
+  ad : int;
+  strategy : strategy;
+  scheduler : scheduler;
+}
+
+type sweep = {
+  graph : source;
+  library : library_source;
+  lds : int list;
+  ads : int list;
+  approach : approach;
+  scheduler : scheduler;
+}
+
+type fuzz = {
+  seed : int;
+  cases : int;
+  max_nodes : int;
+  properties : string list option;
+}
+
+type job = Synth of synth | Sweep of sweep | Check of synth | Fuzz of fuzz | Ping
+type t = { id : string option; job : job }
+
+let job_kind = function
+  | Synth _ -> "synth"
+  | Sweep _ -> "sweep"
+  | Check _ -> "check"
+  | Fuzz _ -> "fuzz"
+  | Ping -> "ping"
+
+(* --- closed name tables (encode and decode share one source) ------- *)
+
+let strategies = [ ("best", Best); ("figure6", Figure6); ("bottom-up", Bottom_up) ]
+
+let schedulers =
+  [
+    ("density", Density);
+    ("density-reference", Density_reference);
+    ("force-directed", Force_directed);
+  ]
+
+let approaches = [ ("ours", Ours); ("baseline", Baseline); ("combined", Combined) ]
+let flip table = List.map (fun (a, b) -> (b, a)) table
+let strategy_name = Schema.enum_name (flip strategies)
+let scheduler_name = Schema.enum_name (flip schedulers)
+let approach_name = Schema.enum_name (flip approaches)
+
+(* --- encoding ------------------------------------------------------ *)
+
+let source_json = function
+  | Named n -> Json.Obj [ ("name", Json.Str n) ]
+  | Inline text -> Json.Obj [ ("text", Json.Str text) ]
+
+let library_json = function
+  | Lib_default -> Json.Obj [ ("default", Json.Bool true) ]
+  | Lib_file p -> Json.Obj [ ("file", Json.Str p) ]
+  | Lib_inline text -> Json.Obj [ ("text", Json.Str text) ]
+
+let ints ns = Json.List (List.map (fun n -> Json.Int n) ns)
+
+let synth_params (s : synth) =
+  [
+    ("graph", source_json s.graph);
+    ("library", library_json s.library);
+    ("ld", Json.Int s.ld);
+    ("ad", Json.Int s.ad);
+    ("strategy", Json.Str (strategy_name s.strategy));
+    ("scheduler", Json.Str (scheduler_name s.scheduler));
+  ]
+
+let params_json = function
+  | Synth s | Check s -> synth_params s
+  | Sweep w ->
+    [
+      ("graph", source_json w.graph);
+      ("library", library_json w.library);
+      ("lds", ints w.lds);
+      ("ads", ints w.ads);
+      ("approach", Json.Str (approach_name w.approach));
+      ("scheduler", Json.Str (scheduler_name w.scheduler));
+    ]
+  | Fuzz f ->
+    [
+      ("seed", Json.Int f.seed);
+      ("cases", Json.Int f.cases);
+      ("max_nodes", Json.Int f.max_nodes);
+    ]
+    @ (match f.properties with
+      | None -> []
+      | Some ps -> [ ("properties", Json.List (List.map (fun p -> Json.Str p) ps)) ])
+  | Ping -> []
+
+let encode t =
+  Json.Obj
+    (("api", Json.Str Schema.api)
+     :: (match t.id with None -> [] | Some id -> [ ("id", Json.Str id) ])
+    @ [ ("job", Json.Str (job_kind t.job)) ]
+    @ (match params_json t.job with [] -> [] | ps -> [ ("params", Json.Obj ps) ]))
+
+let to_string t = Json.to_string (encode t)
+
+(* --- decoding ------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let decode_source ~what j =
+  let* f = Schema.obj ~what ~allowed:[ "name"; "text" ] j in
+  let* name = Schema.str_opt f ~what "name" in
+  let* text = Schema.str_opt f ~what "text" in
+  match (name, text) with
+  | Some n, None -> Ok (Named n)
+  | None, Some t -> Ok (Inline t)
+  | _ -> Error (Printf.sprintf "%s: exactly one of \"name\" or \"text\" required" what)
+
+let decode_library ~what = function
+  | None -> Ok Lib_default
+  | Some j -> (
+    let* f = Schema.obj ~what ~allowed:[ "default"; "file"; "text" ] j in
+    let* dflt = Schema.bool_default f ~what "default" ~default:false in
+    let* file = Schema.str_opt f ~what "file" in
+    let* text = Schema.str_opt f ~what "text" in
+    match (dflt, file, text) with
+    | true, None, None -> Ok Lib_default
+    | false, Some p, None -> Ok (Lib_file p)
+    | false, None, Some t -> Ok (Lib_inline t)
+    | false, None, None ->
+      Error
+        (Printf.sprintf "%s: one of \"default\", \"file\" or \"text\" required" what)
+    | _ ->
+      Error
+        (Printf.sprintf "%s: \"default\", \"file\" and \"text\" are exclusive" what))
+
+let decode_synth ~what params =
+  let* f =
+    Schema.obj ~what
+      ~allowed:[ "graph"; "library"; "ld"; "ad"; "strategy"; "scheduler" ]
+      params
+  in
+  let* graph =
+    match Schema.mem f "graph" with
+    | Some j -> decode_source ~what:(what ^ ".graph") j
+    | None -> Error (Printf.sprintf "%s: missing field \"graph\"" what)
+  in
+  let* library = decode_library ~what:(what ^ ".library") (Schema.mem f "library") in
+  let* ld = Schema.int_field f ~what "ld" in
+  let* ad = Schema.int_field f ~what "ad" in
+  let* strategy = Schema.enum f ~what "strategy" ~default:Best strategies in
+  let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
+  Ok { graph; library; ld; ad; strategy; scheduler }
+
+let decode_sweep ~what params =
+  let* f =
+    Schema.obj ~what
+      ~allowed:[ "graph"; "library"; "lds"; "ads"; "approach"; "scheduler" ]
+      params
+  in
+  let* graph =
+    match Schema.mem f "graph" with
+    | Some j -> decode_source ~what:(what ^ ".graph") j
+    | None -> Error (Printf.sprintf "%s: missing field \"graph\"" what)
+  in
+  let* library = decode_library ~what:(what ^ ".library") (Schema.mem f "library") in
+  let* lds = Schema.int_list f ~what "lds" in
+  let* ads = Schema.int_list f ~what "ads" in
+  let* approach = Schema.enum f ~what "approach" ~default:Ours approaches in
+  let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
+  Ok { graph; library; lds; ads; approach; scheduler }
+
+let decode_fuzz ~what params =
+  let* f =
+    Schema.obj ~what ~allowed:[ "seed"; "cases"; "max_nodes"; "properties" ] params
+  in
+  let* seed = Schema.int_default f ~what "seed" ~default:42 in
+  let* cases = Schema.int_default f ~what "cases" ~default:100 in
+  let* max_nodes = Schema.int_default f ~what "max_nodes" ~default:12 in
+  let* properties = Schema.str_list_opt f ~what "properties" in
+  Ok { seed; cases; max_nodes; properties }
+
+let decode j =
+  let what = "request" in
+  let* f = Schema.obj ~what ~allowed:[ "api"; "id"; "job"; "params" ] j in
+  let* () = Schema.check_version ~what ~expect:Schema.api f in
+  let* id = Schema.str_opt f ~what "id" in
+  let* kind = Schema.str f ~what "job" in
+  let params = Option.value ~default:(Json.Obj []) (Schema.mem f "params") in
+  let* job =
+    match kind with
+    | "synth" ->
+      let* s = decode_synth ~what:"synth.params" params in
+      Ok (Synth s)
+    | "check" ->
+      let* s = decode_synth ~what:"check.params" params in
+      Ok (Check s)
+    | "sweep" ->
+      let* w = decode_sweep ~what:"sweep.params" params in
+      Ok (Sweep w)
+    | "fuzz" ->
+      let* z = decode_fuzz ~what:"fuzz.params" params in
+      Ok (Fuzz z)
+    | "ping" ->
+      let* _ = Schema.obj ~what:"ping.params" ~allowed:[] params in
+      Ok Ping
+    | other ->
+      Error
+        (Printf.sprintf
+           "request: unknown job kind %S (one of: synth, sweep, check, fuzz, ping)"
+           other)
+  in
+  Ok { id; job }
+
+let of_string line =
+  match Json.of_string line with Error e -> Error ("request: " ^ e) | Ok j -> decode j
+
+(* --- cache key ----------------------------------------------------- *)
+
+(* The canonical parameter object with the graph/library sources
+   replaced by fingerprints of their resolved texts; hashing this
+   rendering keys the response cache on what the job will actually
+   compute on, not on how the inputs were referenced. *)
+let cache_key ?graph_text ?library_text job =
+  let fp_obj text = Json.Obj [ ("fp", Json.Str (Fnv.to_hex (Fnv.hash_string text))) ] in
+  let replace params =
+    match (graph_text, library_text) with
+    | Some g, Some l ->
+      Some
+        (List.map
+           (function
+             | "graph", _ -> ("graph", fp_obj g)
+             | "library", _ -> ("library", fp_obj l)
+             | kv -> kv)
+           params)
+    | _ -> None
+  in
+  let keyed params =
+    let doc =
+      Json.Obj
+        [
+          ("api", Json.Str Schema.api);
+          ("job", Json.Str (job_kind job));
+          ("params", Json.Obj params);
+        ]
+    in
+    Some (Fnv.hash_string (Json.to_string doc))
+  in
+  match job with
+  | Ping -> None
+  | Fuzz _ -> keyed (params_json job)
+  | Synth _ | Check _ | Sweep _ -> (
+    match replace (params_json job) with None -> None | Some ps -> keyed ps)

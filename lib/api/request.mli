@@ -1,0 +1,111 @@
+(** Versioned job requests — schema ["rchls.api/1"].
+
+    One request describes one synthesis-as-a-service job.  The same
+    typed record is the single public surface for every entry point:
+    the [rchls serve] wire format carries its JSON encoding (one
+    compact object per line), the CLI subcommands construct the very
+    same records and execute them in-process
+    ([Rchls_experiments.Service]), and the benchmark load generator
+    replays lists of them.
+
+    Wire form:
+
+    {v
+    {"api":"rchls.api/1","id":"j1","job":"synth","params":{
+       "graph":{"name":"ewf"},"library":{"default":true},
+       "ld":14,"ad":9,"strategy":"best","scheduler":"density"}}
+    v}
+
+    Decoding is {e total} and {e strict}: it never raises, unknown
+    fields and unsupported ["api"] versions are errors, and optional
+    fields decode to the documented defaults.  [decode (encode r) = r]
+    for every value of {!t} (QCheck-tested). *)
+
+module Json = Rchls_util.Json
+
+type source =
+  | Named of string
+      (** a built-in benchmark name, or a server-side [.dfg] path —
+          resolved by [Rchls_experiments.Loader.load_graph], exactly as
+          the CLI resolves its [GRAPH] argument *)
+  | Inline of string  (** literal [.dfg] text carried in the request *)
+
+type library_source =
+  | Lib_default  (** the paper's Table-1 library *)
+  | Lib_file of string  (** server-side library file path *)
+  | Lib_inline of string  (** literal library text *)
+
+type strategy = Best | Figure6 | Bottom_up
+type scheduler = Density | Density_reference | Force_directed
+type approach = Ours | Baseline | Combined
+
+type synth = {
+  graph : source;
+  library : library_source;
+  ld : int;
+  ad : int;
+  strategy : strategy;  (** default [Best] *)
+  scheduler : scheduler;  (** default [Density] *)
+}
+
+type sweep = {
+  graph : source;
+  library : library_source;
+  lds : int list;
+  ads : int list;
+  approach : approach;  (** default [Ours] *)
+  scheduler : scheduler;  (** default [Density] *)
+}
+
+type fuzz = {
+  seed : int;  (** default 42 *)
+  cases : int;  (** default 100 *)
+  max_nodes : int;  (** default 12 *)
+  properties : string list option;  (** default: all properties *)
+}
+
+type job =
+  | Synth of synth
+  | Sweep of sweep
+  | Check of synth
+      (** synthesize like {!Synth}, then re-validate the result with
+          the independent checker ([Rchls_check]) and report the
+          violations *)
+  | Fuzz of fuzz
+  | Ping  (** health check; never queued, never cached *)
+
+type t = {
+  id : string option;
+      (** client-chosen correlation id, echoed verbatim in the
+          response *)
+  job : job;
+}
+
+val job_kind : job -> string
+(** ["synth" | "sweep" | "check" | "fuzz" | "ping"]. *)
+
+val encode : t -> Json.t
+(** Canonical encoding: every parameter is emitted explicitly (no
+    defaults are elided) except [id] and absent [properties]. *)
+
+val to_string : t -> string
+(** [encode] rendered compactly — one line, the serve wire form. *)
+
+val decode : Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+(** Parse + {!decode}. *)
+
+val cache_key :
+  ?graph_text:string -> ?library_text:string -> job -> int64 option
+(** The two-tier response-cache key: a 64-bit FNV-1a digest over the
+    schema version, the job kind and the job's canonical parameter
+    encoding, with the [graph]/[library] sources replaced by FNV-1a
+    fingerprints of their {e resolved} canonical texts — so ["ewf"]
+    requested by name and the same graph sent inline share one cache
+    entry, and a changed library file changes the key.  [graph_text] /
+    [library_text] are the resolved texts (required for jobs that
+    carry sources; ignored by {!Fuzz}).  [None] for {!Ping}, which is
+    never cached, and for source-carrying jobs whose resolved texts
+    were not supplied.  The key doubles as the on-disk cache file name
+    (16 hex digits; see DESIGN.md §12). *)

@@ -1,0 +1,426 @@
+module Json = Rchls_util.Json
+
+type design_summary = {
+  latency : int;
+  area : int;
+  reliability : float;
+  instances : (string * int) list;
+}
+
+type failure =
+  | Latency_infeasible of { best_achievable : int }
+  | Area_infeasible of { best_achieved : int }
+  | Scheduling_error of string
+
+type cell = {
+  ld : int;
+  ad : int;
+  reliability : float option;
+  area : int option;
+}
+
+type fuzz_failure = {
+  case : int;
+  message : string;
+  shrink_steps : int;
+  counterexample : string;
+}
+
+type fuzz_outcome = {
+  property : string;
+  cases : int;
+  failure : fuzz_failure option;
+}
+
+type payload =
+  | Design of (design_summary, failure) result
+  | Sweep_cells of cell list
+  | Check_report of {
+      result : (design_summary, failure) result;
+      violations : string list;
+    }
+  | Fuzz_report of fuzz_outcome list
+  | Pong
+
+type error_code = Bad_request | Unsupported_version | Overloaded | Internal
+type error = { code : error_code; message : string }
+type tier = Memory | Disk
+type cache_info = { tier : tier; key : string }
+
+type t = {
+  id : string option;
+  result : (payload, error) result;
+  cache : cache_info option;
+}
+
+let error_codes =
+  [
+    ("bad_request", Bad_request);
+    ("unsupported_version", Unsupported_version);
+    ("overloaded", Overloaded);
+    ("internal", Internal);
+  ]
+
+let error_code_name c =
+  Schema.enum_name (List.map (fun (a, b) -> (b, a)) error_codes) c
+
+let tiers = [ ("memory", Memory); ("disk", Disk) ]
+let tier_name t = Schema.enum_name (List.map (fun (a, b) -> (b, a)) tiers) t
+
+(* --- encoding ------------------------------------------------------ *)
+
+(* The design-summary / failure shapes deliberately extend the
+   historical run-report [design_json]/[failure_json] forms (PR3) with
+   a "kind" discriminator; Rchls_experiments.Report now delegates
+   here, so reports and serve responses stay field-compatible. *)
+let design_result_to_json = function
+  | Ok s ->
+    Json.Obj
+      [
+        ("kind", Json.Str "design");
+        ("status", Json.Str "ok");
+        ("latency", Json.Int s.latency);
+        ("area", Json.Int s.area);
+        ("reliability", Json.Float s.reliability);
+        ( "instances",
+          Json.List
+            (List.map
+               (fun (resource, count) ->
+                 Json.Obj
+                   [ ("resource", Json.Str resource); ("count", Json.Int count) ])
+               s.instances) );
+      ]
+  | Error f ->
+    let fields =
+      match f with
+      | Latency_infeasible { best_achievable } ->
+        [
+          ("reason", Json.Str "latency_infeasible");
+          ("best_achievable_latency", Json.Int best_achievable);
+        ]
+      | Area_infeasible { best_achieved } ->
+        [
+          ("reason", Json.Str "area_infeasible");
+          ("best_achieved_area", Json.Int best_achieved);
+        ]
+      | Scheduling_error msg ->
+        [ ("reason", Json.Str "scheduling_error"); ("message", Json.Str msg) ]
+    in
+    Json.Obj
+      (("kind", Json.Str "design") :: ("status", Json.Str "infeasible") :: fields)
+
+let opt_num f = function None -> Json.Null | Some v -> f v
+
+let cell_json (c : cell) =
+  Json.Obj
+    [
+      ("ld", Json.Int c.ld);
+      ("ad", Json.Int c.ad);
+      ("reliability", opt_num (fun r -> Json.Float r) c.reliability);
+      ("area", opt_num (fun a -> Json.Int a) c.area);
+    ]
+
+let fuzz_outcome_json (o : fuzz_outcome) =
+  Json.Obj
+    ([
+       ("property", Json.Str o.property);
+       ("cases", Json.Int o.cases);
+       ("passed", Json.Bool (o.failure = None));
+     ]
+    @
+    match o.failure with
+    | None -> []
+    | Some f ->
+      [
+        ( "failure",
+          Json.Obj
+            [
+              ("case", Json.Int f.case);
+              ("message", Json.Str f.message);
+              ("shrink_steps", Json.Int f.shrink_steps);
+              ("counterexample", Json.Str f.counterexample);
+            ] );
+      ])
+
+let payload_to_json = function
+  | Design r -> design_result_to_json r
+  | Sweep_cells cells ->
+    Json.Obj
+      [ ("kind", Json.Str "sweep"); ("cells", Json.List (List.map cell_json cells)) ]
+  | Check_report { result; violations } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "check");
+        ("design", design_result_to_json result);
+        ("passed", Json.Bool (violations = []));
+        ("violations", Json.List (List.map (fun v -> Json.Str v) violations));
+      ]
+  | Fuzz_report outcomes ->
+    Json.Obj
+      [
+        ("kind", Json.Str "fuzz");
+        ("outcomes", Json.List (List.map fuzz_outcome_json outcomes));
+      ]
+  | Pong -> Json.Obj [ ("kind", Json.Str "pong") ]
+
+let cache_json c =
+  Json.Obj [ ("tier", Json.Str (tier_name c.tier)); ("key", Json.Str c.key) ]
+
+let encode t =
+  Json.Obj
+    (("api", Json.Str Schema.api)
+     :: (match t.id with None -> [] | Some id -> [ ("id", Json.Str id) ])
+    @ (match t.result with
+      | Ok p -> [ ("status", Json.Str "ok"); ("result", payload_to_json p) ]
+      | Error e ->
+        [
+          ("status", Json.Str "error");
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.Str (error_code_name e.code));
+                ("message", Json.Str e.message);
+              ] );
+        ])
+    @ match t.cache with None -> [] | Some c -> [ ("cache", cache_json c) ])
+
+let to_string t = Json.to_string (encode t)
+
+(* Envelope for a payload that is already serialized (a response-cache
+   hit): splice the raw JSON between the same prefix/suffix fields
+   [encode] would emit, so cached and freshly computed responses are
+   byte-compatible on the wire. *)
+let assemble_raw ~id ~cache payload_json =
+  let buf = Buffer.create (String.length payload_json + 128) in
+  Buffer.add_string buf "{\"api\":";
+  Buffer.add_string buf (Json.to_string (Json.Str Schema.api));
+  (match id with
+  | None -> ()
+  | Some id ->
+    Buffer.add_string buf ",\"id\":";
+    Buffer.add_string buf (Json.to_string (Json.Str id)));
+  Buffer.add_string buf ",\"status\":\"ok\",\"result\":";
+  Buffer.add_string buf payload_json;
+  (match cache with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string buf ",\"cache\":";
+    Buffer.add_string buf (Json.to_string (cache_json c)));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let decode_design_result ~what j =
+  let* f =
+    Schema.obj ~what
+      ~allowed:
+        [
+          "kind"; "status"; "latency"; "area"; "reliability"; "instances"; "reason";
+          "best_achievable_latency"; "best_achieved_area"; "message";
+        ]
+      j
+  in
+  let* kind = Schema.str f ~what "kind" in
+  if kind <> "design" then
+    Error (Printf.sprintf "%s: expected kind \"design\", got %S" what kind)
+  else
+    let* status = Schema.str f ~what "status" in
+    match status with
+    | "ok" ->
+      let* latency = Schema.int_field f ~what "latency" in
+      let* area = Schema.int_field f ~what "area" in
+      let* reliability = Schema.float_field f ~what "reliability" in
+      let* instances =
+        match Schema.mem f "instances" with
+        | Some (Json.List xs) ->
+          let iw = what ^ ".instances" in
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: tl ->
+              let* g = Schema.obj ~what:iw ~allowed:[ "resource"; "count" ] x in
+              let* resource = Schema.str g ~what:iw "resource" in
+              let* count = Schema.int_field g ~what:iw "count" in
+              go ((resource, count) :: acc) tl
+          in
+          go [] xs
+        | Some _ -> Error (what ^ ": field \"instances\" must be a list")
+        | None -> Error (what ^ ": missing field \"instances\"")
+      in
+      Ok (Ok { latency; area; reliability; instances })
+    | "infeasible" -> (
+      let* reason = Schema.str f ~what "reason" in
+      match reason with
+      | "latency_infeasible" ->
+        let* n = Schema.int_field f ~what "best_achievable_latency" in
+        Ok (Error (Latency_infeasible { best_achievable = n }))
+      | "area_infeasible" ->
+        let* n = Schema.int_field f ~what "best_achieved_area" in
+        Ok (Error (Area_infeasible { best_achieved = n }))
+      | "scheduling_error" ->
+        let* m = Schema.str f ~what "message" in
+        Ok (Error (Scheduling_error m))
+      | other -> Error (Printf.sprintf "%s: unknown failure reason %S" what other))
+    | other -> Error (Printf.sprintf "%s: unknown design status %S" what other)
+
+let decode_cell ~what j =
+  let* f = Schema.obj ~what ~allowed:[ "ld"; "ad"; "reliability"; "area" ] j in
+  let* ld = Schema.int_field f ~what "ld" in
+  let* ad = Schema.int_field f ~what "ad" in
+  let* reliability =
+    match Schema.mem f "reliability" with
+    | Some Json.Null | None -> Ok None
+    | Some j -> (
+      match Json.to_float_opt j with
+      | Some r -> Ok (Some r)
+      | None -> Error (what ^ ": field \"reliability\" must be a number or null"))
+  in
+  let* area =
+    match Schema.mem f "area" with
+    | Some Json.Null | None -> Ok None
+    | Some j -> (
+      match Json.to_int_opt j with
+      | Some a -> Ok (Some a)
+      | None -> Error (what ^ ": field \"area\" must be an integer or null"))
+  in
+  Ok { ld; ad; reliability; area }
+
+let decode_fuzz_outcome ~what j =
+  let* f =
+    Schema.obj ~what ~allowed:[ "property"; "cases"; "passed"; "failure" ] j
+  in
+  let* property = Schema.str f ~what "property" in
+  let* cases = Schema.int_field f ~what "cases" in
+  let* failure =
+    match Schema.mem f "failure" with
+    | None -> Ok None
+    | Some j ->
+      let fw = what ^ ".failure" in
+      let* g =
+        Schema.obj ~what:fw
+          ~allowed:[ "case"; "message"; "shrink_steps"; "counterexample" ]
+          j
+      in
+      let* case = Schema.int_field g ~what:fw "case" in
+      let* message = Schema.str g ~what:fw "message" in
+      let* shrink_steps = Schema.int_field g ~what:fw "shrink_steps" in
+      let* counterexample = Schema.str g ~what:fw "counterexample" in
+      Ok (Some { case; message; shrink_steps; counterexample })
+  in
+  Ok { property; cases; failure }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+let payload_of_json j =
+  let what = "result" in
+  let* kind =
+    match j with
+    | Json.Obj fields -> (
+      match List.assoc_opt "kind" fields with
+      | Some (Json.Str k) -> Ok k
+      | _ -> Error (what ^ ": missing or non-string \"kind\" field"))
+    | _ -> Error (what ^ ": expected a JSON object")
+  in
+  match kind with
+  | "design" ->
+    let* r = decode_design_result ~what j in
+    Ok (Design r)
+  | "sweep" -> (
+    let* f = Schema.obj ~what ~allowed:[ "kind"; "cells" ] j in
+    match Schema.mem f "cells" with
+    | Some (Json.List xs) ->
+      let* cells = map_result (decode_cell ~what:(what ^ ".cells")) xs in
+      Ok (Sweep_cells cells)
+    | _ -> Error (what ^ ": field \"cells\" must be a list"))
+  | "check" -> (
+    let* f =
+      Schema.obj ~what ~allowed:[ "kind"; "design"; "passed"; "violations" ] j
+    in
+    let* result =
+      match Schema.mem f "design" with
+      | Some d -> decode_design_result ~what:(what ^ ".design") d
+      | None -> Error (what ^ ": missing field \"design\"")
+    in
+    match Schema.mem f "violations" with
+    | Some (Json.List vs) ->
+      let* violations =
+        map_result
+          (function
+            | Json.Str s -> Ok s
+            | _ -> Error (what ^ ": \"violations\" must be a list of strings"))
+          vs
+      in
+      Ok (Check_report { result; violations })
+    | _ -> Error (what ^ ": field \"violations\" must be a list"))
+  | "fuzz" -> (
+    let* f = Schema.obj ~what ~allowed:[ "kind"; "outcomes" ] j in
+    match Schema.mem f "outcomes" with
+    | Some (Json.List xs) ->
+      let* outcomes = map_result (decode_fuzz_outcome ~what:(what ^ ".outcomes")) xs in
+      Ok (Fuzz_report outcomes)
+    | _ -> Error (what ^ ": field \"outcomes\" must be a list"))
+  | "pong" ->
+    let* _ = Schema.obj ~what ~allowed:[ "kind" ] j in
+    Ok Pong
+  | other -> Error (Printf.sprintf "%s: unknown payload kind %S" what other)
+
+let decode j =
+  let what = "response" in
+  let* f =
+    Schema.obj ~what ~allowed:[ "api"; "id"; "status"; "result"; "error"; "cache" ] j
+  in
+  let* () = Schema.check_version ~what ~expect:Schema.api f in
+  let* id = Schema.str_opt f ~what "id" in
+  let* status = Schema.str f ~what "status" in
+  let* result =
+    match status with
+    | "ok" -> (
+      match Schema.mem f "result" with
+      | Some p ->
+        let* payload = payload_of_json p in
+        Ok (Ok payload)
+      | None -> Error (what ^ ": missing field \"result\""))
+    | "error" -> (
+      match Schema.mem f "error" with
+      | Some e ->
+        let ew = what ^ ".error" in
+        let* g = Schema.obj ~what:ew ~allowed:[ "code"; "message" ] e in
+        let* code =
+          let* name = Schema.str g ~what:ew "code" in
+          match List.assoc_opt name error_codes with
+          | Some c -> Ok c
+          | None -> Error (Printf.sprintf "%s: unknown error code %S" ew name)
+        in
+        let* message = Schema.str g ~what:ew "message" in
+        Ok (Error { code; message })
+      | None -> Error (what ^ ": missing field \"error\""))
+    | other -> Error (Printf.sprintf "%s: unknown status %S" what other)
+  in
+  let* cache =
+    match Schema.mem f "cache" with
+    | None -> Ok None
+    | Some c ->
+      let cw = what ^ ".cache" in
+      let* g = Schema.obj ~what:cw ~allowed:[ "tier"; "key" ] c in
+      let* tier =
+        let* name = Schema.str g ~what:cw "tier" in
+        match List.assoc_opt name tiers with
+        | Some t -> Ok t
+        | None -> Error (Printf.sprintf "%s: unknown cache tier %S" cw name)
+      in
+      let* key = Schema.str g ~what:cw "key" in
+      Ok (Some { tier; key })
+  in
+  Ok { id; result; cache }
+
+let of_string line =
+  match Json.of_string line with
+  | Error e -> Error ("response: " ^ e)
+  | Ok j -> decode j

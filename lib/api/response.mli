@@ -1,0 +1,114 @@
+(** Versioned job responses — schema ["rchls.api/1"].
+
+    The response payload encodings here are {e the} result vocabulary
+    of the system: the serve daemon's wire responses, the CLI's
+    [--report json] run reports ([Rchls_experiments.Report] builds its
+    [result] field with these encoders) and the persisted
+    response-cache entries all share them, so a design summary looks
+    the same everywhere it appears.
+
+    Wire form:
+
+    {v
+    {"api":"rchls.api/1","id":"j1","status":"ok",
+     "result":{"kind":"design","status":"ok","latency":14,...},
+     "cache":{"tier":"disk","key":"64c5f1a2b3e4d5c6"}}
+    v}
+
+    [decode (encode r) = r] for every value of {!t} (QCheck-tested);
+    decoding is strict about unknown fields and the ["api"] tag,
+    exactly like {!Request}. *)
+
+module Json = Rchls_util.Json
+
+type design_summary = {
+  latency : int;
+  area : int;
+  reliability : float;
+  instances : (string * int) list;  (** resource id, instance count *)
+}
+
+type failure =
+  | Latency_infeasible of { best_achievable : int }
+  | Area_infeasible of { best_achieved : int }
+  | Scheduling_error of string
+
+type cell = {
+  ld : int;
+  ad : int;
+  reliability : float option;  (** [None] = infeasible *)
+  area : int option;
+}
+
+type fuzz_failure = {
+  case : int;
+  message : string;
+  shrink_steps : int;
+  counterexample : string;  (** the shrunk blueprint, replayable [.dfg] text *)
+}
+
+type fuzz_outcome = {
+  property : string;
+  cases : int;
+  failure : fuzz_failure option;
+}
+
+type payload =
+  | Design of (design_summary, failure) result
+      (** a synthesis result: achieved design or structured
+          infeasibility *)
+  | Sweep_cells of cell list
+  | Check_report of {
+      result : (design_summary, failure) result;
+      violations : string list;
+          (** rendered checker violations; empty = the design passed
+              independent validation *)
+    }
+  | Fuzz_report of fuzz_outcome list
+  | Pong
+
+type error_code = Bad_request | Unsupported_version | Overloaded | Internal
+
+type error = { code : error_code; message : string }
+
+type tier = Memory | Disk
+
+type cache_info = {
+  tier : tier;  (** which tier served this response *)
+  key : string;  (** the 16-hex-digit response-cache key *)
+}
+
+type t = {
+  id : string option;  (** echo of the request id *)
+  result : (payload, error) result;
+  cache : cache_info option;
+      (** present iff the payload was served from a warm tier *)
+}
+
+val payload_to_json : payload -> Json.t
+(** The [result] field alone — also the form persisted by the disk
+    tier and embedded by run reports. *)
+
+val payload_of_json : Json.t -> (payload, string) result
+
+val design_result_to_json : (design_summary, failure) result -> Json.t
+(** The design-or-infeasible sub-encoding ([{"kind":"design",...}]),
+    shared by {!Design} and {!Check_report} and reused directly by
+    [Rchls_experiments.Report]. *)
+
+val error_code_name : error_code -> string
+
+val encode : t -> Json.t
+
+val to_string : t -> string
+(** Compact one-line rendering — the serve wire form. *)
+
+val assemble_raw : id:string option -> cache:cache_info option -> string -> string
+(** [assemble_raw ~id ~cache payload_json] builds the same wire line
+    as [to_string] for a successful response whose payload is already
+    serialized (a cache-tier hit) — the envelope logic stays in this
+    module so cached and computed responses are byte-compatible. *)
+
+val decode : Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result

@@ -1,0 +1,119 @@
+module Json = Rchls_util.Json
+
+let api = "rchls.api/1"
+let run_report = "rchls.run_report/1"
+let cache_entry = "rchls.cache_entry/1"
+
+type fields = { what : string; bindings : (string * Json.t) list }
+
+let obj ~what ~allowed j =
+  match j with
+  | Json.Obj bindings -> (
+    let rec scan seen = function
+      | [] -> Ok { what; bindings }
+      | (k, _) :: _ when List.mem k seen ->
+        Error (Printf.sprintf "%s: duplicate field %S" what k)
+      | (k, _) :: _ when not (List.mem k allowed) ->
+        Error
+          (Printf.sprintf "%s: unknown field %S (allowed: %s)" what k
+             (String.concat ", " allowed))
+      | (k, _) :: tl -> scan (k :: seen) tl
+    in
+    scan [] bindings)
+  | _ -> Error (Printf.sprintf "%s: expected a JSON object" what)
+
+let mem f k = List.assoc_opt k f.bindings
+
+let missing what k = Error (Printf.sprintf "%s: missing field %S" what k)
+let wrong what k ty = Error (Printf.sprintf "%s: field %S must be %s" what k ty)
+
+let str f ~what k =
+  match mem f k with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> wrong what k "a string"
+  | None -> missing what k
+
+let str_opt f ~what k =
+  match mem f k with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> wrong what k "a string"
+  | None -> Ok None
+
+let int_field f ~what k =
+  match Option.map Json.to_int_opt (mem f k) with
+  | Some (Some n) -> Ok n
+  | Some None -> wrong what k "an integer"
+  | None -> missing what k
+
+let int_default f ~what k ~default =
+  match mem f k with
+  | None -> Ok default
+  | Some j -> (
+    match Json.to_int_opt j with
+    | Some n -> Ok n
+    | None -> wrong what k "an integer")
+
+let bool_default f ~what k ~default =
+  match mem f k with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> wrong what k "a boolean"
+
+let float_field f ~what k =
+  match Option.map Json.to_float_opt (mem f k) with
+  | Some (Some x) -> Ok x
+  | Some None -> wrong what k "a number"
+  | None -> missing what k
+
+let int_list f ~what k =
+  match mem f k with
+  | Some (Json.List xs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: tl -> (
+        match Json.to_int_opt x with
+        | Some n -> go (n :: acc) tl
+        | None -> wrong what k "a list of integers")
+    in
+    go [] xs
+  | Some _ -> wrong what k "a list of integers"
+  | None -> missing what k
+
+let str_list_opt f ~what k =
+  match mem f k with
+  | None -> Ok None
+  | Some (Json.List xs) ->
+    let rec go acc = function
+      | [] -> Ok (Some (List.rev acc))
+      | Json.Str s :: tl -> go (s :: acc) tl
+      | _ -> wrong what k "a list of strings"
+    in
+    go [] xs
+  | Some _ -> wrong what k "a list of strings"
+
+let enum f ~what k ~default table =
+  match mem f k with
+  | None -> Ok default
+  | Some (Json.Str s) -> (
+    match List.assoc_opt s table with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (Printf.sprintf "%s: field %S: unknown value %S (one of: %s)" what k s
+           (String.concat ", " (List.map fst table))))
+  | Some _ -> wrong what k "a string"
+
+let enum_name table v =
+  match List.assoc_opt v table with
+  | Some s -> s
+  | None -> invalid_arg "Rchls_api.Schema.enum_name: value missing from table"
+
+let version_error ~what ~expect ~got =
+  Printf.sprintf "%s: unsupported schema version %S (this build speaks %S)" what got
+    expect
+
+let check_version ~what ~expect f =
+  match str f ~what "api" with
+  | Error _ as e -> e |> Result.map (fun _ -> ())
+  | Ok got ->
+    if got = expect then Ok () else Error (version_error ~what ~expect ~got)

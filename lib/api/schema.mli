@@ -1,0 +1,80 @@
+(** Version tags and strict-decoding combinators shared by every
+    [Rchls_api] codec.
+
+    All public JSON surfaces of the system carry an explicit schema
+    tag: the serve wire format and the CLI request/response records use
+    {!api}, run reports ([--report json]) use {!run_report}, and the
+    on-disk response-cache entries use {!cache_entry}.  A decoder that
+    sees a different tag must fail with {!version_error} rather than
+    guess — forward compatibility is handled by bumping the version,
+    never by silently ignoring structure.
+
+    Decoding is {e strict}: an object carrying a field the schema does
+    not define is rejected (see {!obj}).  This is deliberate — a typo'd
+    optional field ("strateggy") must be an error, not a silently
+    applied default. *)
+
+module Json = Rchls_util.Json
+
+val api : string
+(** ["rchls.api/1"] — the request/response wire format. *)
+
+val run_report : string
+(** ["rchls.run_report/1"] — the [--report json] run-report object. *)
+
+val cache_entry : string
+(** ["rchls.cache_entry/1"] — one persisted response-cache file. *)
+
+(** {1 Strict decoding combinators}
+
+    All combinators return [result] with a human-readable path-prefixed
+    message; none raise. *)
+
+type fields
+(** The validated field set of one JSON object. *)
+
+val obj : what:string -> allowed:string list -> Json.t -> (fields, string) result
+(** Accept a JSON object whose keys all appear in [allowed] (duplicate
+    keys are also rejected); [what] prefixes error messages. *)
+
+val mem : fields -> string -> Json.t option
+
+val str : fields -> what:string -> string -> (string, string) result
+val str_opt : fields -> what:string -> string -> (string option, string) result
+val int_field : fields -> what:string -> string -> (int, string) result
+
+val int_default : fields -> what:string -> string -> default:int -> (int, string) result
+(** Missing field decodes to [default]; a present non-int is an error. *)
+
+val bool_default :
+  fields -> what:string -> string -> default:bool -> (bool, string) result
+
+val float_field : fields -> what:string -> string -> (float, string) result
+
+val int_list : fields -> what:string -> string -> (int list, string) result
+
+val str_list_opt :
+  fields -> what:string -> string -> (string list option, string) result
+
+val enum :
+  fields ->
+  what:string ->
+  string ->
+  default:'a ->
+  (string * 'a) list ->
+  ('a, string) result
+(** Decode a string field against a closed name table; missing decodes
+    to [default], an unknown name is an error listing the valid ones. *)
+
+val enum_name : ('a * string) list -> 'a -> string
+(** Total lookup for encoders (raises only on a table/type mismatch,
+    which is a programming error). *)
+
+val check_version : what:string -> expect:string -> fields -> (unit, string) result
+(** Validate the ["api"] field against [expect]; both a missing tag and
+    a mismatched tag are errors (the latter via {!version_error}). *)
+
+val version_error : what:string -> expect:string -> got:string -> string
+(** The canonical "unsupported schema version" message, recognizable
+    by the serve layer to answer with the [unsupported_version] error
+    code. *)

@@ -56,7 +56,11 @@ type cache = {
   shards : (int64, (Design.t, string) result) Hashtbl.t array;
   locks : Mutex.t array;
   parent : cache option;
+  hits : int Atomic.t;  (* accounted at the root, across overlays *)
+  misses : int Atomic.t;
 }
+
+type cache_stats = { entries : int; hits : int; misses : int }
 
 let cache_shards = 16
 
@@ -65,6 +69,8 @@ let make_cache parent =
     shards = Array.init cache_shards (fun _ -> Hashtbl.create 64);
     locks = Array.init cache_shards (fun _ -> Mutex.create ());
     parent;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
   }
 
 let create_cache () = make_cache None
@@ -85,6 +91,25 @@ let cache_add c key v =
   let i = shard_of key in
   with_lock c.locks.(i) (fun () ->
       if not (Hashtbl.mem c.shards.(i) key) then Hashtbl.add c.shards.(i) key v)
+
+(* Per-cache effectiveness accounting, rolled up at the root so a
+   cache shared across requests (the serve daemon's warm tier) reports
+   its cumulative hit rate regardless of which worker overlay did the
+   lookup.  Distinct from the global [cache.hits]/[cache.misses]
+   telemetry: these survive [Telemetry.reset] and are scoped to one
+   cache object. *)
+let rec cache_root c = match c.parent with None -> c | Some p -> cache_root p
+
+let cache_stats c =
+  let root = cache_root c in
+  let entries =
+    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 root.shards
+  in
+  {
+    entries;
+    hits = Atomic.get root.hits;
+    misses = Atomic.get root.misses;
+  }
 
 let cache_merge ~into src =
   Array.iteri
@@ -280,9 +305,11 @@ let realize ctx ~latency =
     match cache_find ctx.cache key with
     | Some r ->
       Telemetry.incr "cache.hits";
+      Atomic.incr (cache_root ctx.cache).hits;
       r
     | None ->
       Telemetry.incr "cache.misses";
+      Atomic.incr (cache_root ctx.cache).misses;
       let r = Trace.with_span "engine.design_eval" compute in
       cache_add ctx.cache key r;
       r

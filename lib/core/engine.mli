@@ -79,6 +79,17 @@ type cache
 
 val create_cache : unit -> cache
 
+type cache_stats = { entries : int; hits : int; misses : int }
+
+val cache_stats : cache -> cache_stats
+(** Cumulative effectiveness of one cache object: realized designs
+    held (across all shards), and the hit/miss counts of every lookup
+    that went through it (rolled up at the root across worker
+    overlays).  Unlike the [cache.hits]/[cache.misses] telemetry
+    counters these are per-cache and survive [Telemetry.reset] — the
+    serve daemon uses them to report how warm each long-lived
+    per-(graph, library, scheduler) cache is. *)
+
 type ctx
 (** Shared state the passes operate on: the graph, library and bounds,
     the current version assignment, the incremental ASAP table, the

@@ -31,53 +31,19 @@ let library_json lib =
       ("fingerprint", Json.Str (fingerprint_hex (Library.to_text lib)));
     ]
 
+(* The result shapes are owned by [Rchls_api.Response] since the serve
+   daemon landed: one encoder produces the run-report [result] field,
+   the wire responses and the disk-cache entries.  The API forms
+   extend the historical ones with a "kind" discriminator; every
+   historical field is unchanged. *)
 let design_json d =
-  Json.Obj
-    [
-      ("status", Json.Str "ok");
-      ("latency", Json.Int (Design.latency d));
-      ("area", Json.Int (Design.area d));
-      ("reliability", Json.Float (Design.reliability d));
-      ( "instances",
-        Json.List
-          (List.map
-             (fun ((r : Resource.t), n) ->
-               Json.Obj [ ("resource", Json.Str r.id); ("count", Json.Int n) ])
-             (Design.instance_histogram d)) );
-    ]
+  Rchls_api.Response.design_result_to_json (Ok (Service.summary_of_design d))
 
 let failure_json (f : Rc.failure) =
-  let fields =
-    match f with
-    | Rc.Latency_infeasible { best_achievable } ->
-      [ ("reason", Json.Str "latency_infeasible");
-        ("best_achievable_latency", Json.Int best_achievable) ]
-    | Rc.Area_infeasible { best_achieved } ->
-      [ ("reason", Json.Str "area_infeasible");
-        ("best_achieved_area", Json.Int best_achieved) ]
-    | Rc.Scheduling_error msg ->
-      [ ("reason", Json.Str "scheduling_error"); ("message", Json.Str msg) ]
-  in
-  Json.Obj (("status", Json.Str "infeasible") :: fields)
-
-let opt_num f = function None -> Json.Null | Some v -> f v
+  Rchls_api.Response.design_result_to_json (Error (Service.failure_of_core f))
 
 let sweep_json cells =
-  Json.Obj
-    [
-      ( "cells",
-        Json.List
-          (List.map
-             (fun (c : Sweep.cell) ->
-               Json.Obj
-                 [
-                   ("ld", Json.Int c.ld);
-                   ("ad", Json.Int c.ad);
-                   ("reliability", opt_num (fun r -> Json.Float r) c.reliability);
-                   ("area", opt_num (fun a -> Json.Int a) c.area);
-                 ])
-             cells) );
-    ]
+  Rchls_api.Response.payload_to_json (Service.payload_of_sweep cells)
 
 let telemetry_json () =
   let counters =

@@ -28,16 +28,19 @@ val library_json : Rchls_charlib.Library.t -> Json.t
 (** Resource count and text-form fingerprint. *)
 
 val design_json : Rchls_core.Design.t -> Json.t
-(** [{"status": "ok", "latency": .., "area": .., "reliability": ..,
-    "instances": [{"resource": id, "count": n}, ..]}]. *)
+(** [{"kind": "design", "status": "ok", "latency": .., "area": ..,
+    "reliability": .., "instances": [{"resource": id, "count": n},
+    ..]}] — delegated to {!Rchls_api.Response.design_result_to_json},
+    so run reports and serve responses share one encoding. *)
 
 val failure_json : Rchls_core.Reliability_centric.failure -> Json.t
-(** [{"status": "infeasible", "reason": .., ..}] with the bound
-    diagnostics of the failure constructor. *)
+(** [{"kind": "design", "status": "infeasible", "reason": .., ..}]
+    with the bound diagnostics of the failure constructor (same
+    delegation). *)
 
 val sweep_json : Sweep.cell list -> Json.t
-(** [{"cells": [{"ld", "ad", "reliability", "area"}, ..]}] with
-    [null] for infeasible cells. *)
+(** [{"kind": "sweep", "cells": [{"ld", "ad", "reliability", "area"},
+    ..]}] with [null] for infeasible cells (same delegation). *)
 
 val telemetry_json : unit -> Json.t
 (** Snapshot of the current counters / timers / histograms. *)

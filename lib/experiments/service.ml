@@ -1,0 +1,241 @@
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+module Design = Rchls_core.Design
+module Engine = Rchls_core.Engine
+module Rc = Rchls_core.Reliability_centric
+module Check = Rchls_check.Check
+module Fuzz = Rchls_check.Fuzz
+module Fnv = Rchls_util.Fnv
+
+(* --- API <-> core conversions -------------------------------------- *)
+
+let scheduler_of_api : Request.scheduler -> Design.scheduler = function
+  | Request.Density -> `Density
+  | Request.Density_reference -> `Density_reference
+  | Request.Force_directed -> `Force_directed
+
+let strategy_of_api : Request.strategy -> Rc.strategy = function
+  | Request.Best -> `Best
+  | Request.Figure6 -> `Figure6
+  | Request.Bottom_up -> `Bottom_up
+
+let approach_of_api : Request.approach -> Sweep.approach = function
+  | Request.Ours -> Sweep.Ours
+  | Request.Baseline -> Sweep.Baseline
+  | Request.Combined -> Sweep.Combined
+
+let summary_of_design d =
+  {
+    Response.latency = Design.latency d;
+    area = Design.area d;
+    reliability = Design.reliability d;
+    instances =
+      List.map
+        (fun ((r : Rchls_charlib.Resource.t), n) -> (r.id, n))
+        (Design.instance_histogram d);
+  }
+
+let failure_of_core : Rc.failure -> Response.failure = function
+  | Rc.Latency_infeasible { best_achievable } ->
+    Response.Latency_infeasible { best_achievable }
+  | Rc.Area_infeasible { best_achieved } ->
+    Response.Area_infeasible { best_achieved }
+  | Rc.Scheduling_error msg -> Response.Scheduling_error msg
+
+let cell_of_sweep (c : Sweep.cell) =
+  { Response.ld = c.ld; ad = c.ad; reliability = c.reliability; area = c.area }
+
+let outcome_of_fuzz (o : Fuzz.outcome) =
+  {
+    Response.property = o.property;
+    cases = o.cases_run;
+    failure =
+      Option.map
+        (fun (f : Fuzz.failure) ->
+          {
+            Response.case = f.case;
+            message = f.message;
+            shrink_steps = f.shrink_steps;
+            counterexample = Rchls_check.Gen.spec_to_text f.spec;
+          })
+        o.failure;
+  }
+
+(* --- engine-cache registry ----------------------------------------- *)
+
+(* One engine evaluation cache per (graph, library, scheduler): the
+   cache key preimage ([Engine.fingerprint]) covers version codes and
+   latency only, so sharing a cache across different inputs would be
+   unsound — the registry key carries everything else that shapes a
+   realized design. *)
+type t = {
+  mutex : Mutex.t;
+  caches : (string, Engine.cache) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); caches = Hashtbl.create 16 }
+
+let scheduler_label : Design.scheduler -> string = function
+  | `Density -> "density"
+  | `Density_reference -> "density-reference"
+  | `Force_directed -> "force-directed"
+
+let registry_key ~graph_text ~library_text scheduler =
+  Printf.sprintf "%s:%s:%s"
+    (Fnv.to_hex (Fnv.hash_string graph_text))
+    (Fnv.to_hex (Fnv.hash_string library_text))
+    (scheduler_label scheduler)
+
+let engine_cache t key =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.caches key with
+      | Some c -> c
+      | None ->
+        let c = Engine.create_cache () in
+        Hashtbl.add t.caches key c;
+        c)
+
+let engine_cache_stats t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.fold (fun k c acc -> (k, Engine.cache_stats c) :: acc) t.caches []
+      |> List.sort compare)
+
+(* --- input resolution ---------------------------------------------- *)
+
+type resolved = {
+  graph : Rchls_dfg.Dfg.t;
+  library : Rchls_charlib.Library.t;
+  graph_text : string;
+  library_text : string;
+}
+
+let ( let* ) = Result.bind
+
+let resolve graph_src library_src =
+  let* graph = Loader.graph_of_source graph_src in
+  let* library = Loader.library_of_source library_src in
+  Ok
+    {
+      graph;
+      library;
+      graph_text = Rchls_dfg.Parse.to_text graph;
+      library_text = Rchls_charlib.Library.to_text library;
+    }
+
+let cache_key job =
+  match (job : Request.job) with
+  | Request.Ping -> Ok None
+  | Request.Fuzz _ -> Ok (Request.cache_key job)
+  | Request.Synth { graph; library; _ }
+  | Request.Check { graph; library; _ }
+  | Request.Sweep { graph; library; _ } ->
+    let* r = resolve graph library in
+    Ok
+      (Request.cache_key ~graph_text:r.graph_text ~library_text:r.library_text
+         job)
+
+(* --- executors ------------------------------------------------------ *)
+
+let resolved_or ?resolved graph library =
+  match resolved with Some r -> Ok r | None -> resolve graph library
+
+let shared_cache ?service ~resolved scheduler =
+  Option.map
+    (fun t ->
+      engine_cache t
+        (registry_key ~graph_text:resolved.graph_text
+           ~library_text:resolved.library_text scheduler))
+    service
+
+let run_synth ?service ?resolved ?domains (s : Request.synth) =
+  let* r = resolved_or ?resolved s.graph s.library in
+  let scheduler = scheduler_of_api s.scheduler in
+  let cache = shared_cache ?service ~resolved:r scheduler in
+  Ok
+    (Rc.synthesize ~scheduler
+       ~strategy:(strategy_of_api s.strategy)
+       ?cache ?domains r.graph r.library ~ld:s.ld ~ad:s.ad)
+
+let render_violation v = Format.asprintf "%a" Check.pp_violation v
+
+let run_check ?service ?resolved ?domains (s : Request.synth) =
+  let* result = run_synth ?service ?resolved ?domains s in
+  Ok
+    (Result.map
+       (fun d -> (d, List.map render_violation (Check.design_violations d)))
+       result)
+
+let run_sweep ?service ?resolved ?domains (s : Request.sweep) =
+  let* r = resolved_or ?resolved s.graph s.library in
+  let scheduler = scheduler_of_api s.scheduler in
+  let cache = shared_cache ?service ~resolved:r scheduler in
+  Ok
+    (Sweep.run ~scheduler ?domains ?cache
+       (approach_of_api s.approach)
+       r.graph r.library ~lds:s.lds ~ads:s.ads)
+
+let run_fuzz (f : Request.fuzz) =
+  match
+    Fuzz.run ~max_nodes:f.max_nodes ?properties:f.properties ~seed:f.seed
+      ~cases:f.cases ()
+  with
+  | outcomes -> Ok outcomes
+  | exception Invalid_argument msg -> Error msg
+
+(* --- payload assembly ----------------------------------------------- *)
+
+let payload_of_synth result =
+  Response.Design
+    (Result.fold
+       ~ok:(fun d -> Ok (summary_of_design d))
+       ~error:(fun f -> Error (failure_of_core f))
+       result)
+
+let payload_of_check result =
+  match result with
+  | Ok (d, violations) ->
+    Response.Check_report { result = Ok (summary_of_design d); violations }
+  | Error f ->
+    Response.Check_report { result = Error (failure_of_core f); violations = [] }
+
+let payload_of_sweep cells =
+  Response.Sweep_cells (List.map cell_of_sweep cells)
+
+let payload_of_fuzz outcomes =
+  Response.Fuzz_report (List.map outcome_of_fuzz outcomes)
+
+let run_job ?service ?domains job =
+  let bad msg = Error { Response.code = Response.Bad_request; message = msg } in
+  match
+    match (job : Request.job) with
+    | Request.Ping -> Ok Response.Pong
+    | Request.Synth s -> (
+      match run_synth ?service ?domains s with
+      | Ok r -> Ok (payload_of_synth r)
+      | Error msg -> bad msg)
+    | Request.Check s -> (
+      match run_check ?service ?domains s with
+      | Ok r -> Ok (payload_of_check r)
+      | Error msg -> bad msg)
+    | Request.Sweep s -> (
+      match run_sweep ?service ?domains s with
+      | Ok cells -> Ok (payload_of_sweep cells)
+      | Error msg -> bad msg)
+    | Request.Fuzz f -> (
+      match run_fuzz f with
+      | Ok outcomes -> Ok (payload_of_fuzz outcomes)
+      | Error msg -> bad msg)
+  with
+  | result -> result
+  | exception exn ->
+    Error
+      {
+        Response.code = Response.Internal;
+        message = Printexc.to_string exn;
+      }

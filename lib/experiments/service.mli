@@ -1,0 +1,122 @@
+(** The in-process job executor behind the {!Rchls_api} surface.
+
+    Every entry point that accepts an API job runs it through this
+    module: the CLI subcommands construct {!Rchls_api.Request}
+    records and execute them here directly, and the serve daemon
+    ([Rchls_serve.Server]) calls the same executors from its batch
+    scheduler — one implementation, two transports.
+
+    A {!t} is a registry of long-lived engine evaluation caches, one
+    per (graph fingerprint, library fingerprint, scheduler): every
+    synth/sweep/check job over the same inputs shares one sharded
+    cache, so repeated traffic in a daemon stays warm across requests
+    (PR4's incremental hot path, now persistent across jobs).  The
+    registry is mutex-protected and safe to share across domains;
+    results are independent of it — caches only memoize a
+    deterministic function. *)
+
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+module Design = Rchls_core.Design
+module Rc = Rchls_core.Reliability_centric
+module Fuzz = Rchls_check.Fuzz
+
+(** {1 API <-> core conversions} *)
+
+val scheduler_of_api : Request.scheduler -> Design.scheduler
+val strategy_of_api : Request.strategy -> Rc.strategy
+val approach_of_api : Request.approach -> Sweep.approach
+val summary_of_design : Design.t -> Response.design_summary
+val failure_of_core : Rc.failure -> Response.failure
+val cell_of_sweep : Sweep.cell -> Response.cell
+val outcome_of_fuzz : Fuzz.outcome -> Response.fuzz_outcome
+
+(** {1 Engine-cache registry} *)
+
+type t
+
+val create : unit -> t
+
+val engine_cache_stats :
+  t -> (string * Rchls_core.Engine.cache_stats) list
+(** One row per live engine cache, keyed
+    ["<graph-fp>:<library-fp>:<scheduler>"] — the daemon's warmth
+    telemetry. *)
+
+(** {1 Input resolution} *)
+
+type resolved = {
+  graph : Rchls_dfg.Dfg.t;
+  library : Rchls_charlib.Library.t;
+  graph_text : string;  (** canonical [.dfg] text of [graph] *)
+  library_text : string;  (** canonical text of [library] *)
+}
+
+val resolve :
+  Request.source -> Request.library_source -> (resolved, string) result
+(** Load both inputs ({!Loader}) and render their canonical texts —
+    the texts feed {!Request.cache_key}, so a benchmark requested by
+    name and the same graph sent inline hash identically. *)
+
+val cache_key : Request.job -> (int64 option, string) result
+(** The job's response-cache key: resolve its sources, then
+    {!Request.cache_key} over the canonical texts.  [Ok None] for
+    jobs that are never cached ({!Request.Ping}); [Error] when a
+    source fails to load. *)
+
+(** {1 Executors}
+
+    Each executor returns the raw domain result (so the CLI can keep
+    its human rendering and exit codes byte-identical) with load
+    errors as [Error message].  [resolved] skips re-loading when the
+    caller already resolved the sources; [service] shares engine
+    caches across jobs; [domains] caps the per-job worker fan-out
+    (the daemon passes [~domains:1] — jobs are already fanned across
+    the batch pool). *)
+
+val run_synth :
+  ?service:t ->
+  ?resolved:resolved ->
+  ?domains:int ->
+  Request.synth ->
+  ((Design.t, Rc.failure) result, string) result
+
+val run_check :
+  ?service:t ->
+  ?resolved:resolved ->
+  ?domains:int ->
+  Request.synth ->
+  ((Design.t * string list, Rc.failure) result, string) result
+(** Synthesize, then re-validate the winning design with the
+    independent checker ([Rchls_check.Check.design_violations] — the
+    direct entry point, not the global [enable] hook, so concurrent
+    daemon jobs cannot race on checker state).  The string list holds
+    the rendered violations (empty = passed). *)
+
+val run_sweep :
+  ?service:t ->
+  ?resolved:resolved ->
+  ?domains:int ->
+  Request.sweep ->
+  (Sweep.cell list, string) result
+
+val run_fuzz : Request.fuzz -> (Fuzz.outcome list, string) result
+(** Unknown property names come back as [Error] (the executor never
+    raises). *)
+
+(** {1 Payload assembly} *)
+
+val payload_of_synth : (Design.t, Rc.failure) result -> Response.payload
+val payload_of_check :
+  (Design.t * string list, Rc.failure) result -> Response.payload
+val payload_of_sweep : Sweep.cell list -> Response.payload
+val payload_of_fuzz : Fuzz.outcome list -> Response.payload
+
+val run_job :
+  ?service:t ->
+  ?domains:int ->
+  Request.job ->
+  (Response.payload, Response.error) result
+(** The complete executor the daemon dispatches to: load failures map
+    to [Bad_request], unexpected exceptions to [Internal], and
+    {!Request.Ping} answers [Pong] without touching any cache. *)

@@ -89,14 +89,16 @@ let envelope ~n_ads raw =
       { ld; ad; reliability = r; area = a })
     raw
 
-let run ?scheduler ?refine ?domains approach g lib ~lds ~ads =
+let run ?scheduler ?refine ?domains ?cache approach g lib ~lds ~ads =
   let lds = List.sort_uniq compare lds in
   let ads = List.sort_uniq compare ads in
   let grid = List.concat_map (fun ld -> List.map (fun ad -> (ld, ad)) ads) lds in
   let approach_name =
     match approach with Baseline -> "baseline" | Ours -> "ours" | Combined -> "combined"
   in
-  let cache = Rchls_core.Engine.create_cache () in
+  let cache =
+    match cache with Some c -> c | None -> Rchls_core.Engine.create_cache ()
+  in
   let raw =
     Trace.with_span "sweep.run"
       ~attrs:

@@ -31,6 +31,7 @@ val run :
   ?scheduler:Rchls_core.Design.scheduler ->
   ?refine:bool ->
   ?domains:int ->
+  ?cache:Rchls_core.Engine.cache ->
   approach ->
   Rchls_dfg.Dfg.t ->
   Library.t ->
@@ -41,7 +42,11 @@ val run :
     first latency first) with the monotone envelope applied.
     [domains] caps the worker domains (default
     [Rchls_util.Pool.num_domains ()], which honours [RCHLS_DOMAINS]);
-    [~domains:1] forces a sequential sweep. *)
+    [~domains:1] forces a sequential sweep.  [cache] substitutes a
+    caller-owned evaluation cache shared by every cell (the serve
+    daemon passes its long-lived per-(graph, library, scheduler)
+    cache so repeated sweep traffic stays warm); results are
+    independent of it. *)
 
 val cell_at : cell list -> ld:int -> ad:int -> cell option
 (** The cell at exactly ([ld], [ad]), if that point was swept. *)

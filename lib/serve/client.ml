@@ -1,0 +1,57 @@
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+
+type t = { ic : in_channel; oc : out_channel }
+
+let ( let* ) = Result.bind
+
+let connect sockaddr what =
+  match
+    let fd =
+      Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+    in
+    Unix.connect fd sockaddr;
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  with
+  | client -> Ok client
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "connect %s: %s" what (Unix.error_message err))
+
+let connect_unix path = connect (Unix.ADDR_UNIX path) path
+
+let connect_tcp ~host ~port =
+  match
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+  with
+  | inet ->
+    connect (Unix.ADDR_INET (inet, port)) (Printf.sprintf "%s:%d" host port)
+  | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
+
+let send_raw t line =
+  try
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    Ok ()
+  with Sys_error e -> Error ("send: " ^ e)
+
+let send t req = send_raw t (Request.to_string req)
+
+let recv_raw t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "recv: connection closed by server"
+  | exception Sys_error e -> Error ("recv: " ^ e)
+
+let recv t =
+  let* line = recv_raw t in
+  Response.of_string line
+
+let call t req =
+  let* () = send t req in
+  recv t
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  close_in_noerr t.ic

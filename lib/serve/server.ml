@@ -1,0 +1,363 @@
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+module Schema = Rchls_api.Schema
+module Json = Rchls_util.Json
+module Fnv = Rchls_util.Fnv
+module Pool = Rchls_util.Pool
+module Diskcache = Rchls_util.Diskcache
+module Telemetry = Rchls_util.Telemetry
+module Service = Rchls_experiments.Service
+
+type addr = Unix_socket of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  cache_dir : string option;
+  cache_entries : int;
+  domains : int option;
+  batch_max : int;
+  queue_max : int;
+}
+
+let default_config addr =
+  {
+    addr;
+    cache_dir = None;
+    cache_entries = 4096;
+    domains = None;
+    batch_max = 8;
+    queue_max = 64;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  write_mutex : Mutex.t;
+}
+
+type job = { conn : conn; id : string option; req : Request.job; key : int64 option }
+
+type t = {
+  config : config;
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  disk : Diskcache.t option;
+  mem : (int64, string) Hashtbl.t;
+  mem_mutex : Mutex.t;
+  queue : job Queue.t;
+  queue_mutex : Mutex.t;
+  queue_cond : Condition.t;
+  running : bool Atomic.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable scheduler_thread : Thread.t option;
+  mutable reader_threads : Thread.t list;
+  readers_mutex : Mutex.t;
+  mutable stopped : bool;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- wire output ---------------------------------------------------- *)
+
+(* A dead peer must not kill the server: write failures only mean the
+   response has no reader anymore. *)
+let write_line conn line =
+  locked conn.write_mutex (fun () ->
+      try
+        output_string conn.oc line;
+        output_char conn.oc '\n';
+        flush conn.oc
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+let respond conn (r : Response.t) = write_line conn (Response.to_string r)
+
+let respond_error conn ~id code message =
+  respond conn { Response.id; result = Error { code; message }; cache = None }
+
+(* --- the two-tier response cache ------------------------------------ *)
+
+(* Disk entries are version-tagged so a future payload format reads as
+   a miss, never as a wrong answer. *)
+let disk_entry payload_json =
+  Printf.sprintf "{\"schema\":%s,\"payload\":%s}"
+    (Json.to_string (Json.Str Schema.cache_entry))
+    payload_json
+
+let payload_of_disk_entry text =
+  match Json.of_string text with
+  | Error _ -> None
+  | Ok j -> (
+    match (Json.member "schema" j, Json.member "payload" j) with
+    | Some (Json.Str tag), Some payload when tag = Schema.cache_entry -> (
+      (* Re-validate before trusting a file another process may have
+         written; the canonical printer makes the re-rendering
+         byte-identical to the originally stored payload. *)
+      match Response.payload_of_json payload with
+      | Ok _ -> Some (Json.to_string payload)
+      | Error _ -> None)
+    | _ -> None)
+
+let mem_find t key = locked t.mem_mutex (fun () -> Hashtbl.find_opt t.mem key)
+
+(* The memory tier is bounded like the disk tier; eviction is
+   whole-table (the tier refills from disk at memory-hit speed). *)
+let mem_store t key payload_json =
+  locked t.mem_mutex (fun () ->
+      if Hashtbl.length t.mem >= t.config.cache_entries then Hashtbl.reset t.mem;
+      Hashtbl.replace t.mem key payload_json)
+
+let cache_find t key =
+  match mem_find t key with
+  | Some payload -> Some (Response.Memory, payload)
+  | None ->
+    Option.bind t.disk (fun d ->
+        Option.bind (Diskcache.find d key) (fun text ->
+            Option.map
+              (fun payload ->
+                mem_store t key payload;
+                (Response.Disk, payload))
+              (payload_of_disk_entry text)))
+
+let cache_store t key payload_json =
+  mem_store t key payload_json;
+  Option.iter (fun d -> Diskcache.add d key (disk_entry payload_json)) t.disk
+
+(* --- request handling ----------------------------------------------- *)
+
+let enqueue t job =
+  locked t.queue_mutex (fun () ->
+      if Queue.length t.queue >= t.config.queue_max then false
+      else begin
+        Queue.add job t.queue;
+        Condition.signal t.queue_cond;
+        true
+      end)
+
+let is_version_error msg =
+  (* [Schema.version_error]'s canonical message — the one decode error
+     that gets its own wire code. *)
+  let needle = "unsupported schema version" in
+  let n = String.length needle and m = String.length msg in
+  let rec scan i = i + n <= m && (String.sub msg i n = needle || scan (i + 1)) in
+  scan 0
+
+let handle_line t conn line =
+  if String.trim line <> "" then
+    match Request.of_string line with
+    | Error msg ->
+      let code =
+        if is_version_error msg then Response.Unsupported_version
+        else Response.Bad_request
+      in
+      respond_error conn ~id:None code msg
+    | Ok { id; job = Request.Ping } ->
+      respond conn { Response.id; result = Ok Response.Pong; cache = None }
+    | Ok { id; job } -> (
+      Telemetry.incr "serve.requests";
+      match Service.cache_key job with
+      | Error msg -> respond_error conn ~id Response.Bad_request msg
+      | Ok key -> (
+        match Option.bind key (cache_find t) with
+        | Some (tier, payload_json) ->
+          Telemetry.incr
+            (match tier with
+            | Response.Memory -> "serve.hits.memory"
+            | Response.Disk -> "serve.hits.disk");
+          write_line conn
+            (Response.assemble_raw ~id
+               ~cache:
+                 (Some
+                    {
+                      Response.tier;
+                      key = Fnv.to_hex (Option.get key);
+                    })
+               payload_json)
+        | None ->
+          Telemetry.incr "serve.misses";
+          if not (enqueue t { conn; id; req = job; key }) then begin
+            Telemetry.incr "serve.overloaded";
+            respond_error conn ~id Response.Overloaded
+              (Printf.sprintf "job queue is full (%d queued jobs)"
+                 t.config.queue_max)
+          end))
+
+(* --- the batch scheduler -------------------------------------------- *)
+
+let run_batch t batch =
+  Telemetry.incr "serve.batches";
+  let results =
+    (* Jobs fan across the pool; each job itself runs sequentially
+       ([~domains:1]) so a batch never oversubscribes the machine.
+       Determinism: every job is a pure function of its request, so
+       neither the batch composition nor the pool width can change a
+       payload. *)
+    Pool.map ?domains:t.config.domains
+      (fun job -> Service.run_job ~service:t.service ~domains:1 job.req)
+      batch
+  in
+  List.iter2
+    (fun job result ->
+      match result with
+      | Error e ->
+        respond job.conn { Response.id = job.id; result = Error e; cache = None }
+      | Ok payload ->
+        let payload_json = Json.to_string (Response.payload_to_json payload) in
+        Option.iter (fun key -> cache_store t key payload_json) job.key;
+        write_line job.conn
+          (Response.assemble_raw ~id:job.id ~cache:None payload_json))
+    batch results
+
+let scheduler_loop t =
+  let rec next () =
+    let batch =
+      locked t.queue_mutex (fun () ->
+          while Queue.is_empty t.queue && Atomic.get t.running do
+            Condition.wait t.queue_cond t.queue_mutex
+          done;
+          let rec drain acc n =
+            if n = 0 || Queue.is_empty t.queue then List.rev acc
+            else drain (Queue.pop t.queue :: acc) (n - 1)
+          in
+          drain [] t.config.batch_max)
+    in
+    match batch with
+    | [] -> if Atomic.get t.running then next () else ()
+    | batch ->
+      run_batch t batch;
+      next ()
+  in
+  next ()
+
+(* --- connection handling -------------------------------------------- *)
+
+let close_conn t conn =
+  locked t.conns_mutex (fun () -> Hashtbl.remove t.conns conn.fd);
+  (try close_out_noerr conn.oc with _ -> ());
+  close_in_noerr conn.ic
+
+let reader_loop t conn =
+  let rec loop () =
+    match input_line conn.ic with
+    | line ->
+      handle_line t conn line;
+      loop ()
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  in
+  loop ();
+  close_conn t conn
+
+let accept_loop t =
+  while Atomic.get t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      let conn =
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          write_mutex = Mutex.create ();
+        }
+      in
+      locked t.conns_mutex (fun () -> Hashtbl.replace t.conns fd conn);
+      let th = Thread.create (fun () -> reader_loop t conn) () in
+      locked t.readers_mutex (fun () ->
+          t.reader_threads <- th :: t.reader_threads)
+    | exception Unix.Unix_error _ -> ()
+    (* stop() closed the listen socket *)
+  done
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let bind_socket = function
+  | Unix_socket path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+    in
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    fd
+
+let start config =
+  let disk =
+    match config.cache_dir with
+    | None -> Ok None
+    | Some dir ->
+      Result.map Option.some
+        (Diskcache.open_dir ~max_entries:config.cache_entries dir)
+  in
+  match disk with
+  | Error e -> Error ("serve: cache dir: " ^ e)
+  | Ok disk -> (
+    match bind_socket config.addr with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error ("serve: bind: " ^ Unix.error_message err)
+    | listen_fd ->
+      Unix.listen listen_fd 64;
+      let t =
+        {
+          config;
+          service = Service.create ();
+          listen_fd;
+          bound = Unix.getsockname listen_fd;
+          disk;
+          mem = Hashtbl.create 256;
+          mem_mutex = Mutex.create ();
+          queue = Queue.create ();
+          queue_mutex = Mutex.create ();
+          queue_cond = Condition.create ();
+          running = Atomic.make true;
+          conns = Hashtbl.create 16;
+          conns_mutex = Mutex.create ();
+          accept_thread = None;
+          scheduler_thread = None;
+          reader_threads = [];
+          readers_mutex = Mutex.create ();
+          stopped = false;
+        }
+      in
+      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+      t.scheduler_thread <- Some (Thread.create (fun () -> scheduler_loop t) ());
+      Ok t)
+
+let port t =
+  match t.bound with Unix.ADDR_INET (_, p) -> Some p | Unix.ADDR_UNIX _ -> None
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.running false;
+    (* Wake the scheduler; it drains whatever is still queued (every
+       accepted job gets its response) and then exits. *)
+    locked t.queue_mutex (fun () -> Condition.broadcast t.queue_cond);
+    Option.iter Thread.join t.scheduler_thread;
+    (* Unblock accept(): closing the fd does not wake a thread already
+       blocked in accept(2) on Linux, shutdown() does (EINVAL). *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    let conns =
+      locked t.conns_mutex (fun () ->
+          Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+    in
+    List.iter
+      (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    let readers = locked t.readers_mutex (fun () -> t.reader_threads) in
+    List.iter Thread.join readers;
+    match t.config.addr with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end

@@ -1,0 +1,79 @@
+(** The [rchls serve] daemon: synthesis as a service.
+
+    A server listens on a Unix-domain or loopback TCP socket and
+    speaks newline-delimited {!Rchls_api} JSON — one request object
+    per line in, one response object per line out, correlated by the
+    client-chosen [id] (responses are {e not} ordered: cache hits are
+    answered immediately while older misses are still computing).
+
+    {2 Request lifecycle}
+
+    Each connection gets a reader thread.  Per line it decodes the
+    request (malformed lines answer [bad_request], foreign ["api"]
+    tags [unsupported_version]), answers [ping] inline, and otherwise
+    consults the two-tier response cache:
+
+    - {b memory tier}: a hash table of serialized payloads keyed by
+      {!Rchls_api.Request.cache_key} — hits answer immediately with
+      [cache.tier = "memory"];
+    - {b disk tier} (when [cache_dir] is set): a
+      {!Rchls_util.Diskcache} of version-tagged entries surviving
+      restarts — hits are promoted to the memory tier and answer with
+      [cache.tier = "disk"];
+    - {b miss}: the job joins the global queue.  A full queue is
+      backpressure: the request answers [overloaded] immediately
+      rather than queueing unboundedly.
+
+    A single scheduler thread drains the queue in batches of at most
+    [batch_max] and fans each batch across the domain pool
+    ({!Rchls_util.Pool.map}, [domains] workers); every job inside a
+    batch runs with [~domains:1] so the pool is never oversubscribed.
+    Computed payloads enter both cache tiers before the response is
+    written.  All synthesis is deterministic, so a payload is
+    byte-identical whether computed fresh (in any batch, under any
+    domain count) or served from either tier — only the [cache] field
+    of the envelope differs.
+
+    Engine evaluation caches (the PR4 sharded memo tables) live in a
+    {!Rchls_experiments.Service.t} registry keyed per (graph, library,
+    scheduler) and stay warm across requests, so even non-identical
+    jobs over the same inputs (a bounds sweep after a synth, say)
+    reuse realized designs.
+
+    {!stop} is graceful: queued jobs are answered before the scheduler
+    exits, then connections are shut down and all threads joined.  The
+    server is in-process-embeddable — the socket tests and the
+    benchmark harness start one inside the test process. *)
+
+type addr =
+  | Unix_socket of string  (** path; replaced if it already exists *)
+  | Tcp of string * int  (** host, port; port [0] binds an ephemeral port *)
+
+type config = {
+  addr : addr;
+  cache_dir : string option;
+      (** enables the persistent disk tier rooted at this directory *)
+  cache_entries : int;  (** bound on each tier (memory and disk) *)
+  domains : int option;
+      (** batch fan-out width; [None] = [Pool.num_domains ()] *)
+  batch_max : int;  (** jobs computed per scheduler round *)
+  queue_max : int;  (** queued jobs beyond which requests are refused *)
+}
+
+val default_config : addr -> config
+(** No disk tier, 4096 cached entries, default domains, [batch_max =
+    8], [queue_max = 64]. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Bind, listen and spawn the accept + scheduler threads.  [Error]
+    on an unbindable socket or unusable cache directory. *)
+
+val port : t -> int option
+(** The actually bound TCP port ([Some] even when the config said
+    port [0]); [None] for Unix-domain sockets. *)
+
+val stop : t -> unit
+(** Drain the queue, close every connection, join all threads and
+    unlink a Unix-domain socket path.  Idempotent. *)

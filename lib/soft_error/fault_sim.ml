@@ -287,8 +287,6 @@ module Campaign = struct
       r
 end
 
-let default_config = Campaign.default
-
 let run = Campaign.run
 
 let node_logical_derating ?(config = Campaign.default) nl net =

@@ -109,10 +109,6 @@ module Campaign : sig
   (** Drop every memoized report (timing benches; tests). *)
 end
 
-val default_config : config
-  [@@ocaml.deprecated "use Fault_sim.Campaign.default"]
-(** Alias of {!Campaign.default}, kept for one release. *)
-
 val candidate_nets : Rchls_netlist.Netlist.t -> Rchls_netlist.Netlist.net list
 (** All gate-output nets, in topological order. *)
 

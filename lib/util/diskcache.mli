@@ -1,0 +1,46 @@
+(** A persistent string store: the on-disk tier of the two-tier
+    response cache.
+
+    One entry is one file named [<16-hex-digit key>.json] directly
+    under the store directory; the value is written byte-exact and
+    read back byte-exact.  Writes go through a [.tmp-<pid>-<key>]
+    sibling and [Sys.rename], so a concurrently reading process (or a
+    crash mid-write) can never observe a torn entry.  Keys are the
+    64-bit FNV-1a request fingerprints ([Rchls_api.Request.cache_key]);
+    the store itself treats them as opaque.
+
+    Eviction is size-bounded: once the store holds more than
+    [max_entries] files, the oldest entries by modification time are
+    removed until the bound holds again (checked on [add], amortized —
+    a scan only runs when the entry estimate crosses the bound).
+    Reads refresh an entry's mtime, making eviction approximately LRU.
+
+    Thread safety: one {!t} may be shared by every worker thread and
+    domain of a daemon (operations take an internal lock).  Two
+    {e processes} sharing a directory are safe for correctness
+    (atomic rename, re-stat on read) but evict independently. *)
+
+type t
+
+val open_dir : ?max_entries:int -> string -> (t, string) result
+(** Open (creating it, including parents, if needed) a store rooted at
+    the given directory.  [max_entries] (default 4096, min 1) bounds
+    the file count. *)
+
+val dir : t -> string
+
+val find : t -> int64 -> string option
+(** The stored value, or [None] on a miss (also on an unreadable or
+    concurrently evicted entry — a disk-tier miss is never an error). *)
+
+val add : t -> int64 -> string -> unit
+(** Persist [value] under [key], overwriting any previous entry, then
+    evict down to [max_entries] if the bound was crossed.  IO errors
+    are swallowed: the disk tier is an accelerator, losing a write
+    only costs a future recomputation. *)
+
+val entries : t -> int
+(** Number of entries currently on disk (scans the directory). *)
+
+val key_name : int64 -> string
+(** The file name for a key: 16 lowercase hex digits + [".json"]. *)

@@ -1,0 +1,619 @@
+(* The Rchls_api surface and the serve daemon.
+
+   - QCheck round-trips: [decode (encode r) = Ok r] for every request
+     and response value the generators can build — the property the
+     .mli files promise.
+   - Strict decoding: unknown fields, duplicate keys and foreign
+     ["api"] versions are rejected, never defaulted.
+   - Response-cache keys: form-independence (a benchmark by name and
+     the same graph inline share a key) and parameter sensitivity.
+   - Diskcache: round-trip, overwrite, approximate-LRU eviction.
+   - Socket tests: a live in-process daemon serving mixed concurrent
+     jobs, with payloads asserted byte-identical across worker-domain
+     counts, batch sizes and cache tiers, plus the backpressure and
+     malformed-input answers. *)
+
+module Request = Rchls_api.Request
+module Response = Rchls_api.Response
+module Service = Rchls_experiments.Service
+module Server = Rchls_serve.Server
+module Client = Rchls_serve.Client
+module Diskcache = Rchls_util.Diskcache
+module Json = Rchls_util.Json
+module Benchmarks = Rchls_dfg.Benchmarks
+module Parse = Rchls_dfg.Parse
+module Gen = QCheck2.Gen
+
+let check_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* --- generators ------------------------------------------------------ *)
+
+let gen_name = Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+let gen_text = Gen.(string_size ~gen:printable (int_range 0 20))
+let gen_opt_id = Gen.(opt gen_name)
+
+let gen_source =
+  Gen.(
+    oneof
+      [
+        map (fun s -> Request.Named s) gen_name;
+        map (fun s -> Request.Inline s) gen_text;
+      ])
+
+let gen_library_source =
+  Gen.(
+    oneof
+      [
+        return Request.Lib_default;
+        map (fun s -> Request.Lib_file s) gen_name;
+        map (fun s -> Request.Lib_inline s) gen_text;
+      ])
+
+let gen_strategy =
+  Gen.oneofl [ Request.Best; Request.Figure6; Request.Bottom_up ]
+
+let gen_scheduler =
+  Gen.oneofl
+    [ Request.Density; Request.Density_reference; Request.Force_directed ]
+
+let gen_approach = Gen.oneofl [ Request.Ours; Request.Baseline; Request.Combined ]
+let gen_bound = Gen.int_range 0 1000
+
+let gen_synth =
+  Gen.(
+    map
+      (fun (graph, library, ld, ad, strategy, scheduler) ->
+        { Request.graph; library; ld; ad; strategy; scheduler })
+      (tup6 gen_source gen_library_source gen_bound gen_bound gen_strategy
+         gen_scheduler))
+
+let gen_sweep =
+  Gen.(
+    map
+      (fun (graph, library, lds, ads, approach, scheduler) ->
+        { Request.graph; library; lds; ads; approach; scheduler })
+      (tup6 gen_source gen_library_source
+         (list_size (int_range 0 5) gen_bound)
+         (list_size (int_range 0 5) gen_bound)
+         gen_approach gen_scheduler))
+
+let gen_fuzz =
+  Gen.(
+    map
+      (fun (seed, cases, max_nodes, properties) ->
+        { Request.seed; cases; max_nodes; properties })
+      (tup4 (int_range 0 10_000) (int_range 1 1000) (int_range 2 20)
+         (opt (list_size (int_range 0 3) gen_name))))
+
+let gen_job =
+  Gen.(
+    oneof
+      [
+        map (fun s -> Request.Synth s) gen_synth;
+        map (fun s -> Request.Sweep s) gen_sweep;
+        map (fun s -> Request.Check s) gen_synth;
+        map (fun f -> Request.Fuzz f) gen_fuzz;
+        return Request.Ping;
+      ])
+
+let gen_request =
+  Gen.(map (fun (id, job) -> { Request.id; job }) (tup2 gen_opt_id gen_job))
+
+let gen_summary =
+  Gen.(
+    map
+      (fun (latency, area, reliability, instances) ->
+        { Response.latency; area; reliability; instances })
+      (tup4 gen_bound gen_bound (float_bound_inclusive 1.)
+         (list_size (int_range 0 4) (tup2 gen_name (int_range 1 9)))))
+
+let gen_failure =
+  Gen.(
+    oneof
+      [
+        map
+          (fun n -> Response.Latency_infeasible { best_achievable = n })
+          gen_bound;
+        map (fun n -> Response.Area_infeasible { best_achieved = n }) gen_bound;
+        map (fun m -> Response.Scheduling_error m) gen_text;
+      ])
+
+let gen_design_result =
+  Gen.(
+    oneof
+      [ map Result.ok gen_summary; map Result.error gen_failure ])
+
+let gen_cell =
+  Gen.(
+    map
+      (fun (ld, ad, reliability, area) -> { Response.ld; ad; reliability; area })
+      (tup4 gen_bound gen_bound
+         (opt (float_bound_inclusive 1.))
+         (opt gen_bound)))
+
+let gen_fuzz_outcome =
+  Gen.(
+    map
+      (fun (property, cases, failure) -> { Response.property; cases; failure })
+      (tup3 gen_name (int_range 0 1000)
+         (opt
+            (map
+               (fun (case, message, shrink_steps, counterexample) ->
+                 { Response.case; message; shrink_steps; counterexample })
+               (tup4 (int_range 0 100) gen_text (int_range 0 50) gen_text)))))
+
+let gen_payload =
+  Gen.(
+    oneof
+      [
+        map (fun r -> Response.Design r) gen_design_result;
+        map
+          (fun cells -> Response.Sweep_cells cells)
+          (list_size (int_range 0 6) gen_cell);
+        map
+          (fun (result, violations) -> Response.Check_report { result; violations })
+          (tup2 gen_design_result (list_size (int_range 0 3) gen_text));
+        map
+          (fun os -> Response.Fuzz_report os)
+          (list_size (int_range 0 3) gen_fuzz_outcome);
+        return Response.Pong;
+      ])
+
+let gen_error =
+  Gen.(
+    map
+      (fun (code, message) -> { Response.code; message })
+      (tup2
+         (oneofl
+            [
+              Response.Bad_request;
+              Response.Unsupported_version;
+              Response.Overloaded;
+              Response.Internal;
+            ])
+         gen_text))
+
+let gen_response =
+  Gen.(
+    map
+      (fun (id, result, cache) -> { Response.id; result; cache })
+      (tup3 gen_opt_id
+         (oneof [ map Result.ok gen_payload; map Result.error gen_error ])
+         (opt
+            (map
+               (fun (tier, key) -> { Response.tier; key })
+               (tup2 (oneofl [ Response.Memory; Response.Disk ]) gen_name)))))
+
+(* --- codec round-trips ----------------------------------------------- *)
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request decode (encode r) = r" ~count:500 gen_request
+    (fun r -> Request.of_string (Request.to_string r) = Ok r)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response decode (encode r) = r" ~count:500
+    gen_response (fun r -> Response.of_string (Response.to_string r) = Ok r)
+
+let prop_assemble_raw_matches_encode =
+  (* A cache hit splices the stored payload into the envelope by hand;
+     the bytes must equal the structured encoder's. *)
+  QCheck2.Test.make ~name:"assemble_raw = to_string on ok responses" ~count:300
+    Gen.(
+      tup3 gen_opt_id gen_payload
+        (opt
+           (map
+              (fun (tier, key) -> { Response.tier; key })
+              (tup2 (oneofl [ Response.Memory; Response.Disk ]) gen_name))))
+    (fun (id, payload, cache) ->
+      let structured =
+        Response.to_string { Response.id; result = Ok payload; cache }
+      in
+      let raw =
+        Response.assemble_raw ~id ~cache
+          (Json.to_string (Response.payload_to_json payload))
+      in
+      structured = raw)
+
+(* --- strict decoding -------------------------------------------------- *)
+
+let req_line fields = Printf.sprintf {|{"api":"rchls.api/1",%s}|} fields
+
+let expect_error what line =
+  match Request.of_string line with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "%s: accepted %s" what line
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_unknown_field_rejected () =
+  let e =
+    expect_error "typo'd param"
+      (req_line
+         {|"job":"synth","params":{"graph":{"name":"ewf"},"ld":1,"ad":1,"strateggy":"best"}|})
+  in
+  Alcotest.(check bool) "names the field" true (contains ~affix:"strateggy" e)
+
+let test_duplicate_key_rejected () =
+  let e =
+    expect_error "duplicate key"
+      {|{"api":"rchls.api/1","job":"ping","job":"ping"}|}
+  in
+  Alcotest.(check bool) "mentions duplicate" true (contains ~affix:"duplicate" e)
+
+let test_version_mismatch_rejected () =
+  let e = expect_error "foreign version" {|{"api":"rchls.api/2","job":"ping"}|} in
+  Alcotest.(check bool) "canonical message" true
+    (contains ~affix:"unsupported schema version" e)
+
+let test_missing_required_rejected () =
+  ignore
+    (expect_error "missing ld"
+       (req_line {|"job":"synth","params":{"graph":{"name":"ewf"},"ad":1}|}));
+  ignore (expect_error "missing job" (req_line {|"id":"x"|}))
+
+let test_defaults_applied () =
+  let r =
+    check_ok "minimal synth"
+      (Request.of_string
+         (req_line {|"job":"synth","params":{"graph":{"name":"ewf"},"ld":1,"ad":2}|}))
+  in
+  match r.Request.job with
+  | Request.Synth s ->
+    Alcotest.(check bool) "defaults" true
+      (s.Request.strategy = Request.Best
+      && s.Request.scheduler = Request.Density
+      && s.Request.library = Request.Lib_default)
+  | _ -> Alcotest.fail "decoded to the wrong job"
+
+let test_response_unknown_field_rejected () =
+  match
+    Response.of_string
+      {|{"api":"rchls.api/1","status":"ok","result":{"kind":"pong"},"extra":1}|}
+  with
+  | Error e -> Alcotest.(check bool) "names field" true (contains ~affix:"extra" e)
+  | Ok _ -> Alcotest.fail "extra envelope field accepted"
+
+(* --- cache keys ------------------------------------------------------- *)
+
+let synth_job ?(ld = 14) ?(ad = 9) graph =
+  Request.Synth
+    {
+      Request.graph;
+      library = Request.Lib_default;
+      ld;
+      ad;
+      strategy = Request.Best;
+      scheduler = Request.Density;
+    }
+
+let test_cache_key_form_independent () =
+  let named =
+    check_ok "named" (Service.cache_key (synth_job (Request.Named "ewf")))
+  in
+  let inline =
+    check_ok "inline"
+      (Service.cache_key
+         (synth_job (Request.Inline (Parse.to_text Benchmarks.ewf))))
+  in
+  Alcotest.(check bool) "key exists" true (named <> None);
+  Alcotest.(check bool) "named = inline" true (named = inline)
+
+let test_cache_key_param_sensitive () =
+  let k ld = check_ok "key" (Service.cache_key (synth_job ~ld (Request.Named "ewf"))) in
+  Alcotest.(check bool) "ld changes the key" true (k 14 <> k 15);
+  let sweep =
+    check_ok "sweep key"
+      (Service.cache_key
+         (Request.Sweep
+            {
+              Request.graph = Request.Named "ewf";
+              library = Request.Lib_default;
+              lds = [ 14 ];
+              ads = [ 9 ];
+              approach = Request.Ours;
+              scheduler = Request.Density;
+            }))
+  in
+  Alcotest.(check bool) "job kind changes the key" true
+    (sweep <> k 14 && sweep <> None);
+  Alcotest.(check (option int)) "ping is never cached" None
+    (Option.map (fun _ -> 0) (check_ok "ping" (Service.cache_key Request.Ping)))
+
+(* --- disk cache ------------------------------------------------------- *)
+
+let temp_dir prefix =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let test_diskcache_roundtrip () =
+  let d = check_ok "open" (Diskcache.open_dir (temp_dir "rchls-dc")) in
+  Alcotest.(check (option string)) "miss" None (Diskcache.find d 42L);
+  Diskcache.add d 42L "payload-a";
+  Alcotest.(check (option string)) "hit" (Some "payload-a") (Diskcache.find d 42L);
+  Diskcache.add d 42L "payload-b";
+  Alcotest.(check (option string)) "overwrite" (Some "payload-b")
+    (Diskcache.find d 42L);
+  Alcotest.(check int) "one file" 1 (Diskcache.entries d);
+  Alcotest.(check string) "file name" "000000000000002a.json"
+    (Diskcache.key_name 42L)
+
+let test_diskcache_evicts_oldest () =
+  let d =
+    check_ok "open" (Diskcache.open_dir ~max_entries:2 (temp_dir "rchls-dc"))
+  in
+  Diskcache.add d 1L "one";
+  Unix.sleepf 0.02;
+  Diskcache.add d 2L "two";
+  Unix.sleepf 0.02;
+  Diskcache.add d 3L "three";
+  Alcotest.(check bool) "bounded" true (Diskcache.entries d <= 2);
+  Alcotest.(check (option string)) "newest survives" (Some "three")
+    (Diskcache.find d 3L);
+  Alcotest.(check (option string)) "oldest evicted" None (Diskcache.find d 1L)
+
+let test_diskcache_survives_reopen () =
+  let dir = temp_dir "rchls-dc" in
+  let d = check_ok "open" (Diskcache.open_dir dir) in
+  Diskcache.add d 7L "persisted";
+  let d' = check_ok "reopen" (Diskcache.open_dir dir) in
+  Alcotest.(check (option string)) "found after reopen" (Some "persisted")
+    (Diskcache.find d' 7L)
+
+(* --- the live daemon -------------------------------------------------- *)
+
+let with_server ?cache_dir ?(domains = 2) ?(batch_max = 4) ?(queue_max = 256) f =
+  let socket = Filename.concat (temp_dir "rchls-serve") "s.sock" in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket socket)) with
+      Server.cache_dir;
+      domains = Some domains;
+      batch_max;
+      queue_max;
+    }
+  in
+  let server = check_ok "server start" (Server.start config) in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f socket)
+
+let with_client socket f =
+  let c = check_ok "connect" (Client.connect_unix socket) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* A mixed workload: synthesis (feasible and infeasible), a sweep, a
+   checked synthesis and a ping, all with distinct ids. *)
+let workload =
+  let synth id name ld ad =
+    { Request.id = Some id; job = synth_job ~ld ~ad (Request.Named name) }
+  in
+  [
+    synth "s1" "ewf" 14 9;
+    synth "s2" "fig4" 6 4;
+    synth "s3" "fig4" 1 1;
+    (* infeasible *)
+    {
+      Request.id = Some "sw";
+      job =
+        Request.Sweep
+          {
+            Request.graph = Request.Named "fig4";
+            library = Request.Lib_default;
+            lds = [ 5; 6 ];
+            ads = [ 3; 4 ];
+            approach = Request.Ours;
+            scheduler = Request.Density;
+          };
+    };
+    {
+      Request.id = Some "ck";
+      job =
+        Request.Check
+          {
+            Request.graph = Request.Named "fig4";
+            library = Request.Lib_default;
+            ld = 6;
+            ad = 4;
+            strategy = Request.Best;
+            scheduler = Request.Density;
+          };
+    };
+    { Request.id = Some "pg"; job = Request.Ping };
+  ]
+
+(* Pipelined exchange: send everything, then read one response per
+   request; responses correlate by id.  Returns (id -> raw result
+   JSON) sorted, plus the raw lines for cache-field inspection. *)
+let exchange client reqs =
+  List.iter (fun r -> check_ok "send" (Client.send client r)) reqs;
+  let lines =
+    List.map (fun _ -> check_ok "recv" (Client.recv_raw client)) reqs
+  in
+  let results =
+    List.sort compare
+      (List.map
+         (fun line ->
+           let j = check_ok "parse" (Json.of_string line) in
+           let id =
+             match Json.member "id" j with
+             | Some (Json.Str s) -> s
+             | _ -> Alcotest.failf "response without id: %s" line
+           in
+           match Json.member "result" j with
+           | Some r -> (id, Json.to_string r)
+           | None -> Alcotest.failf "response without result: %s" line)
+         lines)
+  in
+  (results, lines)
+
+let cache_tier line =
+  Option.bind
+    (Json.member "cache" (check_ok "parse" (Json.of_string line)))
+    (fun c ->
+      match Json.member "tier" c with Some (Json.Str t) -> Some t | _ -> None)
+
+let test_serve_mixed_workload () =
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          let results, _ = exchange c workload in
+          Alcotest.(check int) "one response per request" (List.length workload)
+            (List.length results);
+          Alcotest.(check bool) "infeasible is a payload, not an error" true
+            (contains ~affix:"infeasible" (List.assoc "s3" results));
+          Alcotest.(check bool) "check passed" true
+            (contains ~affix:{|"passed":true|} (List.assoc "ck" results));
+          Alcotest.(check string) "pong" {|{"kind":"pong"}|}
+            (List.assoc "pg" results)))
+
+let test_serve_deterministic_across_configs () =
+  (* The same workload against a sequential singleton-batch daemon and
+     a parallel batching one — and against the latter's warm cache —
+     must produce byte-identical result payloads. *)
+  let run ?cache_dir ~domains ~batch_max passes =
+    with_server ?cache_dir ~domains ~batch_max (fun socket ->
+        with_client socket (fun c ->
+            List.init passes (fun _ -> fst (exchange c workload))))
+  in
+  let seq = run ~domains:1 ~batch_max:1 1 in
+  let par = run ~domains:4 ~batch_max:8 2 in
+  let baseline = List.hd seq in
+  List.iter
+    (fun results ->
+      Alcotest.(check bool) "payloads independent of config and cache" true
+        (results = baseline))
+    par
+
+let test_serve_concurrent_connections () =
+  with_server (fun socket ->
+      let out = Array.make 4 [] in
+      let threads =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                with_client socket (fun c -> out.(i) <- fst (exchange c workload)))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iter
+        (fun results ->
+          Alcotest.(check bool) "all connections agree" true (results = out.(0)))
+        out)
+
+let test_serve_cache_tiers () =
+  let cache_dir = Filename.concat (temp_dir "rchls-serve-cache") "cache" in
+  let req = List.hd workload in
+  let first, second =
+    with_server ~cache_dir (fun socket ->
+        with_client socket (fun c ->
+            let _, l1 = exchange c [ req ] in
+            let _, l2 = exchange c [ req ] in
+            (List.hd l1, List.hd l2)))
+  in
+  Alcotest.(check (option string)) "first computes" None (cache_tier first);
+  Alcotest.(check (option string)) "second hits memory" (Some "memory")
+    (cache_tier second);
+  (* a fresh daemon on the same directory answers from disk *)
+  let third, fourth =
+    with_server ~cache_dir (fun socket ->
+        with_client socket (fun c ->
+            let _, l3 = exchange c [ req ] in
+            let _, l4 = exchange c [ req ] in
+            (List.hd l3, List.hd l4)))
+  in
+  Alcotest.(check (option string)) "restart hits disk" (Some "disk")
+    (cache_tier third);
+  Alcotest.(check (option string)) "then memory again" (Some "memory")
+    (cache_tier fourth);
+  let strip line =
+    Json.to_string
+      (Option.get (Json.member "result" (check_ok "parse" (Json.of_string line))))
+  in
+  Alcotest.(check string) "disk payload byte-identical" (strip first) (strip third)
+
+let test_serve_backpressure () =
+  (* queue_max = 0: every miss is refused with the overloaded code. *)
+  with_server ~queue_max:0 (fun socket ->
+      with_client socket (fun c ->
+          let resp = check_ok "call" (Client.call c (List.hd workload)) in
+          (match resp.Response.result with
+          | Error { code = Response.Overloaded; _ } -> ()
+          | _ -> Alcotest.fail "expected the overloaded error");
+          (* ping bypasses the queue entirely *)
+          let pong =
+            check_ok "ping"
+              (Client.call c { Request.id = None; job = Request.Ping })
+          in
+          Alcotest.(check bool) "ping still answers" true
+            (pong.Response.result = Ok Response.Pong)))
+
+let test_serve_rejects_malformed () =
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          check_ok "send" (Client.send_raw c "not json");
+          (match check_ok "recv" (Client.recv c) with
+          | { Response.result = Error { code = Response.Bad_request; _ }; _ } -> ()
+          | _ -> Alcotest.fail "expected bad_request");
+          check_ok "send" (Client.send_raw c {|{"api":"rchls.api/9","job":"ping"}|});
+          match check_ok "recv" (Client.recv c) with
+          | { Response.result = Error { code = Response.Unsupported_version; _ }; _ }
+            -> ()
+          | _ -> Alcotest.fail "expected unsupported_version"))
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "codec",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_request_roundtrip;
+            prop_response_roundtrip;
+            prop_assemble_raw_matches_encode;
+          ] );
+      ( "strictness",
+        [
+          Alcotest.test_case "unknown field rejected" `Quick
+            test_unknown_field_rejected;
+          Alcotest.test_case "duplicate key rejected" `Quick
+            test_duplicate_key_rejected;
+          Alcotest.test_case "version mismatch rejected" `Quick
+            test_version_mismatch_rejected;
+          Alcotest.test_case "missing fields rejected" `Quick
+            test_missing_required_rejected;
+          Alcotest.test_case "defaults applied" `Quick test_defaults_applied;
+          Alcotest.test_case "response strictness" `Quick
+            test_response_unknown_field_rejected;
+        ] );
+      ( "cache-key",
+        [
+          Alcotest.test_case "form independent" `Quick
+            test_cache_key_form_independent;
+          Alcotest.test_case "parameter sensitive" `Quick
+            test_cache_key_param_sensitive;
+        ] );
+      ( "diskcache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_diskcache_roundtrip;
+          Alcotest.test_case "evicts oldest" `Quick test_diskcache_evicts_oldest;
+          Alcotest.test_case "survives reopen" `Quick
+            test_diskcache_survives_reopen;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "mixed workload" `Quick test_serve_mixed_workload;
+          Alcotest.test_case "deterministic across configs" `Quick
+            test_serve_deterministic_across_configs;
+          Alcotest.test_case "concurrent connections" `Quick
+            test_serve_concurrent_connections;
+          Alcotest.test_case "cache tiers" `Quick test_serve_cache_tiers;
+          Alcotest.test_case "backpressure" `Quick test_serve_backpressure;
+          Alcotest.test_case "malformed input" `Quick test_serve_rejects_malformed;
+        ] );
+    ]
