@@ -43,6 +43,7 @@ module Request = Rchls_api.Request
 module Response = Rchls_api.Response
 module Server = Rchls_serve.Server
 module Client = Rchls_serve.Client
+module Dashboard = Rchls_serve.Dashboard
 
 let load_library = Loader.load_library
 
@@ -606,9 +607,19 @@ let serve_addr socket tcp =
   | Some port -> Server.Tcp ("127.0.0.1", port)
   | None -> Server.Unix_socket socket
 
+(* [--metrics ADDR]: an integer is a loopback TCP port, anything else
+   a Unix-domain socket path — same address vocabulary as the main
+   listener. *)
+let metrics_addr spec =
+  match int_of_string_opt spec with
+  | Some port -> Server.Tcp ("127.0.0.1", port)
+  | None -> Server.Unix_socket spec
+
 let serve_cmd =
-  let run socket tcp cache_dir cache_entries domains batch_max queue_max stats =
+  let run socket tcp cache_dir cache_entries domains batch_max queue_max metrics
+      access_log access_log_max_bytes trace_out stats =
     Telemetry.reset ();
+    with_tracing trace_out @@ fun () ->
     let config =
       {
         Server.addr = serve_addr socket tcp;
@@ -617,6 +628,8 @@ let serve_cmd =
         domains;
         batch_max;
         queue_max;
+        metrics = Option.map metrics_addr metrics;
+        access_log = Option.map (fun p -> (p, access_log_max_bytes)) access_log;
       }
     in
     match Server.start config with
@@ -629,6 +642,12 @@ let serve_cmd =
         Printf.eprintf "rchls: serving on %s:%d\n%!" host
           (Option.value ~default:0 (Server.port server))
       | Server.Unix_socket path -> Printf.eprintf "rchls: serving on %s\n%!" path);
+      (match (config.Server.metrics, Server.metrics_port server) with
+      | Some (Server.Tcp (host, _)), Some port ->
+        Printf.eprintf "rchls: metrics on http://%s:%d/\n%!" host port
+      | Some (Server.Unix_socket path), _ ->
+        Printf.eprintf "rchls: metrics on %s\n%!" path
+      | _ -> ());
       let stop = Atomic.make false in
       let request_stop _ = Atomic.set stop true in
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -666,16 +685,37 @@ let serve_cmd =
            ~doc:"Queued-job bound; further requests answer the \
                  $(b,overloaded) error until the queue drains.")
   in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"ADDR"
+           ~doc:"Serve a Prometheus text scrape endpoint on $(docv): a port \
+                 number binds 127.0.0.1:$(docv) (0 = ephemeral, printed on \
+                 stderr), anything else is a Unix-socket path.  Any request \
+                 path answers the exposition; $(b,/json) answers the JSON \
+                 snapshot.")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per request to $(docv) (id, kind, cache \
+                 tier, queue/exec/total ns, bytes, status).  Admin kinds \
+                 (ping, stats, health) are not logged.")
+  in
+  let access_log_max_bytes =
+    Arg.(value & opt int (64 * 1024 * 1024)
+         & info [ "access-log-max-bytes" ] ~docv:"N"
+             ~doc:"Rotate the access log ($(b,FILE) to $(b,FILE.1)) before it \
+                   would exceed $(docv) bytes.")
+  in
   let doc = "Run the synthesis daemon (rchls.api/1 NDJSON over a socket)." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ cache_dir $ cache_entries $ domains
-      $ batch_max $ queue_max $ stats_arg)
+      $ batch_max $ queue_max $ metrics $ access_log $ access_log_max_bytes
+      $ trace_out_arg $ stats_arg)
 
 (* --- request --- *)
 
 let request_cmd =
-  let run socket tcp file =
+  let run socket tcp verbose file =
     let client =
       or_die
         (match tcp with
@@ -711,8 +751,31 @@ let request_cmd =
            | Ok reply ->
              print_endline reply;
              (match Response.of_string reply with
-             | Ok { Response.result = Ok _; _ } -> ()
-             | Ok { Response.result = Error _; _ } -> code := 2
+             | Ok ({ Response.result; _ } as r) ->
+               if verbose then begin
+                 let tier =
+                   match r.Response.cache with
+                   | Some { Response.tier = Response.Memory; _ } -> "memory"
+                   | Some { Response.tier = Response.Disk; _ } -> "disk"
+                   | None -> "computed"
+                 in
+                 let timing =
+                   match r.Response.timing with
+                   | Some t ->
+                     Printf.sprintf " total=%s queue=%s exec=%s"
+                       (Telemetry.format_ns (Int64.of_int t.Response.total_ns))
+                       (Telemetry.format_ns (Int64.of_int t.Response.queue_ns))
+                       (Telemetry.format_ns (Int64.of_int t.Response.exec_ns))
+                   | None -> ""
+                 in
+                 Printf.eprintf "rchls: id=%s status=%s tier=%s%s\n%!"
+                   (Option.value ~default:"-" r.Response.id)
+                   (match result with
+                   | Ok _ -> "ok"
+                   | Error e -> Response.error_code_name e.Response.code)
+                   tier timing
+               end;
+               (match result with Ok _ -> () | Error _ -> code := 2)
              | Error _ -> code := max !code 1)
          end
        done
@@ -726,8 +789,95 @@ let request_cmd =
                  $(b,-) for stdin.  Responses print to stdout, one line per \
                  request.")
   in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ]
+           ~doc:"Print per-response metadata to stderr: request id, status, \
+                 cache tier (memory/disk/computed) and the server-side \
+                 latency breakdown from the response envelope.")
+  in
   let doc = "Send API request lines to a running rchls serve daemon." in
-  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket_arg $ tcp_arg $ file)
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ verbose $ file)
+
+(* --- top --- *)
+
+let top_cmd =
+  let run socket tcp interval iterations =
+    let client =
+      or_die
+        (match tcp with
+        | Some port -> Client.connect_tcp ~host:"127.0.0.1" ~port
+        | None -> Client.connect_unix socket)
+    in
+    let call job =
+      match
+        Client.call client { Request.id = Some (Request.job_kind job); job }
+      with
+      | Error e ->
+        Printf.eprintf "rchls: %s\n" e;
+        exit 1
+      | Ok { Response.result = Error e; _ } ->
+        Printf.eprintf "rchls: server error: %s\n" e.Response.message;
+        exit 2
+      | Ok { Response.result = Ok payload; _ } -> payload
+    in
+    let poll () =
+      let stats =
+        match call Request.Stats with
+        | Response.Stats_snapshot s -> s
+        | _ ->
+          Printf.eprintf "rchls: unexpected payload for stats\n";
+          exit 2
+      in
+      let health =
+        match call Request.Health with
+        | Response.Health_report h -> Some h
+        | _ -> None
+      in
+      (stats, health)
+    in
+    let clear = Unix.isatty Unix.stdout in
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    let prev = ref None in
+    let prev_at = ref (Unix.gettimeofday ()) in
+    let frames = ref 0 in
+    (try
+       while
+         (not (Atomic.get stop))
+         && (iterations = 0 || !frames < iterations)
+       do
+         let stats, health = poll () in
+         let now = Unix.gettimeofday () in
+         let dt_s = now -. !prev_at in
+         let frame = Dashboard.render ?prev:!prev ?health ~dt_s stats in
+         if clear then print_string "\x1b[2J\x1b[H";
+         print_string frame;
+         flush stdout;
+         prev := Some stats;
+         prev_at := now;
+         incr frames;
+         if iterations = 0 || !frames < iterations then
+           try Unix.sleepf interval
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       done
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    Client.close client
+  in
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between polls of the daemon's $(b,stats) kind.")
+  in
+  let iterations =
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Render $(docv) frames and exit (0 = run until interrupted).  \
+                 The first frame shows cumulative totals, later frames \
+                 interval rates.")
+  in
+  let doc = "Live dashboard for a running rchls serve daemon." in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ interval $ iterations)
 
 let () =
   let doc = "reliability-centric high-level synthesis (DATE 2005 reproduction)" in
@@ -745,4 +895,5 @@ let () =
             fuzz_cmd;
             serve_cmd;
             request_cmd;
+            top_cmd;
           ]))

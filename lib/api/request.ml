@@ -32,7 +32,15 @@ type fuzz = {
   properties : string list option;
 }
 
-type job = Synth of synth | Sweep of sweep | Check of synth | Fuzz of fuzz | Ping
+type job =
+  | Synth of synth
+  | Sweep of sweep
+  | Check of synth
+  | Fuzz of fuzz
+  | Ping
+  | Stats
+  | Health
+
 type t = { id : string option; job : job }
 
 let job_kind = function
@@ -41,6 +49,8 @@ let job_kind = function
   | Check _ -> "check"
   | Fuzz _ -> "fuzz"
   | Ping -> "ping"
+  | Stats -> "stats"
+  | Health -> "health"
 
 (* --- closed name tables (encode and decode share one source) ------- *)
 
@@ -102,7 +112,7 @@ let params_json = function
     @ (match f.properties with
       | None -> []
       | Some ps -> [ ("properties", Json.List (List.map (fun p -> Json.Str p) ps)) ])
-  | Ping -> []
+  | Ping | Stats | Health -> []
 
 let encode t =
   Json.Obj
@@ -214,10 +224,17 @@ let decode j =
     | "ping" ->
       let* _ = Schema.obj ~what:"ping.params" ~allowed:[] params in
       Ok Ping
+    | "stats" ->
+      let* _ = Schema.obj ~what:"stats.params" ~allowed:[] params in
+      Ok Stats
+    | "health" ->
+      let* _ = Schema.obj ~what:"health.params" ~allowed:[] params in
+      Ok Health
     | other ->
       Error
         (Printf.sprintf
-           "request: unknown job kind %S (one of: synth, sweep, check, fuzz, ping)"
+           "request: unknown job kind %S (one of: synth, sweep, check, fuzz, \
+            ping, stats, health)"
            other)
   in
   Ok { id; job }
@@ -257,7 +274,7 @@ let cache_key ?graph_text ?library_text job =
     Some (Fnv.hash_string (Json.to_string doc))
   in
   match job with
-  | Ping -> None
+  | Ping | Stats | Health -> None
   | Fuzz _ -> keyed (params_json job)
   | Synth _ | Check _ | Sweep _ -> (
     match replace (params_json job) with None -> None | Some ps -> keyed ps)

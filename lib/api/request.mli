@@ -73,6 +73,13 @@ type job =
           violations *)
   | Fuzz of fuzz
   | Ping  (** health check; never queued, never cached *)
+  | Stats
+      (** admin: a live metrics snapshot (counters, gauges,
+          rolling-window latency percentiles); answered inline by the
+          daemon — never queued, never cached *)
+  | Health
+      (** admin: liveness + saturation summary (queue depth vs. limit,
+          in-flight jobs); answered inline like {!Stats} *)
 
 type t = {
   id : string option;
@@ -82,7 +89,8 @@ type t = {
 }
 
 val job_kind : job -> string
-(** ["synth" | "sweep" | "check" | "fuzz" | "ping"]. *)
+(** ["synth" | "sweep" | "check" | "fuzz" | "ping" | "stats" |
+    "health"]. *)
 
 val encode : t -> Json.t
 (** Canonical encoding: every parameter is emitted explicitly (no
@@ -105,7 +113,7 @@ val cache_key :
     requested by name and the same graph sent inline share one cache
     entry, and a changed library file changes the key.  [graph_text] /
     [library_text] are the resolved texts (required for jobs that
-    carry sources; ignored by {!Fuzz}).  [None] for {!Ping}, which is
-    never cached, and for source-carrying jobs whose resolved texts
-    were not supplied.  The key doubles as the on-disk cache file name
-    (16 hex digits; see DESIGN.md §12). *)
+    carry sources; ignored by {!Fuzz}).  [None] for {!Ping}, {!Stats}
+    and {!Health}, which are never cached, and for source-carrying
+    jobs whose resolved texts were not supplied.  The key doubles as
+    the on-disk cache file name (16 hex digits; see DESIGN.md §12). *)

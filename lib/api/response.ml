@@ -32,6 +32,31 @@ type fuzz_outcome = {
   failure : fuzz_failure option;
 }
 
+type window_stat = {
+  count : int;
+  sum_ns : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;
+  window_ns : int;
+}
+
+type stats = {
+  uptime_ns : int;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  windows : (string * window_stat) list;
+}
+
+type health = {
+  healthy : bool;
+  uptime_ns : int;
+  queue_depth : int;
+  queue_max : int;
+  in_flight : int;
+}
+
 type payload =
   | Design of (design_summary, failure) result
   | Sweep_cells of cell list
@@ -41,16 +66,20 @@ type payload =
     }
   | Fuzz_report of fuzz_outcome list
   | Pong
+  | Stats_snapshot of stats
+  | Health_report of health
 
 type error_code = Bad_request | Unsupported_version | Overloaded | Internal
 type error = { code : error_code; message : string }
 type tier = Memory | Disk
 type cache_info = { tier : tier; key : string }
+type timing = { queue_ns : int; exec_ns : int; total_ns : int }
 
 type t = {
   id : string option;
   result : (payload, error) result;
   cache : cache_info option;
+  timing : timing option;
 }
 
 let error_codes =
@@ -142,6 +171,42 @@ let fuzz_outcome_json (o : fuzz_outcome) =
             ] );
       ])
 
+let int_map_json xs = Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) xs)
+
+let window_stat_json (w : window_stat) =
+  Json.Obj
+    [
+      ("count", Json.Int w.count);
+      ("sum_ns", Json.Int w.sum_ns);
+      ("p50_ns", Json.Float w.p50_ns);
+      ("p90_ns", Json.Float w.p90_ns);
+      ("p99_ns", Json.Float w.p99_ns);
+      ("max_ns", Json.Int w.max_ns);
+      ("window_ns", Json.Int w.window_ns);
+    ]
+
+let stats_json (s : stats) =
+  Json.Obj
+    [
+      ("kind", Json.Str "stats");
+      ("uptime_ns", Json.Int s.uptime_ns);
+      ("counters", int_map_json s.counters);
+      ("gauges", int_map_json s.gauges);
+      ( "windows",
+        Json.Obj (List.map (fun (n, w) -> (n, window_stat_json w)) s.windows) );
+    ]
+
+let health_json (h : health) =
+  Json.Obj
+    [
+      ("kind", Json.Str "health");
+      ("healthy", Json.Bool h.healthy);
+      ("uptime_ns", Json.Int h.uptime_ns);
+      ("queue_depth", Json.Int h.queue_depth);
+      ("queue_max", Json.Int h.queue_max);
+      ("in_flight", Json.Int h.in_flight);
+    ]
+
 let payload_to_json = function
   | Design r -> design_result_to_json r
   | Sweep_cells cells ->
@@ -162,9 +227,19 @@ let payload_to_json = function
         ("outcomes", Json.List (List.map fuzz_outcome_json outcomes));
       ]
   | Pong -> Json.Obj [ ("kind", Json.Str "pong") ]
+  | Stats_snapshot s -> stats_json s
+  | Health_report h -> health_json h
 
 let cache_json c =
   Json.Obj [ ("tier", Json.Str (tier_name c.tier)); ("key", Json.Str c.key) ]
+
+let timing_json tm =
+  Json.Obj
+    [
+      ("queue_ns", Json.Int tm.queue_ns);
+      ("exec_ns", Json.Int tm.exec_ns);
+      ("total_ns", Json.Int tm.total_ns);
+    ]
 
 let encode t =
   Json.Obj
@@ -182,7 +257,8 @@ let encode t =
                 ("message", Json.Str e.message);
               ] );
         ])
-    @ match t.cache with None -> [] | Some c -> [ ("cache", cache_json c) ])
+    @ (match t.cache with None -> [] | Some c -> [ ("cache", cache_json c) ])
+    @ match t.timing with None -> [] | Some tm -> [ ("timing", timing_json tm) ])
 
 let to_string t = Json.to_string (encode t)
 
@@ -190,7 +266,7 @@ let to_string t = Json.to_string (encode t)
    hit): splice the raw JSON between the same prefix/suffix fields
    [encode] would emit, so cached and freshly computed responses are
    byte-compatible on the wire. *)
-let assemble_raw ~id ~cache payload_json =
+let assemble_raw ~id ~cache ?timing payload_json =
   let buf = Buffer.create (String.length payload_json + 128) in
   Buffer.add_string buf "{\"api\":";
   Buffer.add_string buf (Json.to_string (Json.Str Schema.api));
@@ -206,6 +282,11 @@ let assemble_raw ~id ~cache payload_json =
   | Some c ->
     Buffer.add_string buf ",\"cache\":";
     Buffer.add_string buf (Json.to_string (cache_json c)));
+  (match timing with
+  | None -> ()
+  | Some tm ->
+    Buffer.add_string buf ",\"timing\":";
+    Buffer.add_string buf (Json.to_string (timing_json tm)));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -318,6 +399,72 @@ let rec map_result f = function
     let* ys = map_result f tl in
     Ok (y :: ys)
 
+(* [counters]/[gauges]/[windows] carry arbitrary metric names as keys,
+   so [Schema.obj]'s closed allowed-list does not apply — but the
+   strictness contract (no duplicate keys) still does. *)
+let decode_named_map ~what f name value_of =
+  match Schema.mem f name with
+  | None -> Error (Printf.sprintf "%s: missing field %S" what name)
+  | Some (Json.Obj fields) ->
+    let w = what ^ "." ^ name in
+    let rec go seen acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: tl ->
+        if List.mem k seen then
+          Error (Printf.sprintf "%s: duplicate key %S" w k)
+        else
+          let* v = value_of ~what:(Printf.sprintf "%s[%s]" w k) v in
+          go (k :: seen) ((k, v) :: acc) tl
+    in
+    go [] [] fields
+  | Some _ -> Error (Printf.sprintf "%s: field %S must be an object" what name)
+
+let decode_int_value ~what = function
+  | j when Json.to_int_opt j <> None -> Ok (Option.get (Json.to_int_opt j))
+  | _ -> Error (what ^ ": must be an integer")
+
+let decode_window_stat ~what j =
+  let* g =
+    Schema.obj ~what
+      ~allowed:
+        [ "count"; "sum_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns"; "window_ns" ]
+      j
+  in
+  let* count = Schema.int_field g ~what "count" in
+  let* sum_ns = Schema.int_field g ~what "sum_ns" in
+  let* p50_ns = Schema.float_field g ~what "p50_ns" in
+  let* p90_ns = Schema.float_field g ~what "p90_ns" in
+  let* p99_ns = Schema.float_field g ~what "p99_ns" in
+  let* max_ns = Schema.int_field g ~what "max_ns" in
+  let* window_ns = Schema.int_field g ~what "window_ns" in
+  Ok { count; sum_ns; p50_ns; p90_ns; p99_ns; max_ns; window_ns }
+
+let decode_stats ~what j =
+  let* f =
+    Schema.obj ~what
+      ~allowed:[ "kind"; "uptime_ns"; "counters"; "gauges"; "windows" ]
+      j
+  in
+  let* uptime_ns = Schema.int_field f ~what "uptime_ns" in
+  let* counters = decode_named_map ~what f "counters" decode_int_value in
+  let* gauges = decode_named_map ~what f "gauges" decode_int_value in
+  let* windows = decode_named_map ~what f "windows" decode_window_stat in
+  Ok { uptime_ns; counters; gauges; windows }
+
+let decode_health ~what j =
+  let* f =
+    Schema.obj ~what
+      ~allowed:
+        [ "kind"; "healthy"; "uptime_ns"; "queue_depth"; "queue_max"; "in_flight" ]
+      j
+  in
+  let* healthy = Schema.bool_default f ~what "healthy" ~default:false in
+  let* uptime_ns = Schema.int_field f ~what "uptime_ns" in
+  let* queue_depth = Schema.int_field f ~what "queue_depth" in
+  let* queue_max = Schema.int_field f ~what "queue_max" in
+  let* in_flight = Schema.int_field f ~what "in_flight" in
+  Ok { healthy; uptime_ns; queue_depth; queue_max; in_flight }
+
 let payload_of_json j =
   let what = "result" in
   let* kind =
@@ -369,12 +516,20 @@ let payload_of_json j =
   | "pong" ->
     let* _ = Schema.obj ~what ~allowed:[ "kind" ] j in
     Ok Pong
+  | "stats" ->
+    let* s = decode_stats ~what j in
+    Ok (Stats_snapshot s)
+  | "health" ->
+    let* h = decode_health ~what j in
+    Ok (Health_report h)
   | other -> Error (Printf.sprintf "%s: unknown payload kind %S" what other)
 
 let decode j =
   let what = "response" in
   let* f =
-    Schema.obj ~what ~allowed:[ "api"; "id"; "status"; "result"; "error"; "cache" ] j
+    Schema.obj ~what
+      ~allowed:[ "api"; "id"; "status"; "result"; "error"; "cache"; "timing" ]
+      j
   in
   let* () = Schema.check_version ~what ~expect:Schema.api f in
   let* id = Schema.str_opt f ~what "id" in
@@ -418,7 +573,20 @@ let decode j =
       let* key = Schema.str g ~what:cw "key" in
       Ok (Some { tier; key })
   in
-  Ok { id; result; cache }
+  let* timing =
+    match Schema.mem f "timing" with
+    | None -> Ok None
+    | Some tj ->
+      let tw = what ^ ".timing" in
+      let* g =
+        Schema.obj ~what:tw ~allowed:[ "queue_ns"; "exec_ns"; "total_ns" ] tj
+      in
+      let* queue_ns = Schema.int_field g ~what:tw "queue_ns" in
+      let* exec_ns = Schema.int_field g ~what:tw "exec_ns" in
+      let* total_ns = Schema.int_field g ~what:tw "total_ns" in
+      Ok (Some { queue_ns; exec_ns; total_ns })
+  in
+  Ok { id; result; cache; timing }
 
 let of_string line =
   match Json.of_string line with

@@ -53,6 +53,32 @@ type fuzz_outcome = {
   failure : fuzz_failure option;
 }
 
+type window_stat = {
+  count : int;  (** observations inside the sliding window *)
+  sum_ns : int;
+  p50_ns : float;  (** log2-bucket estimates (see Rchls_util.Metrics) *)
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;  (** exact *)
+  window_ns : int;  (** the window the stat covers *)
+}
+
+type stats = {
+  uptime_ns : int;
+  counters : (string * int) list;  (** cumulative Telemetry counters *)
+  gauges : (string * int) list;  (** instantaneous values *)
+  windows : (string * window_stat) list;
+      (** rolling-window latency percentiles *)
+}
+
+type health = {
+  healthy : bool;
+  uptime_ns : int;
+  queue_depth : int;  (** jobs waiting for the scheduler *)
+  queue_max : int;  (** admission limit ([Overloaded] beyond it) *)
+  in_flight : int;  (** jobs currently executing on the pool *)
+}
+
 type payload =
   | Design of (design_summary, failure) result
       (** a synthesis result: achieved design or structured
@@ -66,6 +92,8 @@ type payload =
     }
   | Fuzz_report of fuzz_outcome list
   | Pong
+  | Stats_snapshot of stats  (** answer to the [stats] admin kind *)
+  | Health_report of health  (** answer to the [health] admin kind *)
 
 type error_code = Bad_request | Unsupported_version | Overloaded | Internal
 
@@ -78,11 +106,20 @@ type cache_info = {
   key : string;  (** the 16-hex-digit response-cache key *)
 }
 
+type timing = {
+  queue_ns : int;  (** admission-queue wait (0 for inline answers) *)
+  exec_ns : int;  (** job execution on the pool (or cache lookup) *)
+  total_ns : int;  (** receipt of the request line to response write *)
+}
+
 type t = {
   id : string option;  (** echo of the request id *)
   result : (payload, error) result;
   cache : cache_info option;
       (** present iff the payload was served from a warm tier *)
+  timing : timing option;
+      (** server-side latency breakdown; the daemon stamps it on every
+          response, in-process execution leaves it [None] *)
 }
 
 val payload_to_json : payload -> Json.t
@@ -103,11 +140,13 @@ val encode : t -> Json.t
 val to_string : t -> string
 (** Compact one-line rendering — the serve wire form. *)
 
-val assemble_raw : id:string option -> cache:cache_info option -> string -> string
-(** [assemble_raw ~id ~cache payload_json] builds the same wire line
-    as [to_string] for a successful response whose payload is already
-    serialized (a cache-tier hit) — the envelope logic stays in this
-    module so cached and computed responses are byte-compatible. *)
+val assemble_raw :
+  id:string option -> cache:cache_info option -> ?timing:timing -> string -> string
+(** [assemble_raw ~id ~cache ?timing payload_json] builds the same
+    wire line as [to_string] for a successful response whose payload
+    is already serialized (a cache-tier hit) — the envelope logic
+    stays in this module so cached and computed responses are
+    byte-compatible. *)
 
 val decode : Json.t -> (t, string) result
 

@@ -6,6 +6,7 @@ module Rc = Rchls_core.Reliability_centric
 module Check = Rchls_check.Check
 module Fuzz = Rchls_check.Fuzz
 module Fnv = Rchls_util.Fnv
+module Metrics = Rchls_util.Metrics
 
 (* --- API <-> core conversions -------------------------------------- *)
 
@@ -130,7 +131,7 @@ let resolve graph_src library_src =
 
 let cache_key job =
   match (job : Request.job) with
-  | Request.Ping -> Ok None
+  | Request.Ping | Request.Stats | Request.Health -> Ok None
   | Request.Fuzz _ -> Ok (Request.cache_key job)
   | Request.Synth { graph; library; _ }
   | Request.Check { graph; library; _ }
@@ -210,11 +211,47 @@ let payload_of_sweep cells =
 let payload_of_fuzz outcomes =
   Response.Fuzz_report (List.map outcome_of_fuzz outcomes)
 
+let window_stat_of_metrics (s : Metrics.Rolling.stat) =
+  {
+    Response.count = s.count;
+    sum_ns = Int64.to_int s.sum_ns;
+    p50_ns = s.p50_ns;
+    p90_ns = s.p90_ns;
+    p99_ns = s.p99_ns;
+    max_ns = Int64.to_int s.max_ns;
+    window_ns = Int64.to_int s.window_ns;
+  }
+
+let stats_payload () =
+  let snap = Metrics.snapshot () in
+  Response.Stats_snapshot
+    {
+      Response.uptime_ns = Int64.to_int (Metrics.uptime_ns ());
+      counters = snap.counters;
+      gauges = snap.gauges;
+      windows = List.map (fun (n, s) -> (n, window_stat_of_metrics s)) snap.windows;
+    }
+
+let health_payload ~healthy ~queue_depth ~queue_max ~in_flight =
+  Response.Health_report
+    {
+      Response.healthy;
+      uptime_ns = Int64.to_int (Metrics.uptime_ns ());
+      queue_depth;
+      queue_max;
+      in_flight;
+    }
+
 let run_job ?service ?domains job =
   let bad msg = Error { Response.code = Response.Bad_request; message = msg } in
   match
     match (job : Request.job) with
     | Request.Ping -> Ok Response.Pong
+    | Request.Stats -> Ok (stats_payload ())
+    | Request.Health ->
+      (* In-process execution has no admission queue or pool of its
+         own; the daemon overrides all four fields with live values. *)
+      Ok (health_payload ~healthy:true ~queue_depth:0 ~queue_max:0 ~in_flight:0)
     | Request.Synth s -> (
       match run_synth ?service ?domains s with
       | Ok r -> Ok (payload_of_synth r)

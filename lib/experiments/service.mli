@@ -112,11 +112,30 @@ val payload_of_check :
 val payload_of_sweep : Sweep.cell list -> Response.payload
 val payload_of_fuzz : Fuzz.outcome list -> Response.payload
 
+val stats_payload : unit -> Response.payload
+(** A {!Response.Stats_snapshot} of this process's live metrics
+    ([Rchls_util.Metrics.snapshot]: Telemetry counters, gauges,
+    rolling-window latency percentiles) plus process uptime — the
+    answer to the [stats] admin kind, shared by the daemon and
+    in-process execution. *)
+
+val health_payload :
+  healthy:bool ->
+  queue_depth:int ->
+  queue_max:int ->
+  in_flight:int ->
+  Response.payload
+(** A {!Response.Health_report}; the caller supplies the saturation
+    figures (the daemon knows its queue, in-process execution has
+    none). *)
+
 val run_job :
   ?service:t ->
   ?domains:int ->
   Request.job ->
   (Response.payload, Response.error) result
 (** The complete executor the daemon dispatches to: load failures map
-    to [Bad_request], unexpected exceptions to [Internal], and
-    {!Request.Ping} answers [Pong] without touching any cache. *)
+    to [Bad_request], unexpected exceptions to [Internal], and the
+    inline kinds answer without touching any cache ({!Request.Ping} →
+    [Pong], {!Request.Stats} → a live metrics snapshot,
+    {!Request.Health} → a liveness report with zero queue figures). *)

@@ -1,0 +1,98 @@
+module Response = Rchls_api.Response
+module Tablefmt = Rchls_util.Tablefmt
+module Telemetry = Rchls_util.Telemetry
+
+let counter (s : Response.stats) name =
+  Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let gauge (s : Response.stats) name =
+  Option.value ~default:0 (List.assoc_opt name s.gauges)
+
+let human_count n =
+  if n < 10_000 then string_of_int n
+  else if n < 10_000_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1e3)
+  else Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+
+let human_seconds s =
+  let s = int_of_float s in
+  if s < 60 then Printf.sprintf "%ds" s
+  else if s < 3600 then Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+  else Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+(* Unsigned shares — [Tablefmt.pct_cell] is signed, meant for deltas. *)
+let share num den = Printf.sprintf "%.1f%%" (100. *. ratio num den)
+
+(* A throughput cell: the interval rate when a previous snapshot
+   exists, the cumulative total otherwise. *)
+let flow ?prev ~dt_s cur name =
+  match prev with
+  | Some p when dt_s > 0. ->
+    Printf.sprintf "%.1f/s" (float_of_int (counter cur name - counter p name) /. dt_s)
+  | _ -> human_count (counter cur name)
+
+let render ?prev ?health ~dt_s (s : Response.stats) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "rchls top — up %s"
+       (human_seconds (float_of_int s.uptime_ns /. 1e9)));
+  (match health with
+  | Some (h : Response.health) ->
+    Buffer.add_string b
+      (Printf.sprintf " — %s — queue %d/%d, in-flight %d"
+         (if h.healthy then "healthy" else "UNHEALTHY")
+         h.queue_depth h.queue_max h.in_flight)
+  | None ->
+    Buffer.add_string b
+      (Printf.sprintf " — queue %d, in-flight %d"
+         (gauge s "serve.queue_depth") (gauge s "serve.inflight")));
+  Buffer.add_string b
+    (Printf.sprintf " — %d conns, %d domains\n\n"
+       (gauge s "serve.connections")
+       (gauge s "serve.pool_domains"));
+  let hits = counter s "serve.hits.memory" + counter s "serve.hits.disk" in
+  let reqs = counter s "serve.requests" in
+  let flow = flow ?prev ~dt_s s in
+  let tp =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Right; Right ]
+      [ "traffic"; (match prev with Some _ -> "rate" | None -> "total"); "share" ]
+  in
+  Tablefmt.add_row tp [ "requests"; flow "serve.requests"; "" ];
+  Tablefmt.add_row tp
+    [ "hits (memory)"; flow "serve.hits.memory";
+      share (counter s "serve.hits.memory") reqs ];
+  Tablefmt.add_row tp
+    [ "hits (disk)"; flow "serve.hits.disk";
+      share (counter s "serve.hits.disk") reqs ];
+  Tablefmt.add_row tp
+    [ "misses"; flow "serve.misses"; share (counter s "serve.misses") reqs ];
+  Tablefmt.add_row tp [ "hit ratio"; ""; share hits reqs ];
+  Tablefmt.add_row tp [ "overloaded"; flow "serve.overloaded"; "" ];
+  Tablefmt.add_row tp [ "response bytes"; flow "serve.response_bytes"; "" ];
+  Buffer.add_string b (Tablefmt.render tp);
+  Buffer.add_char b '\n';
+  if s.windows <> [] then begin
+    Buffer.add_char b '\n';
+    let lt =
+      Tablefmt.create
+        ~aligns:[ Tablefmt.Left; Right; Right; Right; Right; Right ]
+        [ "latency (rolling)"; "n"; "p50"; "p90"; "p99"; "max" ]
+    in
+    List.iter
+      (fun (name, (w : Response.window_stat)) ->
+        Tablefmt.add_row lt
+          [
+            name;
+            string_of_int w.count;
+            Telemetry.format_ns_f w.p50_ns;
+            Telemetry.format_ns_f w.p90_ns;
+            Telemetry.format_ns_f w.p99_ns;
+            Telemetry.format_ns (Int64.of_int w.max_ns);
+          ])
+      s.windows;
+    Buffer.add_string b (Tablefmt.render lt);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b

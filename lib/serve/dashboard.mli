@@ -1,0 +1,24 @@
+(** The [rchls top] rendering: one live-daemon dashboard frame from
+    [stats]/[health] snapshots.
+
+    Pure — the frame is a function of the current snapshot, the
+    previous one (for interval rates; omitted on the first poll, which
+    then shows cumulative totals), the poll interval, and an optional
+    health report.  The polling loop, terminal clearing and timing
+    live in the CLI; keeping the rendering pure makes every frame
+    unit-testable. *)
+
+module Response = Rchls_api.Response
+
+val render :
+  ?prev:Response.stats ->
+  ?health:Response.health ->
+  dt_s:float ->
+  Response.stats ->
+  string
+(** One frame: a status header (uptime, health, queue/in-flight/
+    connection gauges), a throughput table (requests, cache tiers with
+    hit ratio, errors, response bytes — per second against [prev] over
+    [dt_s], cumulative when [prev] is absent) and a latency table (one
+    row per rolling window: count, p50/p90/p99, max).  Ends with a
+    newline. *)

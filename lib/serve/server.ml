@@ -6,6 +6,8 @@ module Fnv = Rchls_util.Fnv
 module Pool = Rchls_util.Pool
 module Diskcache = Rchls_util.Diskcache
 module Telemetry = Rchls_util.Telemetry
+module Metrics = Rchls_util.Metrics
+module Trace = Rchls_util.Trace
 module Service = Rchls_experiments.Service
 
 type addr = Unix_socket of string | Tcp of string * int
@@ -17,6 +19,8 @@ type config = {
   domains : int option;
   batch_max : int;
   queue_max : int;
+  metrics : addr option;
+  access_log : (string * int) option;
 }
 
 let default_config addr =
@@ -27,6 +31,8 @@ let default_config addr =
     domains = None;
     batch_max = 8;
     queue_max = 64;
+    metrics = None;
+    access_log = None;
   }
 
 type conn = {
@@ -36,7 +42,13 @@ type conn = {
   write_mutex : Mutex.t;
 }
 
-type job = { conn : conn; id : string option; req : Request.job; key : int64 option }
+type job = {
+  conn : conn;
+  id : string option;
+  req : Request.job;
+  key : int64 option;
+  arrival : int64;  (* monotonic ns at request-line receipt *)
+}
 
 type t = {
   config : config;
@@ -52,8 +64,12 @@ type t = {
   running : bool Atomic.t;
   conns : (Unix.file_descr, conn) Hashtbl.t;
   conns_mutex : Mutex.t;
+  access : Access_log.t option;
+  metrics_fd : Unix.file_descr option;
+  metrics_bound : Unix.sockaddr option;
   mutable accept_thread : Thread.t option;
   mutable scheduler_thread : Thread.t option;
+  mutable metrics_thread : Thread.t option;
   mutable reader_threads : Thread.t list;
   readers_mutex : Mutex.t;
   mutable stopped : bool;
@@ -66,19 +82,45 @@ let locked m f =
 (* --- wire output ---------------------------------------------------- *)
 
 (* A dead peer must not kill the server: write failures only mean the
-   response has no reader anymore. *)
+   response has no reader anymore.  Every write is counted — response
+   bytes are a first-class serving metric — and the byte count comes
+   back so the caller can access-log it. *)
 let write_line conn line =
+  let len = String.length line + 1 in
+  Telemetry.incr "serve.responses";
+  Telemetry.add "serve.response_bytes" len;
   locked conn.write_mutex (fun () ->
       try
         output_string conn.oc line;
         output_char conn.oc '\n';
         flush conn.oc
-      with Sys_error _ | Unix.Unix_error _ -> ())
+      with Sys_error _ | Unix.Unix_error _ -> ());
+  len
 
 let respond conn (r : Response.t) = write_line conn (Response.to_string r)
 
-let respond_error conn ~id code message =
-  respond conn { Response.id; result = Error { code; message }; cache = None }
+let respond_error ?timing conn ~id code message =
+  respond conn
+    { Response.id; result = Error { code; message }; cache = None; timing }
+
+(* --- per-request accounting ------------------------------------------ *)
+
+let elapsed_ns since = Int64.to_int (Int64.sub (Telemetry.now_ns ()) since)
+
+(* One access-log record + the [serve.request] rolling window per
+   decoded request; admin kinds ([ping]/[stats]/[health]) are kept out
+   of both so [serve.requests] always equals the number of log
+   records covering the same interval. *)
+let account t ~arrival ~id ~kind ~tier ~queue_ns ~exec_ns ~bytes ~status =
+  let total_ns = elapsed_ns arrival in
+  Metrics.observe_window "serve.request" (Int64.of_int total_ns);
+  Option.iter
+    (fun log ->
+      Access_log.write log
+        { Access_log.id; kind; tier; queue_ns; exec_ns; total_ns; bytes; status })
+    t.access
+
+let tier_label = function Response.Memory -> "memory" | Response.Disk -> "disk"
 
 (* --- the two-tier response cache ------------------------------------ *)
 
@@ -130,11 +172,14 @@ let cache_store t key payload_json =
 
 (* --- request handling ----------------------------------------------- *)
 
+let queue_depth t = locked t.queue_mutex (fun () -> Queue.length t.queue)
+
 let enqueue t job =
   locked t.queue_mutex (fun () ->
       if Queue.length t.queue >= t.config.queue_max then false
       else begin
         Queue.add job t.queue;
+        Metrics.gauge_set "serve.queue_depth" (Queue.length t.queue);
         Condition.signal t.queue_cond;
         true
       end)
@@ -147,21 +192,52 @@ let is_version_error msg =
   let rec scan i = i + n <= m && (String.sub msg i n = needle || scan (i + 1)) in
   scan 0
 
+(* [stats]/[health] answer inline from the serving thread — they must
+   work precisely when the queue is saturated, which is when queueing
+   them would starve them.  A [stats] answer flushes the access log
+   first so a reader correlating the snapshot with the log sees every
+   record the counters already cover. *)
+let answer_admin conn ~arrival ~id payload =
+  let exec_ns = elapsed_ns arrival in
+  let timing =
+    Some { Response.queue_ns = 0; exec_ns; total_ns = elapsed_ns arrival }
+  in
+  ignore (respond conn { Response.id; result = Ok payload; cache = None; timing })
+
 let handle_line t conn line =
+  let arrival = Telemetry.now_ns () in
   if String.trim line <> "" then
     match Request.of_string line with
     | Error msg ->
+      Telemetry.incr "serve.malformed";
       let code =
         if is_version_error msg then Response.Unsupported_version
         else Response.Bad_request
       in
-      respond_error conn ~id:None code msg
+      ignore (respond_error conn ~id:None code msg)
     | Ok { id; job = Request.Ping } ->
-      respond conn { Response.id; result = Ok Response.Pong; cache = None }
+      Telemetry.incr "serve.pings";
+      answer_admin conn ~arrival ~id Response.Pong
+    | Ok { id; job = Request.Stats } ->
+      Telemetry.incr "serve.admin.stats";
+      Option.iter Access_log.flush t.access;
+      answer_admin conn ~arrival ~id (Service.stats_payload ())
+    | Ok { id; job = Request.Health } ->
+      Telemetry.incr "serve.admin.health";
+      let depth = queue_depth t in
+      answer_admin conn ~arrival ~id
+        (Service.health_payload
+           ~healthy:(Atomic.get t.running && depth < t.config.queue_max)
+           ~queue_depth:depth ~queue_max:t.config.queue_max
+           ~in_flight:(Metrics.gauge "serve.inflight"))
     | Ok { id; job } -> (
       Telemetry.incr "serve.requests";
+      let kind = Request.job_kind job in
       match Service.cache_key job with
-      | Error msg -> respond_error conn ~id Response.Bad_request msg
+      | Error msg ->
+        let bytes = respond_error conn ~id Response.Bad_request msg in
+        account t ~arrival ~id ~kind ~tier:None ~queue_ns:0 ~exec_ns:0 ~bytes
+          ~status:"bad_request"
       | Ok key -> (
         match Option.bind key (cache_find t) with
         | Some (tier, payload_json) ->
@@ -169,28 +245,42 @@ let handle_line t conn line =
             (match tier with
             | Response.Memory -> "serve.hits.memory"
             | Response.Disk -> "serve.hits.disk");
-          write_line conn
-            (Response.assemble_raw ~id
-               ~cache:
-                 (Some
-                    {
-                      Response.tier;
-                      key = Fnv.to_hex (Option.get key);
-                    })
-               payload_json)
+          let exec_ns = elapsed_ns arrival in
+          let timing =
+            { Response.queue_ns = 0; exec_ns; total_ns = elapsed_ns arrival }
+          in
+          let bytes =
+            write_line conn
+              (Response.assemble_raw ~id
+                 ~cache:
+                   (Some { Response.tier; key = Fnv.to_hex (Option.get key) })
+                 ~timing payload_json)
+          in
+          account t ~arrival ~id ~kind ~tier:(Some (tier_label tier)) ~queue_ns:0
+            ~exec_ns ~bytes ~status:"ok"
         | None ->
           Telemetry.incr "serve.misses";
-          if not (enqueue t { conn; id; req = job; key }) then begin
+          if not (enqueue t { conn; id; req = job; key; arrival }) then begin
             Telemetry.incr "serve.overloaded";
-            respond_error conn ~id Response.Overloaded
-              (Printf.sprintf "job queue is full (%d queued jobs)"
-                 t.config.queue_max)
+            let bytes =
+              respond_error conn ~id Response.Overloaded
+                (Printf.sprintf "job queue is full (%d queued jobs)"
+                   t.config.queue_max)
+            in
+            account t ~arrival ~id ~kind ~tier:None ~queue_ns:0 ~exec_ns:0
+              ~bytes ~status:"overloaded"
           end))
 
 (* --- the batch scheduler -------------------------------------------- *)
 
+let job_attrs job =
+  ("kind", Trace.Str (Request.job_kind job.req))
+  :: (match job.id with None -> [] | Some id -> [ ("id", Trace.Str id) ])
+
 let run_batch t batch =
   Telemetry.incr "serve.batches";
+  let dequeued = Telemetry.now_ns () in
+  Metrics.gauge_set "serve.inflight" (List.length batch);
   let results =
     (* Jobs fan across the pool; each job itself runs sequentially
        ([~domains:1]) so a batch never oversubscribes the machine.
@@ -198,19 +288,50 @@ let run_batch t batch =
        neither the batch composition nor the pool width can change a
        payload. *)
     Pool.map ?domains:t.config.domains
-      (fun job -> Service.run_job ~service:t.service ~domains:1 job.req)
+      (fun job ->
+        let started = Telemetry.now_ns () in
+        let result =
+          Trace.with_span "serve.job" ~attrs:(job_attrs job) (fun () ->
+              Service.run_job ~service:t.service ~domains:1 job.req)
+        in
+        (result, Int64.sub (Telemetry.now_ns ()) started))
       batch
   in
+  Metrics.gauge_set "serve.inflight" 0;
   List.iter2
-    (fun job result ->
+    (fun job (result, exec) ->
+      let kind = Request.job_kind job.req in
+      let queue_ns = Int64.to_int (Int64.sub dequeued job.arrival) in
+      let exec_ns = Int64.to_int exec in
+      Metrics.observe_window "serve.queue_wait" (Int64.of_int queue_ns);
+      Metrics.observe_window "serve.exec" exec;
+      let timing () =
+        { Response.queue_ns; exec_ns; total_ns = elapsed_ns job.arrival }
+      in
       match result with
       | Error e ->
-        respond job.conn { Response.id = job.id; result = Error e; cache = None }
+        let bytes =
+          respond job.conn
+            {
+              Response.id = job.id;
+              result = Error e;
+              cache = None;
+              timing = Some (timing ());
+            }
+        in
+        account t ~arrival:job.arrival ~id:job.id ~kind ~tier:None ~queue_ns
+          ~exec_ns ~bytes
+          ~status:(Response.error_code_name e.code)
       | Ok payload ->
         let payload_json = Json.to_string (Response.payload_to_json payload) in
         Option.iter (fun key -> cache_store t key payload_json) job.key;
-        write_line job.conn
-          (Response.assemble_raw ~id:job.id ~cache:None payload_json))
+        let bytes =
+          write_line job.conn
+            (Response.assemble_raw ~id:job.id ~cache:None ~timing:(timing ())
+               payload_json)
+        in
+        account t ~arrival:job.arrival ~id:job.id ~kind ~tier:None ~queue_ns
+          ~exec_ns ~bytes ~status:"ok")
     batch results
 
 let scheduler_loop t =
@@ -224,7 +345,9 @@ let scheduler_loop t =
             if n = 0 || Queue.is_empty t.queue then List.rev acc
             else drain (Queue.pop t.queue :: acc) (n - 1)
           in
-          drain [] t.config.batch_max)
+          let batch = drain [] t.config.batch_max in
+          Metrics.gauge_set "serve.queue_depth" (Queue.length t.queue);
+          batch)
     in
     match batch with
     | [] -> if Atomic.get t.running then next () else ()
@@ -234,10 +357,90 @@ let scheduler_loop t =
   in
   next ()
 
+(* --- the metrics scrape endpoint ------------------------------------- *)
+
+let contains_from s needle =
+  let n = String.length needle and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = needle || scan (i + 1)) in
+  scan 0
+
+(* Just enough HTTP/1.0 for a scraper: read the request head, answer
+   one 200 with Content-Length, close.  No channels — raw fd I/O, so
+   close() is unambiguous. *)
+let http_request_path fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec fill () =
+    if
+      Buffer.length buf < 8192
+      && not (contains_from (Buffer.contents buf) "\r\n\r\n")
+      && not (contains_from (Buffer.contents buf) "\n\n")
+    then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        fill ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  fill ();
+  let head = Buffer.contents buf in
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | _meth :: path :: _ -> path
+  | _ -> "/"
+
+let http_respond fd ~content_type body =
+  let msg =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      content_type (String.length body) body
+  in
+  let rec send off =
+    if off < String.length msg then
+      match Unix.write_substring fd msg off (String.length msg - off) with
+      | 0 -> ()
+      | n -> send (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  send 0
+
+let metrics_loop t fd =
+  while Atomic.get t.running do
+    match Unix.accept fd with
+    | cfd, _ ->
+      (try
+         let path = http_request_path cfd in
+         Telemetry.incr "serve.scrapes";
+         (* Same flush-before-snapshot contract as the [stats] kind. *)
+         Option.iter Access_log.flush t.access;
+         let snap = Metrics.snapshot () in
+         if path = "/json" then
+           http_respond cfd ~content_type:"application/json"
+             (Json.to_string (Metrics.to_json snap))
+         else
+           http_respond cfd ~content_type:"text/plain; version=0.0.4"
+             (Metrics.to_prometheus snap)
+       with _ -> ());
+      (try Unix.close cfd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+    (* stop() closed the listen socket *)
+  done
+
 (* --- connection handling -------------------------------------------- *)
 
 let close_conn t conn =
   locked t.conns_mutex (fun () -> Hashtbl.remove t.conns conn.fd);
+  Metrics.gauge_add "serve.connections" (-1);
   (try close_out_noerr conn.oc with _ -> ());
   close_in_noerr conn.ic
 
@@ -265,6 +468,7 @@ let accept_loop t =
         }
       in
       locked t.conns_mutex (fun () -> Hashtbl.replace t.conns fd conn);
+      Metrics.gauge_add "serve.connections" 1;
       let th = Thread.create (fun () -> reader_loop t conn) () in
       locked t.readers_mutex (fun () ->
           t.reader_threads <- th :: t.reader_threads)
@@ -290,6 +494,27 @@ let bind_socket = function
     Unix.bind fd (Unix.ADDR_INET (inet, port));
     fd
 
+(* Touch every serve-side series once so a scrape taken before the
+   first request already carries them at zero — dashboards and the CI
+   required-series check must not depend on traffic having arrived. *)
+let preregister config =
+  List.iter
+    (fun name -> Telemetry.add name 0)
+    [
+      "serve.requests"; "serve.responses"; "serve.response_bytes";
+      "serve.hits.memory"; "serve.hits.disk"; "serve.misses";
+      "serve.overloaded"; "serve.batches"; "serve.pings"; "serve.malformed";
+      "serve.admin.stats"; "serve.admin.health"; "serve.scrapes";
+    ];
+  Metrics.gauge_set "serve.queue_depth" 0;
+  Metrics.gauge_set "serve.inflight" 0;
+  Metrics.gauge_set "serve.connections" 0;
+  Metrics.gauge_set "serve.pool_domains"
+    (match config.domains with Some d -> d | None -> Pool.num_domains ());
+  List.iter
+    (fun name -> ignore (Metrics.window name))
+    [ "serve.request"; "serve.queue_wait"; "serve.exec" ]
+
 let start config =
   let disk =
     match config.cache_dir with
@@ -298,42 +523,78 @@ let start config =
       Result.map Option.some
         (Diskcache.open_dir ~max_entries:config.cache_entries dir)
   in
-  match disk with
-  | Error e -> Error ("serve: cache dir: " ^ e)
-  | Ok disk -> (
+  let access =
+    match config.access_log with
+    | None -> Ok None
+    | Some (path, max_bytes) ->
+      Result.map Option.some (Access_log.open_log ~max_bytes path)
+  in
+  match (disk, access) with
+  | Error e, _ -> Error ("serve: cache dir: " ^ e)
+  | _, Error e -> Error ("serve: access log: " ^ e)
+  | Ok disk, Ok access -> (
     match bind_socket config.addr with
     | exception Unix.Unix_error (err, _, _) ->
       Error ("serve: bind: " ^ Unix.error_message err)
-    | listen_fd ->
-      Unix.listen listen_fd 64;
-      let t =
-        {
-          config;
-          service = Service.create ();
-          listen_fd;
-          bound = Unix.getsockname listen_fd;
-          disk;
-          mem = Hashtbl.create 256;
-          mem_mutex = Mutex.create ();
-          queue = Queue.create ();
-          queue_mutex = Mutex.create ();
-          queue_cond = Condition.create ();
-          running = Atomic.make true;
-          conns = Hashtbl.create 16;
-          conns_mutex = Mutex.create ();
-          accept_thread = None;
-          scheduler_thread = None;
-          reader_threads = [];
-          readers_mutex = Mutex.create ();
-          stopped = false;
-        }
+    | listen_fd -> (
+      let metrics_fd =
+        match config.metrics with
+        | None -> Ok None
+        | Some addr -> (
+          match bind_socket addr with
+          | fd -> Ok (Some fd)
+          | exception Unix.Unix_error (err, _, _) ->
+            Error ("serve: metrics bind: " ^ Unix.error_message err))
       in
-      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
-      t.scheduler_thread <- Some (Thread.create (fun () -> scheduler_loop t) ());
-      Ok t)
+      match metrics_fd with
+      | Error e ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        Error e
+      | Ok metrics_fd ->
+        Unix.listen listen_fd 64;
+        Option.iter (fun fd -> Unix.listen fd 16) metrics_fd;
+        preregister config;
+        let t =
+          {
+            config;
+            service = Service.create ();
+            listen_fd;
+            bound = Unix.getsockname listen_fd;
+            disk;
+            mem = Hashtbl.create 256;
+            mem_mutex = Mutex.create ();
+            queue = Queue.create ();
+            queue_mutex = Mutex.create ();
+            queue_cond = Condition.create ();
+            running = Atomic.make true;
+            conns = Hashtbl.create 16;
+            conns_mutex = Mutex.create ();
+            access;
+            metrics_fd;
+            metrics_bound = Option.map Unix.getsockname metrics_fd;
+            accept_thread = None;
+            scheduler_thread = None;
+            metrics_thread = None;
+            reader_threads = [];
+            readers_mutex = Mutex.create ();
+            stopped = false;
+          }
+        in
+        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+        t.scheduler_thread <- Some (Thread.create (fun () -> scheduler_loop t) ());
+        t.metrics_thread <-
+          Option.map
+            (fun fd -> Thread.create (fun () -> metrics_loop t fd) ())
+            t.metrics_fd;
+        Ok t))
 
 let port t =
   match t.bound with Unix.ADDR_INET (_, p) -> Some p | Unix.ADDR_UNIX _ -> None
+
+let metrics_port t =
+  match t.metrics_bound with
+  | Some (Unix.ADDR_INET (_, p)) -> Some p
+  | _ -> None
 
 let stop t =
   if not t.stopped then begin
@@ -348,6 +609,12 @@ let stop t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     Option.iter Thread.join t.accept_thread;
+    Option.iter
+      (fun fd ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      t.metrics_fd;
+    Option.iter Thread.join t.metrics_thread;
     let conns =
       locked t.conns_mutex (fun () ->
           Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
@@ -357,7 +624,12 @@ let stop t =
       conns;
     let readers = locked t.readers_mutex (fun () -> t.reader_threads) in
     List.iter Thread.join readers;
-    match t.config.addr with
+    Option.iter Access_log.close t.access;
+    (match t.config.addr with
     | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-    | Tcp _ -> ()
+    | Tcp _ -> ());
+    match t.config.metrics with
+    | Some (Unix_socket path) -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
   end

@@ -40,6 +40,39 @@
     jobs over the same inputs (a bounds sweep after a synth, say)
     reuse realized designs.
 
+    {2 Observability}
+
+    The daemon is instrumented end to end through
+    [Rchls_util.Telemetry] + [Rchls_util.Metrics]:
+
+    - {b counters} — [serve.requests], [serve.hits.memory]/[.disk],
+      [serve.misses], [serve.overloaded], [serve.batches],
+      [serve.responses], [serve.response_bytes], plus admin traffic
+      ([serve.pings], [serve.admin.stats]/[.health], [serve.scrapes],
+      [serve.malformed]) — all pre-registered at {!start} so a scrape
+      before any traffic already carries every series at zero;
+    - {b gauges} — [serve.queue_depth], [serve.inflight],
+      [serve.connections], [serve.pool_domains];
+    - {b rolling windows} (60 s) — [serve.request] (receipt to
+      response write), [serve.queue_wait] and [serve.exec] for
+      computed jobs;
+    - {b per-response timing} — every response envelope carries a
+      [timing] field ([queue_ns]/[exec_ns]/[total_ns]);
+    - {b trace spans} — each computed job runs inside a [serve.job]
+      span with [kind]/[id] attributes, so [--trace-out] correlates
+      daemon work by request id;
+    - {b admin kinds} — [stats] (a full metrics snapshot) and
+      [health] (queue depth vs. limit, in-flight jobs) are answered
+      inline from the reader thread, never queued — they work exactly
+      when the queue is saturated;
+    - {b scrape endpoint} ([config.metrics]) — a minimal HTTP/1.0
+      listener: any path serves the Prometheus text exposition,
+      [/json] the JSON snapshot;
+    - {b access log} ([config.access_log]) — one JSONL record per
+      decoded non-admin request ({!Rchls_serve.Access_log}), so
+      [serve.requests] equals the record count over the same
+      interval (flushed before every [stats] answer and scrape).
+
     {!stop} is graceful: queued jobs are answered before the scheduler
     exits, then connections are shut down and all threads joined.  The
     server is in-process-embeddable — the socket tests and the
@@ -58,11 +91,15 @@ type config = {
       (** batch fan-out width; [None] = [Pool.num_domains ()] *)
   batch_max : int;  (** jobs computed per scheduler round *)
   queue_max : int;  (** queued jobs beyond which requests are refused *)
+  metrics : addr option;
+      (** enables the HTTP scrape endpoint on this address *)
+  access_log : (string * int) option;
+      (** path and rotation size for the per-request JSONL log *)
 }
 
 val default_config : addr -> config
 (** No disk tier, 4096 cached entries, default domains, [batch_max =
-    8], [queue_max = 64]. *)
+    8], [queue_max = 64], no metrics endpoint, no access log. *)
 
 type t
 
@@ -73,6 +110,10 @@ val start : config -> (t, string) result
 val port : t -> int option
 (** The actually bound TCP port ([Some] even when the config said
     port [0]); [None] for Unix-domain sockets. *)
+
+val metrics_port : t -> int option
+(** The scrape endpoint's bound TCP port; [None] when [config.metrics]
+    is unset or a Unix-domain socket. *)
 
 val stop : t -> unit
 (** Drain the queue, close every connection, join all threads and

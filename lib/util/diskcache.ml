@@ -64,8 +64,11 @@ let touch path =
 let find t key =
   let path = path_of t key in
   match read_file path with
-  | None -> None
+  | None ->
+    Telemetry.incr "diskcache.misses";
+    None
   | Some v ->
+    Telemetry.incr "diskcache.hits";
     touch path;
     Some v
 
@@ -84,6 +87,7 @@ let evict_locked t =
       (fun i (_, n) ->
         if i < excess then begin
           (try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ());
+          Telemetry.incr "diskcache.evictions";
           t.count <- t.count - 1
         end)
       dated
@@ -104,6 +108,7 @@ let add t key value =
            (fun () -> output_string oc value);
          Sys.rename tmp path
        with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+      if Sys.file_exists path then Telemetry.incr "diskcache.writes";
       if fresh && Sys.file_exists path then begin
         t.count <- t.count + 1;
         if t.count > t.max_entries then evict_locked t

@@ -18,7 +18,14 @@
     Thread safety: one {!t} may be shared by every worker thread and
     domain of a daemon (operations take an internal lock).  Two
     {e processes} sharing a directory are safe for correctness
-    (atomic rename, re-stat on read) but evict independently. *)
+    (atomic rename, re-stat on read) but evict independently.
+
+    Observability: every operation bumps a {!Telemetry} counter —
+    [diskcache.hits] / [diskcache.misses] on {!find},
+    [diskcache.writes] on a successful {!add} and
+    [diskcache.evictions] per removed entry — so the daemon's [stats]
+    answer and Prometheus scrape report disk-tier behavior without the
+    store keeping any state of its own. *)
 
 type t
 

@@ -1,0 +1,345 @@
+(* Live-daemon metrics on top of Telemetry: gauges and rolling-window
+   histograms, plus the two exposition encoders.  The design rule is
+   the same as Telemetry's — writers never contend on a lock in the
+   hot path.  Gauges are single Atomics (set/add are one instruction);
+   rolling histograms take a mutex only to rotate a stale slice, which
+   happens once per slice period per slice, not per observation. *)
+
+let start_ns = Telemetry.now_ns ()
+
+let uptime_ns () = Int64.sub (Telemetry.now_ns ()) start_ns
+
+let registry_lock = Mutex.create ()
+
+let find_or_create tbl make name =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+    Mutex.lock registry_lock;
+    let c =
+      match Hashtbl.find_opt tbl name with
+      | Some c -> c
+      | None ->
+        let c = make () in
+        Hashtbl.add tbl name c;
+        c
+    in
+    Mutex.unlock registry_lock;
+    c
+
+let sorted_fold tbl value =
+  Mutex.lock registry_lock;
+  let xs = Hashtbl.fold (fun name c acc -> (name, value c) :: acc) tbl [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) xs
+
+(* --- gauges -------------------------------------------------------- *)
+
+(* Gauges are read as often as they are written (queue depth moves on
+   every enqueue/dequeue) and never aggregated, so a single Atomic per
+   gauge beats a sharded cell: [set] must be a plain store, and
+   sharding would make it a read-modify-write over 8 slots. *)
+let gauges_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+
+let gauge_cell = find_or_create gauges_tbl (fun () -> Atomic.make 0)
+
+let gauge_set name v = Atomic.set (gauge_cell name) v
+
+let gauge_add name d = ignore (Atomic.fetch_and_add (gauge_cell name) d)
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | None -> 0
+  | Some c -> Atomic.get c
+
+let gauges () = sorted_fold gauges_tbl Atomic.get
+
+(* --- rolling-window histograms ------------------------------------- *)
+
+module Rolling = struct
+  let hist_buckets = 63
+
+  type stat = {
+    count : int;
+    sum_ns : int64;
+    p50_ns : float;
+    p90_ns : float;
+    p99_ns : float;
+    max_ns : int64;
+    window_ns : int64;
+  }
+
+  (* One slice of the window.  [epoch] is the absolute slice index
+     (now / slice_ns) whose observations the slice currently holds;
+     a slice is reused for epoch e+n, e+2n, ... and lazily zeroed the
+     first time a writer or reader touches it in its new epoch.
+     [min_int] marks "never written". *)
+  type slice = {
+    epoch : int Atomic.t;
+    buckets : int Atomic.t array;
+    s_count : int Atomic.t;
+    s_sum : int Atomic.t;
+    s_max : int Atomic.t;
+    lock : Mutex.t;
+  }
+
+  type t = { slice_ns : int64; window_ns : int64; slices : slice array }
+
+  let make_slice () =
+    {
+      epoch = Atomic.make min_int;
+      buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
+      s_count = Atomic.make 0;
+      s_sum = Atomic.make 0;
+      s_max = Atomic.make 0;
+      lock = Mutex.create ();
+    }
+
+  let create ?(window_ns = 60_000_000_000L) ?(slices = 12) () =
+    let slices = max 2 slices in
+    if Int64.compare window_ns (Int64.of_int slices) < 0 then
+      invalid_arg "Metrics.Rolling.create: window shorter than one ns per slice";
+    let slice_ns = Int64.div window_ns (Int64.of_int slices) in
+    { slice_ns; window_ns; slices = Array.init slices (fun _ -> make_slice ()) }
+
+  (* Same log2 binning as Telemetry: bucket [i] is [2^i, 2^(i+1)). *)
+  let bucket_of ns =
+    if ns <= 1 then 0
+    else begin
+      let i = ref 0 and v = ref ns in
+      while !v > 1 do
+        incr i;
+        v := !v lsr 1
+      done;
+      min !i (hist_buckets - 1)
+    end
+
+  let clamp_now now = if Int64.compare now 0L < 0 then 0L else now
+
+  let epoch_of t now = Int64.to_int (Int64.div (clamp_now now) t.slice_ns)
+
+  let reset_slice s =
+    Array.iter (fun a -> Atomic.set a 0) s.buckets;
+    Atomic.set s.s_count 0;
+    Atomic.set s.s_sum 0;
+    Atomic.set s.s_max 0
+
+  (* Rotate [s] forward to [idx] if it still holds an older epoch.
+     Under the mutex so concurrent rotators reset at most once; the
+     double-check makes late arrivals a no-op. *)
+  let rotate_to s idx =
+    if Atomic.get s.epoch <> idx then begin
+      Mutex.lock s.lock;
+      if Atomic.get s.epoch < idx then begin
+        reset_slice s;
+        Atomic.set s.epoch idx
+      end;
+      Mutex.unlock s.lock
+    end
+
+  let observe ?now_ns t v =
+    let now = match now_ns with Some n -> n | None -> Telemetry.now_ns () in
+    let idx = epoch_of t now in
+    let s = t.slices.(idx mod Array.length t.slices) in
+    rotate_to s idx;
+    (* If another writer already rotated the slot past [idx] this
+       observation fell out of the window between the clock read and
+       here; dropping it is the correct accounting. *)
+    if Atomic.get s.epoch = idx then begin
+      (* Clamp before converting: [Int64.to_int 2^63-1] wraps to -1. *)
+      let v =
+        if Int64.compare v 0L < 0 then 0
+        else if Int64.compare v (Int64.of_int max_int) > 0 then max_int
+        else Int64.to_int v
+      in
+      ignore (Atomic.fetch_and_add s.buckets.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add s.s_count 1);
+      ignore (Atomic.fetch_and_add s.s_sum v);
+      let rec bump () =
+        let cur = Atomic.get s.s_max in
+        if v > cur && not (Atomic.compare_and_set s.s_max cur v) then bump ()
+      in
+      bump ()
+    end
+
+  (* Quantile over an already-merged bucket array — the same
+     cumulative-rank walk with linear in-bucket interpolation capped
+     by the exact max that Telemetry.hist_quantile does. *)
+  let quantile merged total max_v q =
+    if total = 0 then 0.
+    else begin
+      let rank = q *. float_of_int total in
+      let acc = ref 0. and result = ref None in
+      (try
+         for i = 0 to hist_buckets - 1 do
+           let c = float_of_int merged.(i) in
+           if c > 0. then begin
+             let next = !acc +. c in
+             if next >= rank then begin
+               let lo = if i = 0 then 0. else float_of_int (1 lsl i) in
+               let hi = float_of_int (1 lsl (i + 1)) in
+               let frac = (rank -. !acc) /. c in
+               result := Some (lo +. ((hi -. lo) *. frac));
+               raise Exit
+             end;
+             acc := next
+           end
+         done
+       with Exit -> ());
+      let cap = float_of_int max_v in
+      match !result with Some v -> Float.min v cap | None -> cap
+    end
+
+  let empty_stat ~window_ns =
+    {
+      count = 0;
+      sum_ns = 0L;
+      p50_ns = 0.;
+      p90_ns = 0.;
+      p99_ns = 0.;
+      max_ns = 0L;
+      window_ns;
+    }
+
+  let stat ?now_ns t =
+    let now = match now_ns with Some n -> n | None -> Telemetry.now_ns () in
+    let idx = epoch_of t now in
+    let n = Array.length t.slices in
+    let min_epoch = idx - n + 1 in
+    let merged = Array.make hist_buckets 0 in
+    let count = ref 0 and sum = ref 0 and max_v = ref 0 in
+    Array.iter
+      (fun s ->
+        let e = Atomic.get s.epoch in
+        if e >= min_epoch && e <= idx then begin
+          (* Concurrent writers may land between these reads; the
+             slices stay internally consistent enough for a snapshot
+             (counts never decrease within an epoch). *)
+          Array.iteri
+            (fun i b -> merged.(i) <- merged.(i) + Atomic.get b)
+            s.buckets;
+          count := !count + Atomic.get s.s_count;
+          sum := !sum + Atomic.get s.s_sum;
+          if Atomic.get s.s_max > !max_v then max_v := Atomic.get s.s_max
+        end)
+      t.slices;
+    if !count = 0 then empty_stat ~window_ns:t.window_ns
+    else
+      {
+        count = !count;
+        sum_ns = Int64.of_int !sum;
+        p50_ns = quantile merged !count !max_v 0.5;
+        p90_ns = quantile merged !count !max_v 0.9;
+        p99_ns = quantile merged !count !max_v 0.99;
+        max_ns = Int64.of_int !max_v;
+        window_ns = t.window_ns;
+      }
+
+  let clear t =
+    Array.iter
+      (fun s ->
+        Mutex.lock s.lock;
+        reset_slice s;
+        Atomic.set s.epoch min_int;
+        Mutex.unlock s.lock)
+      t.slices
+end
+
+let windows_tbl : (string, Rolling.t) Hashtbl.t = Hashtbl.create 16
+
+let window = find_or_create windows_tbl (fun () -> Rolling.create ())
+
+let observe_window name ns = Rolling.observe (window name) ns
+
+let windows () = sorted_fold windows_tbl (fun w -> Rolling.stat w)
+
+(* --- snapshot and exposition --------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  windows : (string * Rolling.stat) list;
+}
+
+let snapshot () =
+  { counters = Telemetry.counters (); gauges = gauges (); windows = windows () }
+
+let prometheus_name name =
+  let b = Buffer.create (String.length name + 6) in
+  Buffer.add_string b "rchls_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let seconds_of_ns ns = Int64.to_float ns /. 1e9
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus snap =
+  let b = Buffer.create 2048 in
+  let series name typ rows =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    List.iter
+      (fun (labels, v) ->
+        Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels v))
+      rows
+  in
+  series "rchls_uptime_seconds" "gauge"
+    [ ("", prom_float (seconds_of_ns (uptime_ns ()))) ];
+  List.iter
+    (fun (name, v) ->
+      series (prometheus_name name ^ "_total") "counter"
+        [ ("", string_of_int v) ])
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      series (prometheus_name name) "gauge" [ ("", string_of_int v) ])
+    snap.gauges;
+  List.iter
+    (fun (name, (s : Rolling.stat)) ->
+      let m = prometheus_name name ^ "_seconds" in
+      series m "summary"
+        [
+          ("{quantile=\"0.5\"}", prom_float (s.p50_ns /. 1e9));
+          ("{quantile=\"0.9\"}", prom_float (s.p90_ns /. 1e9));
+          ("{quantile=\"0.99\"}", prom_float (s.p99_ns /. 1e9));
+        ];
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" m (prom_float (seconds_of_ns s.sum_ns)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m s.count))
+    snap.windows;
+  Buffer.contents b
+
+let window_stat_json (s : Rolling.stat) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum_ns", Json.Int (Int64.to_int s.sum_ns));
+      ("p50_ns", Json.Float s.p50_ns);
+      ("p90_ns", Json.Float s.p90_ns);
+      ("p99_ns", Json.Float s.p99_ns);
+      ("max_ns", Json.Int (Int64.to_int s.max_ns));
+      ("window_ns", Json.Int (Int64.to_int s.window_ns));
+    ]
+
+let to_json snap =
+  let fields value xs = Json.Obj (List.map (fun (n, v) -> (n, value v)) xs) in
+  Json.Obj
+    [
+      ("counters", fields (fun v -> Json.Int v) snap.counters);
+      ("gauges", fields (fun v -> Json.Int v) snap.gauges);
+      ("windows", fields window_stat_json snap.windows);
+    ]
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) gauges_tbl;
+  Hashtbl.iter (fun _ w -> Rolling.clear w) windows_tbl;
+  Mutex.unlock registry_lock

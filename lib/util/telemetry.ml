@@ -144,8 +144,14 @@ let timers () = List.map (fun (n, v) -> (n, Int64.of_int v)) (snapshot timers_tb
 
 let observe name ns =
   let h = find_or_create hists_tbl make_hist_cell name in
-  let v = Int64.to_int ns in
-  let v = if v < 0 then 0 else v in
+  (* Clamp into native-int range before converting: [Int64.to_int]
+     wraps 2^63-1 to -1 on 63-bit ints, turning the largest duration
+     into the smallest. *)
+  let v =
+    if Int64.compare ns 0L < 0 then 0
+    else if Int64.compare ns (Int64.of_int max_int) > 0 then max_int
+    else Int64.to_int ns
+  in
   ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
   cell_add h.h_count 1;
   cell_add h.h_sum v;

@@ -91,6 +91,10 @@ val reset : unit -> unit
 val format_ns : int64 -> string
 (** Human units: ["870 ns"], ["12.40 us"], ["3.25 ms"], ["1.200 s"]. *)
 
+val format_ns_f : float -> string
+(** {!format_ns} for estimated (fractional) durations — histogram
+    quantiles. *)
+
 val render : unit -> string
 (** Counters, timers (human units) and histogram quantile rows as an
     aligned two-column table, empty string when nothing was recorded —

@@ -20,6 +20,8 @@ module Server = Rchls_serve.Server
 module Client = Rchls_serve.Client
 module Diskcache = Rchls_util.Diskcache
 module Json = Rchls_util.Json
+module Telemetry = Rchls_util.Telemetry
+module Metrics = Rchls_util.Metrics
 module Benchmarks = Rchls_dfg.Benchmarks
 module Parse = Rchls_dfg.Parse
 module Gen = QCheck2.Gen
@@ -96,6 +98,8 @@ let gen_job =
         map (fun s -> Request.Check s) gen_synth;
         map (fun f -> Request.Fuzz f) gen_fuzz;
         return Request.Ping;
+        return Request.Stats;
+        return Request.Health;
       ])
 
 let gen_request =
@@ -144,6 +148,50 @@ let gen_fuzz_outcome =
                  { Response.case; message; shrink_steps; counterexample })
                (tup4 (int_range 0 100) gen_text (int_range 0 50) gen_text)))))
 
+(* Metric maps round-trip as JSON objects, so the generated names must
+   be distinct (the decoder rejects duplicate keys). *)
+let gen_metric_map gen_v =
+  Gen.(
+    map
+      (fun pairs ->
+        List.mapi (fun i (n, v) -> (Printf.sprintf "%s.%d" n i, v)) pairs)
+      (list_size (int_range 0 4) (tup2 gen_name gen_v)))
+
+(* Integral and half-integral floats survive the JSON text form
+   exactly, so structural equality is a valid round-trip check. *)
+let gen_quantile = Gen.(map (fun n -> float_of_int n /. 2.) gen_bound)
+
+let gen_window_stat =
+  Gen.(
+    map
+      (fun ((count, sum_ns, p50_ns, p90_ns, p99_ns), (max_ns, window_ns)) ->
+        { Response.count; sum_ns; p50_ns; p90_ns; p99_ns; max_ns; window_ns })
+      (tup2
+         (tup5 gen_bound gen_bound gen_quantile gen_quantile gen_quantile)
+         (tup2 gen_bound gen_bound)))
+
+let gen_stats =
+  Gen.(
+    map
+      (fun (uptime_ns, counters, gauges, windows) ->
+        { Response.uptime_ns; counters; gauges; windows })
+      (tup4 gen_bound (gen_metric_map gen_bound) (gen_metric_map gen_bound)
+         (gen_metric_map gen_window_stat)))
+
+let gen_health =
+  Gen.(
+    map
+      (fun (healthy, uptime_ns, queue_depth, queue_max, in_flight) ->
+        { Response.healthy; uptime_ns; queue_depth; queue_max; in_flight })
+      (tup5 bool gen_bound gen_bound gen_bound gen_bound))
+
+let gen_timing =
+  Gen.(
+    map
+      (fun (queue_ns, exec_ns, total_ns) ->
+        { Response.queue_ns; exec_ns; total_ns })
+      (tup3 gen_bound gen_bound gen_bound))
+
 let gen_payload =
   Gen.(
     oneof
@@ -159,6 +207,8 @@ let gen_payload =
           (fun os -> Response.Fuzz_report os)
           (list_size (int_range 0 3) gen_fuzz_outcome);
         return Response.Pong;
+        map (fun s -> Response.Stats_snapshot s) gen_stats;
+        map (fun h -> Response.Health_report h) gen_health;
       ])
 
 let gen_error =
@@ -175,16 +225,19 @@ let gen_error =
             ])
          gen_text))
 
+let gen_cache_info =
+  Gen.(
+    map
+      (fun (tier, key) -> { Response.tier; key })
+      (tup2 (oneofl [ Response.Memory; Response.Disk ]) gen_name))
+
 let gen_response =
   Gen.(
     map
-      (fun (id, result, cache) -> { Response.id; result; cache })
-      (tup3 gen_opt_id
+      (fun (id, result, cache, timing) -> { Response.id; result; cache; timing })
+      (tup4 gen_opt_id
          (oneof [ map Result.ok gen_payload; map Result.error gen_error ])
-         (opt
-            (map
-               (fun (tier, key) -> { Response.tier; key })
-               (tup2 (oneofl [ Response.Memory; Response.Disk ]) gen_name)))))
+         (opt gen_cache_info) (opt gen_timing)))
 
 (* --- codec round-trips ----------------------------------------------- *)
 
@@ -200,18 +253,13 @@ let prop_assemble_raw_matches_encode =
   (* A cache hit splices the stored payload into the envelope by hand;
      the bytes must equal the structured encoder's. *)
   QCheck2.Test.make ~name:"assemble_raw = to_string on ok responses" ~count:300
-    Gen.(
-      tup3 gen_opt_id gen_payload
-        (opt
-           (map
-              (fun (tier, key) -> { Response.tier; key })
-              (tup2 (oneofl [ Response.Memory; Response.Disk ]) gen_name))))
-    (fun (id, payload, cache) ->
+    Gen.(tup4 gen_opt_id gen_payload (opt gen_cache_info) (opt gen_timing))
+    (fun (id, payload, cache, timing) ->
       let structured =
-        Response.to_string { Response.id; result = Ok payload; cache }
+        Response.to_string { Response.id; result = Ok payload; cache; timing }
       in
       let raw =
-        Response.assemble_raw ~id ~cache
+        Response.assemble_raw ~id ~cache ?timing
           (Json.to_string (Response.payload_to_json payload))
       in
       structured = raw)
@@ -567,6 +615,198 @@ let test_serve_rejects_malformed () =
             -> ()
           | _ -> Alcotest.fail "expected unsupported_version"))
 
+(* --- observability ----------------------------------------------------- *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      let rec body_at i =
+        if i + 4 > String.length s then Alcotest.failf "no header end in %S" s
+        else if String.sub s i 4 = "\r\n\r\n" then i + 4
+        else body_at (i + 1)
+      in
+      (String.sub s 0 (body_at 0), String.sub s (body_at 0) (String.length s - body_at 0)))
+
+(* The value of one Prometheus sample line, e.g.
+   [scrape_value body "rchls_serve_requests_total"] *)
+let scrape_value body series =
+  let lines = String.split_on_char '\n' body in
+  match
+    List.find_opt
+      (fun l -> String.length l > String.length series
+               && String.sub l 0 (String.length series + 1) = series ^ " ")
+      lines
+  with
+  | None -> Alcotest.failf "series %s missing from scrape" series
+  | Some l ->
+    (match
+       int_of_string_opt
+         (String.trim
+            (String.sub l (String.length series)
+               (String.length l - String.length series)))
+     with
+    | Some v -> v
+    | None -> Alcotest.failf "unparseable sample %S" l)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_serve_observability_consistency () =
+  (* One daemon with every observability surface on; the counters in
+     the [stats] answer, the Prometheus scrape and the access log must
+     tell the same story. *)
+  Telemetry.reset ();
+  Metrics.reset ();
+  let dir = temp_dir "rchls-obs" in
+  let socket = Filename.concat dir "s.sock" in
+  let log_path = Filename.concat dir "access.log" in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket socket)) with
+      Server.cache_dir = Some (Filename.concat dir "cache");
+      domains = Some 2;
+      batch_max = 4;
+      metrics = Some (Server.Tcp ("127.0.0.1", 0));
+      access_log = Some (log_path, 1 lsl 20);
+    }
+  in
+  let server = check_ok "server start" (Server.start config) in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let mport =
+    match Server.metrics_port server with
+    | Some p -> p
+    | None -> Alcotest.fail "metrics endpoint did not bind"
+  in
+  with_client socket (fun c ->
+      (* two passes: 5 non-admin requests each, second pass all memory
+         hits; plus a ping and a malformed line, neither accounted *)
+      ignore (exchange c workload);
+      ignore (exchange c workload);
+      check_ok "send" (Client.send_raw c "not json");
+      (match check_ok "recv" (Client.recv c) with
+      | { Response.result = Error { code = Response.Bad_request; _ }; _ } -> ()
+      | _ -> Alcotest.fail "expected bad_request");
+      let stats =
+        match
+          check_ok "stats"
+            (Client.call c { Request.id = Some "st"; job = Request.Stats })
+        with
+        | { Response.result = Ok (Response.Stats_snapshot s); _ } -> s
+        | _ -> Alcotest.fail "expected a stats snapshot"
+      in
+      let counter name =
+        Option.value ~default:0 (List.assoc_opt name stats.Response.counters)
+      in
+      Alcotest.(check int) "accounted requests" 10 (counter "serve.requests");
+      Alcotest.(check int) "memory hits" 5 (counter "serve.hits.memory");
+      Alcotest.(check int) "misses" 5 (counter "serve.misses");
+      Alcotest.(check int) "pings excluded" 2 (counter "serve.pings");
+      Alcotest.(check int) "malformed tallied" 1 (counter "serve.malformed");
+      Alcotest.(check int) "disk tier counters live" 5
+        (counter "diskcache.misses");
+      (* the access log was flushed before the stats answer *)
+      let records = List.map (fun l -> check_ok "log json" (Json.of_string l))
+          (read_lines log_path)
+      in
+      Alcotest.(check int) "one log record per accounted request"
+        (counter "serve.requests") (List.length records);
+      Alcotest.(check int) "log agrees on records written"
+        (counter "serve.access_log.records") (List.length records);
+      let tier_count want =
+        List.length
+          (List.filter
+             (fun r ->
+               match Json.member "tier" r with
+               | Some (Json.Str t) -> Some t = want
+               | Some Json.Null | None -> want = None
+               | _ -> false)
+             records)
+      in
+      Alcotest.(check int) "log memory tiers" 5 (tier_count (Some "memory"));
+      Alcotest.(check int) "log computed tiers" 5 (tier_count None);
+      List.iter
+        (fun r ->
+          let field name =
+            match Option.bind (Json.member name r) Json.to_int_opt with
+            | Some v -> v
+            | None -> Alcotest.failf "log record lacks %s" name
+          in
+          Alcotest.(check bool) "timing sane" true
+            (field "exec_ns" >= 0
+            && field "queue_ns" >= 0
+            && field "total_ns" >= field "exec_ns"
+            && field "bytes" > 0);
+          match Json.member "status" r with
+          | Some (Json.Str "ok") -> ()
+          | _ -> Alcotest.fail "log status not ok")
+        records;
+      (* the window saw exactly the accounted requests; the queue/exec
+         windows only the computed jobs *)
+      let window name =
+        match List.assoc_opt name stats.Response.windows with
+        | Some w -> w
+        | None -> Alcotest.failf "window %s missing from stats" name
+      in
+      Alcotest.(check int) "request window count" 10
+        (window "serve.request").Response.count;
+      Alcotest.(check int) "exec window count" 5
+        (window "serve.exec").Response.count;
+      (* the Prometheus scrape tells the same story *)
+      let head, body = http_get mport "/" in
+      Alcotest.(check bool) "scrape is 200 text/plain" true
+        (contains ~affix:"200" head && contains ~affix:"text/plain" head);
+      Alcotest.(check int) "scrape requests = log records"
+        (List.length records)
+        (scrape_value body "rchls_serve_requests_total");
+      Alcotest.(check int) "scrape memory hits" 5
+        (scrape_value body "rchls_serve_hits_memory_total");
+      Alcotest.(check int) "scrape misses" 5
+        (scrape_value body "rchls_serve_misses_total");
+      Alcotest.(check int) "scrape count matches window"
+        (window "serve.request").Response.count
+        (scrape_value body "rchls_serve_request_seconds_count");
+      Alcotest.(check bool) "summary quantiles exposed" true
+        (contains ~affix:{|rchls_serve_request_seconds{quantile="0.99"}|} body);
+      (* the JSON endpoint parses and the health kind answers inline *)
+      let _, jbody = http_get mport "/json" in
+      (match Json.of_string jbody with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "/json unparseable: %s" e);
+      match
+        check_ok "health"
+          (Client.call c { Request.id = Some "h"; job = Request.Health })
+      with
+      | { Response.result = Ok (Response.Health_report h); _ } ->
+        Alcotest.(check bool) "healthy" true h.Response.healthy;
+        Alcotest.(check int) "queue bound echoed" config.Server.queue_max
+          h.Response.queue_max
+      | _ -> Alcotest.fail "expected a health report")
+
 let () =
   Alcotest.run "api"
     [
@@ -615,5 +855,7 @@ let () =
           Alcotest.test_case "cache tiers" `Quick test_serve_cache_tiers;
           Alcotest.test_case "backpressure" `Quick test_serve_backpressure;
           Alcotest.test_case "malformed input" `Quick test_serve_rejects_malformed;
+          Alcotest.test_case "observability consistency" `Quick
+            test_serve_observability_consistency;
         ] );
     ]

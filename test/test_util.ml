@@ -217,7 +217,23 @@ let test_format_ns () =
   Alcotest.(check string) "ns" "870 ns" (Telemetry.format_ns 870L);
   Alcotest.(check string) "us" "12.40 us" (Telemetry.format_ns 12_400L);
   Alcotest.(check string) "ms" "3.25 ms" (Telemetry.format_ns 3_250_000L);
-  Alcotest.(check string) "s" "1.200 s" (Telemetry.format_ns 1_200_000_000L)
+  Alcotest.(check string) "s" "1.200 s" (Telemetry.format_ns 1_200_000_000L);
+  (* edge cases: zero, the whole int64 range, unit boundaries *)
+  Alcotest.(check string) "zero" "0 ns" (Telemetry.format_ns 0L);
+  Alcotest.(check string) "boundary stays in ns" "999 ns"
+    (Telemetry.format_ns 999L);
+  Alcotest.(check string) "boundary promotes to us" "1.00 us"
+    (Telemetry.format_ns 1_000L);
+  Alcotest.(check string) "max_int64 renders in seconds"
+    "9223372036.855 s"
+    (Telemetry.format_ns Int64.max_int);
+  Alcotest.(check string) "float variant, zero" "0 ns"
+    (Telemetry.format_ns_f 0.);
+  Alcotest.(check string) "float variant, fractional" "1.50 us"
+    (Telemetry.format_ns_f 1_500.);
+  Alcotest.(check string) "float variant agrees with int64"
+    (Telemetry.format_ns 3_250_000L)
+    (Telemetry.format_ns_f 3_250_000.)
 
 let test_histogram_quantiles () =
   Telemetry.reset ();
@@ -252,7 +268,21 @@ let test_render_units_and_histograms () =
   Alcotest.(check bool) "quantile fields" true
     (contains_substring s "p50=" && contains_substring s "p99=");
   Telemetry.reset ();
-  Alcotest.(check string) "empty registry renders empty" "" (Telemetry.render ())
+  Alcotest.(check string) "empty registry renders empty" "" (Telemetry.render ());
+  (* The reset histogram's registry key survives with zero
+     observations; it must not produce a row (checked above via the
+     empty render).  Extreme observations must render without
+     overflow artifacts. *)
+  Telemetry.observe "t.extreme" 0L;
+  Telemetry.observe "t.extreme" Int64.max_int;
+  (* Int64.max_int clamps to the native-int ceiling instead of
+     wrapping to a tiny value. *)
+  let s = Telemetry.render () in
+  Alcotest.(check bool) "extreme histogram renders" true
+    (contains_substring s "t.extreme [hist]"
+    && contains_substring s
+         (Printf.sprintf "max=%s" (Telemetry.format_ns (Int64.of_int max_int))));
+  Telemetry.reset ()
 
 (* --- properties --- *)
 
