@@ -1,5 +1,8 @@
 .PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
-  bench-synth bench-fuzz bench-serve fuzz smoke clean
+  bench-synth bench-fuzz bench-serve bench-explore fuzz smoke clean
+
+# Explore benchmark knobs (see `bench explore` in bench/main.ml).
+EXPLORE_COUNT ?= 20
 
 # Fuzzing knobs (see `rchls fuzz --help` and `bench fuzz` in bench/main.ml).
 FUZZ_SEED ?= 42
@@ -72,6 +75,13 @@ bench-fuzz: build
 bench-serve: build
 	dune exec bench/main.exe -- serve BENCH_serve.json
 
+# Generate a fixed-seed benchmark corpus, sweep every graph's planned
+# bound plane exhaustively and with the frontier-guided explorer,
+# assert the grids and Pareto frontiers byte-identical, and record the
+# result in BENCH_explore.json (fails below a 5x engine-call saving).
+bench-explore: build
+	dune exec bench/main.exe -- explore --count $(EXPLORE_COUNT) BENCH_explore.json
+
 # Measure the observability layer itself: sharded-counter throughput
 # (with an exactness check under all-domain contention) and the
 # per-span overhead of Trace.with_span with no sink installed.
@@ -90,5 +100,7 @@ smoke: build
 clean:
 	dune clean
 	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
-	  BENCH_synth.json BENCH_fuzz.json BENCH_serve.json trace.json \
-	  report.json fuzz_report.json rchls.sock
+	  BENCH_synth.json BENCH_fuzz.json BENCH_serve.json \
+	  BENCH_explore.json trace.json report.json fuzz_report.json \
+	  rchls.sock
+	rm -rf _bench_corpus

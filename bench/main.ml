@@ -42,6 +42,13 @@
       seed, times the throughput per property, measures the validity
       checker's overhead on a full synthesis, and fails on any
       counterexample)
+   Explore pruning:     dune exec bench/main.exe -- explore [BENCH_explore.json]
+                          [--count N]
+     (generates a fixed-seed benchmark corpus, sweeps every graph's
+      planned bound plane exhaustively and with the frontier-guided
+      explorer, asserts the grids and Pareto frontiers byte-identical,
+      reports the wall-clock speedup, and fails unless pruning saves
+      at least 5x the engine synthesis calls across the corpus)
 
    --vectors / --width are shared with `bin/main.exe characterize
    --measured` and apply to the perf characterization kernel and the
@@ -509,7 +516,7 @@ let fuzz_bench ~seed ~cases out_path =
         | None -> ()
         | Some _ -> Format.printf "%a@." Fuzz.pp_outcome outcome);
         (name, outcome.Fuzz.cases_run, dt, outcome.Fuzz.failure = None))
-      Fuzz.property_names
+      (Fuzz.property_names ())
   in
   let all_passed = List.for_all (fun (_, _, _, ok) -> ok) results in
   (* Checker overhead: the same synthesis with and without the
@@ -951,6 +958,115 @@ let perf ~vectors ~width () =
         ols)
     tests
 
+(* --- explore pruning benchmark --------------------------------------- *)
+
+module Explore = Rchls_experiments.Explore
+module Corpus = Rchls_experiments.Corpus
+
+(* Every synthesis call in every approach bumps exactly one of these
+   two counters (the engine per greedy direction, the redundancy layer
+   per NMR pass), so their sum is the evaluation-cost currency the
+   pruning gate is stated in. *)
+let synth_calls () =
+  Telemetry.counter "engine.runs" + Telemetry.counter "redundancy.runs"
+
+(* A canonical rendering of the Pareto frontier (full float precision)
+   so "frontiers byte-identical" is a string comparison, not a float
+   tolerance. *)
+let frontier_bytes cells =
+  String.concat ";"
+    (List.map
+       (fun (p : Explore.point) ->
+         Printf.sprintf "%d,%d,%.17g,%d" p.p_ld p.p_ad p.p_reliability p.p_area)
+       (Explore.frontier cells))
+
+let explore_bench ~count out_path =
+  let domains = Pool.num_domains () in
+  let dir = "_bench_corpus" in
+  let corpus = Corpus.generate ~dir ~seed:1 ~count in
+  Printf.printf
+    "=== Explore: frontier-guided pruning vs exhaustive (%d graphs, %d domains) ===\n%!"
+    count domains;
+  Telemetry.reset ();
+  let lib = Library.table1 in
+  let results =
+    List.map
+      (fun (e : Corpus.entry) ->
+        let g =
+          match Corpus.load_graph corpus e with
+          | Ok g -> g
+          | Error m -> failwith m
+        in
+        let lds, ads = Explore.plan g lib in
+        let c0 = synth_calls () in
+        let t0 = now_s () in
+        let reference = Sweep.run_reference ~domains Sweep.Ours g lib ~lds ~ads in
+        let t1 = now_s () in
+        let c1 = synth_calls () in
+        let pruned, stats = Sweep.run_with_stats ~domains Sweep.Ours g lib ~lds ~ads in
+        let t2 = now_s () in
+        let c2 = synth_calls () in
+        let identical =
+          cells_equal pruned reference
+          && frontier_bytes pruned = frontier_bytes reference
+        in
+        let ref_calls = c1 - c0 and pruned_calls = c2 - c1 in
+        Printf.printf
+          "%-12s %3d cells  ref %4d calls %6.3fs   pruned %4d calls %6.3fs  %s\n%!"
+          e.Corpus.graph_name stats.Explore.cells ref_calls (t1 -. t0)
+          pruned_calls (t2 -. t1)
+          (if identical then "identical" else "MISMATCH");
+        (e, stats, ref_calls, pruned_calls, t1 -. t0, t2 -. t1, identical))
+      corpus.Corpus.entries
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0. results in
+  let ref_calls = sum (fun (_, _, rc, _, _, _, _) -> rc) in
+  let pruned_calls = sum (fun (_, _, _, pc, _, _, _) -> pc) in
+  let ref_s = sumf (fun (_, _, _, _, rs, _, _) -> rs) in
+  let pruned_s = sumf (fun (_, _, _, _, _, ps, _) -> ps) in
+  let all_identical = List.for_all (fun (_, _, _, _, _, _, i) -> i) results in
+  let call_ratio = float_of_int ref_calls /. float_of_int (max 1 pruned_calls) in
+  let gate = all_identical && call_ratio >= 5.0 in
+  Printf.printf
+    "total: ref %d calls %.3fs   pruned %d calls %.3fs   call ratio x%.2f  speedup x%.2f  (%s)\n%!"
+    ref_calls ref_s pruned_calls pruned_s call_ratio
+    (ref_s /. pruned_s)
+    (if all_identical then "all frontiers identical" else "FRONTIER MISMATCH");
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf (Printf.sprintf "  \"graphs\": %d,\n" count);
+  Buffer.add_string buf (Printf.sprintf "  \"all_identical\": %b,\n" all_identical);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"total\": { \"ref_calls\": %d, \"pruned_calls\": %d, \"call_ratio\": %.3f, \"ref_s\": %.6f, \"pruned_s\": %.6f, \"speedup\": %.3f },\n"
+       ref_calls pruned_calls call_ratio ref_s pruned_s (ref_s /. pruned_s));
+  Buffer.add_string buf (Printf.sprintf "  \"gate_5x_fewer_calls\": %b,\n" gate);
+  Buffer.add_string buf "  \"suites\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun ((e : Corpus.entry), (s : Explore.stats), rc, pc, rs, ps, identical) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"family\": \"%s\", \"cells\": %d, \"evaluated\": %d, \"derived\": %d, \"ref_calls\": %d, \"pruned_calls\": %d, \"ref_s\": %.6f, \"pruned_s\": %.6f, \"identical\": %b }"
+              e.Corpus.graph_name e.Corpus.family s.Explore.cells
+              s.Explore.evaluated s.Explore.derived rc pc rs ps identical)
+          results));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not gate then begin
+    if not all_identical then
+      prerr_endline "explore bench: pruned frontier diverges from the reference"
+    else
+      Printf.eprintf "explore bench: call ratio x%.2f below the 5x pruning gate\n%!"
+        call_ratio;
+    exit 1
+  end
+
 (* Extract the --vectors / --width flags (shared with bin/main.exe's
    measured characterization) from a mode's trailing arguments. *)
 let parse_flags ~vectors ~width rest =
@@ -1019,6 +1135,19 @@ let () =
     let seed, cases, positional = split 42 1000 [] rest in
     fuzz_bench ~seed ~cases
       (match positional with path :: _ -> path | [] -> "BENCH_fuzz.json")
+  | _ :: "explore" :: rest ->
+    let rec split count positional = function
+      | [] -> (count, List.rev positional)
+      | "--count" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> split n positional tl
+        | _ -> failwith "--count expects a positive integer")
+      | [ "--count" ] -> failwith "--count expects a positive integer"
+      | x :: tl -> split count (x :: positional) tl
+    in
+    let count, positional = split 20 [] rest in
+    explore_bench ~count
+      (match positional with path :: _ -> path | [] -> "BENCH_explore.json")
   | _ ->
     reproduction None;
     perf ~vectors:8 ~width:8 ()

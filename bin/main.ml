@@ -8,6 +8,8 @@
      bench        list / dump the built-in benchmark DFGs
      experiment   regenerate one of the paper's tables/figures
      fuzz         run the generative differential fuzzing properties
+     corpus       generate a versioned benchmark-corpus directory
+     explore      frontier-guided Pareto exploration of bound planes
      serve        run the synthesis daemon (NDJSON over a socket)
      request      send API request lines to a running daemon
 
@@ -31,6 +33,9 @@ module Rc = Rchls_core.Reliability_centric
 module Design = Rchls_core.Design
 module Experiments = Rchls_experiments.Experiments
 module Sweep = Rchls_experiments.Sweep
+module Explore = Rchls_experiments.Explore
+module Corpus = Rchls_experiments.Corpus
+module Diskcache = Rchls_util.Diskcache
 module Report = Rchls_experiments.Report
 module Loader = Rchls_experiments.Loader
 module Service = Rchls_experiments.Service
@@ -347,6 +352,10 @@ let sweep_cmd =
              ]
            ~graph:g ~library:lib ~result:(Report.sweep_json cells) ())
     | None ->
+      (* Render through the indexed grid view: same cells, but the
+         order is pinned to (ld, ad) regardless of how the sweep
+         produced them. *)
+      let grid = Sweep.Grid.of_cells cells in
       let t = Rchls_util.Tablefmt.create [ "Ld"; "Ad"; "Reliability"; "Area" ] in
       List.iter
         (fun (c : Sweep.cell) ->
@@ -359,7 +368,7 @@ let sweep_cmd =
               | None -> "-");
               (match c.area with Some a -> string_of_int a | None -> "-");
             ])
-        cells;
+        (Sweep.Grid.cells grid);
       Rchls_util.Tablefmt.print t
   in
   let doc = "Sweep a latency x area bounds grid." in
@@ -580,7 +589,7 @@ let fuzz_cmd =
   let props =
     Arg.(value & opt (some (list string)) None & info [ "properties" ] ~docv:"P1,P2,..."
            ~doc:(Printf.sprintf "Properties to run (default: all): %s."
-                   (String.concat ", " Fuzz.property_names)))
+                   (String.concat ", " (Fuzz.property_names ()))))
   in
   let doc =
     "Fuzz the synthesis stack: random designs, differential scheduler oracles, \
@@ -590,6 +599,213 @@ let fuzz_cmd =
     Term.(
       const run $ seed $ cases $ max_nodes $ props $ trace_out_arg $ report_arg
       $ stats_arg)
+
+(* --- corpus --- *)
+
+let corpus_cmd =
+  let run dir seed count =
+    let t =
+      try Corpus.generate ~dir ~seed ~count
+      with Invalid_argument m | Sys_error m ->
+        Printf.eprintf "rchls: %s\n" m;
+        exit 1
+    in
+    let tbl = Rchls_util.Tablefmt.create [ "File"; "Family"; "Nodes"; "Edges" ] in
+    List.iter
+      (fun (e : Corpus.entry) ->
+        Rchls_util.Tablefmt.add_row tbl
+          [ e.file; e.family; string_of_int e.nodes; string_of_int e.edges ])
+      t.Corpus.entries;
+    Rchls_util.Tablefmt.print tbl;
+    Printf.printf "wrote %d graphs + %s to %s (seed %d)\n"
+      (List.length t.Corpus.entries)
+      Corpus.manifest_file dir seed
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Corpus directory (created as needed).  Each graph lands as a \
+                 .dfg file next to a versioned $(b,MANIFEST.json).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Generation seed.  Graph $(i,i) draws from a private stream \
+                 keyed (seed, i), so regenerating with a larger $(b,--count) \
+                 extends the corpus in place.")
+  in
+  let count =
+    Arg.(value & opt int 20 & info [ "count" ] ~docv:"N"
+           ~doc:"Number of graphs; structured families (chain, fanout, fir, \
+                 diffeq) round-robin.")
+  in
+  let doc = "Generate a versioned benchmark-corpus directory of .dfg graphs." in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ dir $ seed $ count)
+
+(* --- explore --- *)
+
+(* One explore target: either a corpus directory (every member graph)
+   or a single benchmark name / .dfg path. *)
+let explore_targets spec =
+  if Sys.file_exists (Filename.concat spec Corpus.manifest_file) then begin
+    let corpus = or_die (Corpus.load ~dir:spec) in
+    List.map
+      (fun (e : Corpus.entry) ->
+        (e.graph_name, or_die (Corpus.load_graph corpus e)))
+      corpus.Corpus.entries
+  end
+  else [ (Filename.remove_extension (Filename.basename spec),
+          or_die (Loader.load_graph spec)) ]
+
+let explore_cmd =
+  let run target lib_file lds ads approach domains reference verify cache_dir
+      trace_out stats check =
+    with_stats ~err:true stats @@ fun () ->
+    with_check check @@ fun () ->
+    with_tracing trace_out @@ fun () ->
+    let lib = or_die (load_library lib_file) in
+    let library_text = Library.to_text lib in
+    let disk =
+      Option.map (fun dir -> or_die (Diskcache.open_dir dir)) cache_dir
+    in
+    let lds = Option.value ~default:[] lds and ads = Option.value ~default:[] ads in
+    let run_and_emit name g ~lds ~ads appr ~key =
+      let cache = Rchls_core.Engine.create_cache () in
+      let run_pruned () =
+        Sweep.run_with_stats ?domains ~cache appr g lib ~lds ~ads
+      in
+      let run_exhaustive () =
+        let cells = Sweep.run_reference ?domains ~cache appr g lib ~lds ~ads in
+        let n = List.length cells in
+        (cells, { Explore.cells = n; evaluated = n; derived = 0 })
+      in
+      let cells, exp_stats =
+        if verify then begin
+          let pc, ps = run_pruned () in
+          let rc, _ = run_exhaustive () in
+          if pc <> rc then begin
+            Printf.eprintf
+              "rchls: %s: pruned sweep diverges from the exhaustive \
+               reference\n"
+              name;
+            exit 3
+          end;
+          (pc, ps)
+        end
+        else if reference then run_exhaustive ()
+        else run_pruned ()
+      in
+      let payload =
+        Service.payload_of_explore (Explore.frontier cells, exp_stats)
+      in
+      let payload_json = Json.to_string (Response.payload_to_json payload) in
+      (match (disk, key) with
+      | Some d, Some k -> Diskcache.add d k payload_json
+      | _ -> ());
+      print_endline
+        (Response.assemble_raw ~id:(Some name) ~cache:None payload_json);
+      Printf.eprintf
+        "rchls: %s: %d frontier points, evaluated %d of %d cells (%d derived)\n%!"
+        name
+        (match payload with
+        | Response.Explore_frontier e -> List.length e.Response.points
+        | _ -> 0)
+        exp_stats.Explore.evaluated exp_stats.Explore.cells
+        exp_stats.Explore.derived
+    in
+    let explore_one (name, g) =
+      let graph_text = Parse.to_text g in
+      let planned = lazy (Explore.plan g lib) in
+      let lds = match lds with [] -> fst (Lazy.force planned) | l -> l in
+      let ads = match ads with [] -> snd (Lazy.force planned) | l -> l in
+      let appr = Service.approach_of_api approach in
+      let job =
+        Request.Explore
+          {
+            Request.graph = Request.Inline graph_text;
+            library = Request.Lib_inline library_text;
+            lds;
+            ads;
+            approach;
+            scheduler = Request.Density;
+          }
+      in
+      let key = Request.cache_key ~graph_text ~library_text job in
+      let cached =
+        match (disk, key) with
+        | Some d, Some k -> Option.map (fun v -> (k, v)) (Diskcache.find d k)
+        | _ -> None
+      in
+      match cached with
+      | Some (k, payload_json) -> (
+        (* Resumable runs revalidate disk entries through the strict
+           decoder; a stale or foreign file is recomputed, not
+           trusted. *)
+        match
+          Result.bind (Json.of_string payload_json) Response.payload_of_json
+        with
+        | Ok _ ->
+          print_endline
+            (Response.assemble_raw ~id:(Some name)
+               ~cache:
+                 (Some
+                    {
+                      Response.tier = Response.Disk;
+                      key = Rchls_util.Fnv.to_hex k;
+                    })
+               payload_json);
+          Printf.eprintf "rchls: %s: cached (%d-cell plane)\n%!" name
+            (List.length lds * List.length ads)
+        | Error _ -> run_and_emit name g ~lds ~ads appr ~key)
+      | None -> run_and_emit name g ~lds ~ads appr ~key
+    in
+    List.iter explore_one (explore_targets target)
+  in
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"A corpus directory (from $(b,rchls corpus) — every member \
+                 graph is explored), a benchmark name or a .dfg file.")
+  in
+  let lds =
+    Arg.(value & opt (some (list int)) None & info [ "lds" ] ~docv:"L1,L2,..."
+           ~doc:"Latency bounds (default: planned automatically from the \
+                 graph and library).")
+  in
+  let ads =
+    Arg.(value & opt (some (list int)) None & info [ "ads" ] ~docv:"A1,A2,..."
+           ~doc:"Area bounds (default: planned automatically).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the latency-row fan-out (default: \
+                 $(b,RCHLS_DOMAINS) or the recommended domain count; 1 = \
+                 sequential).  Never changes output.")
+  in
+  let reference =
+    Arg.(value & flag & info [ "reference" ]
+           ~doc:"Synthesize every cell exhaustively (the oracle) instead of \
+                 pruning by certified area intervals.  The frontier is \
+                 identical; only the evaluated/derived statistics differ.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Run both the pruned explorer and the exhaustive reference \
+                 and abort (exit 3) unless their grids agree cell-for-cell.  \
+                 Output is the pruned run's.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist each graph's frontier payload under its response \
+                 cache key in $(docv); re-running skips graphs already \
+                 explored (resumable corpus sweeps).")
+  in
+  let doc =
+    "Frontier-guided Pareto exploration: sweep bound planes with \
+     dominance-pruned synthesis and print each graph's (latency, area, \
+     reliability) frontier as rchls.api/1 NDJSON."
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ target $ library_arg $ lds $ ads $ approach_arg $ domains
+      $ reference $ verify $ cache_dir $ trace_out_arg $ stats_arg $ check_flag)
 
 (* --- serve --- *)
 
@@ -715,13 +931,14 @@ let serve_cmd =
 (* --- request --- *)
 
 let request_cmd =
-  let run socket tcp verbose file =
+  let run socket tcp verbose timeout file =
     let client =
       or_die
         (match tcp with
         | Some port -> Client.connect_tcp ~host:"127.0.0.1" ~port
         | None -> Client.connect_unix socket)
     in
+    Option.iter (Client.set_receive_timeout client) timeout;
     let ic =
       match file with
       | None | Some "-" -> stdin
@@ -795,9 +1012,14 @@ let request_cmd =
                  cache tier (memory/disk/computed) and the server-side \
                  latency breakdown from the response envelope.")
   in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Fail (exit 1) if the daemon does not answer a request \
+                 within $(docv) seconds, instead of blocking forever.")
+  in
   let doc = "Send API request lines to a running rchls serve daemon." in
   Cmd.v (Cmd.info "request" ~doc)
-    Term.(const run $ socket_arg $ tcp_arg $ verbose $ file)
+    Term.(const run $ socket_arg $ tcp_arg $ verbose $ timeout $ file)
 
 (* --- top --- *)
 
@@ -893,6 +1115,8 @@ let () =
             bench_cmd;
             experiment_cmd;
             fuzz_cmd;
+            corpus_cmd;
+            explore_cmd;
             serve_cmd;
             request_cmd;
             top_cmd;

@@ -35,6 +35,7 @@ type fuzz = {
 type job =
   | Synth of synth
   | Sweep of sweep
+  | Explore of sweep
   | Check of synth
   | Fuzz of fuzz
   | Ping
@@ -46,6 +47,7 @@ type t = { id : string option; job : job }
 let job_kind = function
   | Synth _ -> "synth"
   | Sweep _ -> "sweep"
+  | Explore _ -> "explore"
   | Check _ -> "check"
   | Fuzz _ -> "fuzz"
   | Ping -> "ping"
@@ -94,7 +96,7 @@ let synth_params (s : synth) =
 
 let params_json = function
   | Synth s | Check s -> synth_params s
-  | Sweep w ->
+  | Sweep w | Explore w ->
     [
       ("graph", source_json w.graph);
       ("library", library_json w.library);
@@ -190,6 +192,35 @@ let decode_sweep ~what params =
   let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
   Ok { graph; library; lds; ads; approach; scheduler }
 
+(* Same shape as a sweep, but the bound lists may be omitted (or
+   empty): the explorer then plans the plane itself from the graph and
+   library (see [Rchls_experiments.Explore.plan]). *)
+let decode_explore ~what params =
+  let* f =
+    Schema.obj ~what
+      ~allowed:[ "graph"; "library"; "lds"; "ads"; "approach"; "scheduler" ]
+      params
+  in
+  let* graph =
+    match Schema.mem f "graph" with
+    | Some j -> decode_source ~what:(what ^ ".graph") j
+    | None -> Error (Printf.sprintf "%s: missing field \"graph\"" what)
+  in
+  let* library = decode_library ~what:(what ^ ".library") (Schema.mem f "library") in
+  let* lds =
+    match Schema.mem f "lds" with
+    | None -> Ok []
+    | Some _ -> Schema.int_list f ~what "lds"
+  in
+  let* ads =
+    match Schema.mem f "ads" with
+    | None -> Ok []
+    | Some _ -> Schema.int_list f ~what "ads"
+  in
+  let* approach = Schema.enum f ~what "approach" ~default:Ours approaches in
+  let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
+  Ok { graph; library; lds; ads; approach; scheduler }
+
 let decode_fuzz ~what params =
   let* f =
     Schema.obj ~what ~allowed:[ "seed"; "cases"; "max_nodes"; "properties" ] params
@@ -218,6 +249,9 @@ let decode j =
     | "sweep" ->
       let* w = decode_sweep ~what:"sweep.params" params in
       Ok (Sweep w)
+    | "explore" ->
+      let* w = decode_explore ~what:"explore.params" params in
+      Ok (Explore w)
     | "fuzz" ->
       let* z = decode_fuzz ~what:"fuzz.params" params in
       Ok (Fuzz z)
@@ -233,8 +267,8 @@ let decode j =
     | other ->
       Error
         (Printf.sprintf
-           "request: unknown job kind %S (one of: synth, sweep, check, fuzz, \
-            ping, stats, health)"
+           "request: unknown job kind %S (one of: synth, sweep, explore, \
+            check, fuzz, ping, stats, health)"
            other)
   in
   Ok { id; job }
@@ -276,5 +310,5 @@ let cache_key ?graph_text ?library_text job =
   match job with
   | Ping | Stats | Health -> None
   | Fuzz _ -> keyed (params_json job)
-  | Synth _ | Check _ | Sweep _ -> (
+  | Synth _ | Check _ | Sweep _ | Explore _ -> (
     match replace (params_json job) with None -> None | Some ps -> keyed ps)

@@ -67,6 +67,13 @@ type fuzz = {
 type job =
   | Synth of synth
   | Sweep of sweep
+  | Explore of sweep
+      (** frontier-guided exploration: sweep the bound plane with the
+          dominance-pruned explorer and answer with the 3-D (latency,
+          area, reliability) Pareto frontier.  Reuses the {!sweep}
+          parameter record; empty [lds]/[ads] (the decode default when
+          the fields are omitted) mean "plan the plane from the graph
+          and library" ([Rchls_experiments.Explore.plan]) *)
   | Check of synth
       (** synthesize like {!Synth}, then re-validate the result with
           the independent checker ([Rchls_check]) and report the
@@ -89,8 +96,8 @@ type t = {
 }
 
 val job_kind : job -> string
-(** ["synth" | "sweep" | "check" | "fuzz" | "ping" | "stats" |
-    "health"]. *)
+(** ["synth" | "sweep" | "explore" | "check" | "fuzz" | "ping" |
+    "stats" | "health"]. *)
 
 val encode : t -> Json.t
 (** Canonical encoding: every parameter is emitted explicitly (no

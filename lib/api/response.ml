@@ -19,6 +19,20 @@ type cell = {
   area : int option;
 }
 
+type frontier_point = {
+  f_ld : int;
+  f_ad : int;
+  f_reliability : float;
+  f_area : int;
+}
+
+type explore_summary = {
+  points : frontier_point list;
+  cells : int;
+  evaluated : int;
+  derived : int;
+}
+
 type fuzz_failure = {
   case : int;
   message : string;
@@ -60,6 +74,7 @@ type health = {
 type payload =
   | Design of (design_summary, failure) result
   | Sweep_cells of cell list
+  | Explore_frontier of explore_summary
   | Check_report of {
       result : (design_summary, failure) result;
       violations : string list;
@@ -149,6 +164,15 @@ let cell_json (c : cell) =
       ("area", opt_num (fun a -> Json.Int a) c.area);
     ]
 
+let frontier_point_json (p : frontier_point) =
+  Json.Obj
+    [
+      ("ld", Json.Int p.f_ld);
+      ("ad", Json.Int p.f_ad);
+      ("reliability", Json.Float p.f_reliability);
+      ("area", Json.Int p.f_area);
+    ]
+
 let fuzz_outcome_json (o : fuzz_outcome) =
   Json.Obj
     ([
@@ -212,6 +236,19 @@ let payload_to_json = function
   | Sweep_cells cells ->
     Json.Obj
       [ ("kind", Json.Str "sweep"); ("cells", Json.List (List.map cell_json cells)) ]
+  | Explore_frontier e ->
+    Json.Obj
+      [
+        ("kind", Json.Str "explore");
+        ("frontier", Json.List (List.map frontier_point_json e.points));
+        ( "stats",
+          Json.Obj
+            [
+              ("cells", Json.Int e.cells);
+              ("evaluated", Json.Int e.evaluated);
+              ("derived", Json.Int e.derived);
+            ] );
+      ]
   | Check_report { result; violations } ->
     Json.Obj
       [
@@ -368,6 +405,14 @@ let decode_cell ~what j =
   in
   Ok { ld; ad; reliability; area }
 
+let decode_frontier_point ~what j =
+  let* f = Schema.obj ~what ~allowed:[ "ld"; "ad"; "reliability"; "area" ] j in
+  let* f_ld = Schema.int_field f ~what "ld" in
+  let* f_ad = Schema.int_field f ~what "ad" in
+  let* f_reliability = Schema.float_field f ~what "reliability" in
+  let* f_area = Schema.int_field f ~what "area" in
+  Ok { f_ld; f_ad; f_reliability; f_area }
+
 let decode_fuzz_outcome ~what j =
   let* f =
     Schema.obj ~what ~allowed:[ "property"; "cases"; "passed"; "failure" ] j
@@ -486,6 +531,23 @@ let payload_of_json j =
       let* cells = map_result (decode_cell ~what:(what ^ ".cells")) xs in
       Ok (Sweep_cells cells)
     | _ -> Error (what ^ ": field \"cells\" must be a list"))
+  | "explore" -> (
+    let* f = Schema.obj ~what ~allowed:[ "kind"; "frontier"; "stats" ] j in
+    let* points =
+      match Schema.mem f "frontier" with
+      | Some (Json.List xs) ->
+        map_result (decode_frontier_point ~what:(what ^ ".frontier")) xs
+      | _ -> Error (what ^ ": field \"frontier\" must be a list")
+    in
+    match Schema.mem f "stats" with
+    | Some sj ->
+      let sw = what ^ ".stats" in
+      let* g = Schema.obj ~what:sw ~allowed:[ "cells"; "evaluated"; "derived" ] sj in
+      let* cells = Schema.int_field g ~what:sw "cells" in
+      let* evaluated = Schema.int_field g ~what:sw "evaluated" in
+      let* derived = Schema.int_field g ~what:sw "derived" in
+      Ok (Explore_frontier { points; cells; evaluated; derived })
+    | None -> Error (what ^ ": missing field \"stats\""))
   | "check" -> (
     let* f =
       Schema.obj ~what ~allowed:[ "kind"; "design"; "passed"; "violations" ] j

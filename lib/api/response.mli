@@ -40,6 +40,25 @@ type cell = {
   area : int option;
 }
 
+type frontier_point = {
+  f_ld : int;  (** the latency bound that admits this point *)
+  f_ad : int;  (** the area bound that admits this point *)
+  f_reliability : float;
+  f_area : int;  (** achieved area (≤ [f_ad]) *)
+}
+(** One non-dominated point of a 3-D (latency, area, reliability)
+    Pareto frontier. *)
+
+type explore_summary = {
+  points : frontier_point list;
+      (** the frontier, sorted by [(ld, ad)] ascending *)
+  cells : int;  (** bound-plane size swept *)
+  evaluated : int;  (** cells that ran the synthesis engine *)
+  derived : int;
+      (** cells filled from certified ad-intervals without a synthesis
+          call ([cells = evaluated + derived]) *)
+}
+
 type fuzz_failure = {
   case : int;
   message : string;
@@ -84,6 +103,9 @@ type payload =
       (** a synthesis result: achieved design or structured
           infeasibility *)
   | Sweep_cells of cell list
+  | Explore_frontier of explore_summary
+      (** answer to the [explore] kind: the Pareto frontier plus
+          pruning statistics *)
   | Check_report of {
       result : (design_summary, failure) result;
       violations : string list;

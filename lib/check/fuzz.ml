@@ -325,7 +325,7 @@ type property = {
   p_run : aux:Rng.t -> Gen.spec -> (unit, string) result;
 }
 
-let properties =
+let builtin_properties =
   [
     { p_name = "density-differential"; p_run = density_differential };
     { p_name = "list-differential"; p_run = list_differential };
@@ -336,7 +336,25 @@ let properties =
     { p_name = "nmr-validity"; p_run = nmr_validity };
   ]
 
-let property_names = List.map (fun p -> p.p_name) properties
+(* Extension point for layers above this library (the design-space
+   sweep in [Rchls_experiments] registers its pruned-vs-reference
+   differential here — it cannot be a built-in because this library
+   sits below the experiments layer).  Registered properties append
+   after the built-ins in registration order, so the case streams of
+   existing properties — keyed by position in the full list — never
+   shift when one is added. *)
+let registered : property list ref = ref []
+
+let register_property ~name run =
+  if
+    List.exists
+      (fun p -> p.p_name = name)
+      (builtin_properties @ !registered)
+  then invalid_arg (Printf.sprintf "Fuzz.register_property: duplicate %S" name)
+  else registered := !registered @ [ { p_name = name; p_run = run } ]
+
+let properties () = builtin_properties @ !registered
+let property_names () = List.map (fun p -> p.p_name) (properties ())
 
 (* --- driver --------------------------------------------------------- *)
 
@@ -399,23 +417,26 @@ let run_property ~seed ~cases ~max_nodes pi p =
       done;
       { property = p.p_name; cases_run = !case; failure = !failure })
 
-let run ?(max_nodes = 12) ?properties:(names = property_names) ~seed ~cases () =
+let run ?(max_nodes = 12) ?properties:names ~seed ~cases () =
+  let all = properties () in
+  let names =
+    match names with Some ns -> ns | None -> List.map (fun p -> p.p_name) all
+  in
   let selected =
     List.map
       (fun n ->
-        match List.find_opt (fun p -> p.p_name = n) properties with
+        match List.find_opt (fun p -> p.p_name = n) all with
         | Some p -> p
         | None ->
           invalid_arg
             (Printf.sprintf "Fuzz.run: unknown property %S (known: %s)" n
-               (String.concat ", " property_names)))
+               (String.concat ", " (List.map (fun p -> p.p_name) all))))
       names
   in
   List.map
     (fun p ->
       let pi =
-        Option.get
-          (List.find_index (fun q -> q.p_name = p.p_name) properties)
+        Option.get (List.find_index (fun q -> q.p_name = p.p_name) all)
       in
       run_property ~seed ~cases ~max_nodes pi p)
     selected

@@ -47,8 +47,22 @@ type outcome = {
   failure : failure option;
 }
 
-val property_names : string list
-(** In execution order. *)
+val property_names : unit -> string list
+(** In execution order: the built-in properties above, then any
+    {!register_property} additions in registration order. *)
+
+val register_property :
+  name:string ->
+  (aux:Rchls_util.Rng.t -> Gen.spec -> (unit, string) result) ->
+  unit
+(** Append a property supplied by a layer above this library (the
+    design-space sweep registers its pruned-vs-reference differential
+    this way at module-initialization time).  The property receives
+    the generated blueprint and the auxiliary random stream, and
+    reports a counterexample through [Error]; failures shrink exactly
+    like the built-ins'.  Appending never shifts the case streams of
+    existing properties (they are keyed by list position).  Raises
+    [Invalid_argument] on a duplicate name. *)
 
 val run :
   ?max_nodes:int ->

@@ -9,12 +9,12 @@ type spec = { ops : Op.t array; edges : (int * int) list }
 
 let node_name i = Printf.sprintf "n%d" i
 
-let graph_of_spec spec =
+let graph_of_spec ?(name = "rand") spec =
   let nodes = Array.to_list (Array.mapi (fun i op -> (node_name i, op)) spec.ops) in
   let edges = List.map (fun (a, b) -> (node_name a, node_name b)) spec.edges in
-  Dfg.create_exn ~name:"rand" ~nodes ~edges
+  Dfg.create_exn ~name ~nodes ~edges
 
-let spec_to_text spec = Parse.to_text (graph_of_spec spec)
+let spec_to_text ?name spec = Parse.to_text (graph_of_spec ?name spec)
 
 let normalize_edges n raw =
   List.sort_uniq compare
@@ -40,6 +40,87 @@ let random_spec ?(max_nodes = 12) rng =
         (Rng.int rng n, Rng.int rng n))
   in
   { ops; edges = normalize_edges n raw }
+
+(* --- structured corpus families ------------------------------------ *)
+
+type family = Chain | Fanout | Fir | Diffeq
+
+let families = [ Chain; Fanout; Fir; Diffeq ]
+
+let family_name = function
+  | Chain -> "chain"
+  | Fanout -> "fanout"
+  | Fir -> "fir"
+  | Diffeq -> "diffeq"
+
+let family_of_name = function
+  | "chain" -> Some Chain
+  | "fanout" -> Some Fanout
+  | "fir" -> Some Fir
+  | "diffeq" -> Some Diffeq
+  | _ -> None
+
+(* Each family stresses a different schedule/share shape: [Chain] has
+   no parallelism at all (latency bounds bite, sharing is free),
+   [Fanout] is one broadcast-and-reduce layer (maximum parallelism,
+   area bounds bite), [Fir] is the tapped multiply-accumulate ladder
+   of the fir16 benchmark, [Diffeq] chains multiply-multiply-subtract
+   update blocks like the HAL differential-equation solver.  The rng
+   only flavors operation kinds where the shape leaves them free, so a
+   family's structure is stable across seeds. *)
+let family_spec family ~size rng =
+  let size = max 2 size in
+  match family with
+  | Chain ->
+    let ops = Array.init size (fun _ -> random_op rng) in
+    { ops; edges = List.init (size - 1) (fun i -> (i, i + 1)) }
+  | Fanout ->
+    if size < 3 then
+      { ops = Array.init size (fun _ -> random_op rng);
+        edges = List.init (size - 1) (fun i -> (i, i + 1)) }
+    else begin
+      (* root 0 broadcasts to the middle layer; the sink reduces it *)
+      let ops = Array.init size (fun _ -> random_op rng) in
+      let middles = List.init (size - 2) (fun i -> i + 1) in
+      let edges =
+        List.map (fun m -> (0, m)) middles
+        @ List.map (fun m -> (m, size - 1)) middles
+      in
+      { ops; edges = normalize_edges size edges }
+    end
+  | Fir ->
+    (* [taps] multiplications (the coefficient products) feeding an
+       accumulation chain of additions: mul i -> add i, add i -> add
+       i+1. *)
+    let taps = max 1 (size / 2) in
+    let n = 2 * taps in
+    let ops = Array.init n (fun i -> if i < taps then Op.Mul else Op.Add) in
+    let edges =
+      List.init taps (fun i -> (i, taps + i))
+      @ List.init (taps - 1) (fun i -> (taps + i, taps + i + 1))
+    in
+    { ops; edges = normalize_edges n edges }
+  | Diffeq ->
+    (* [blocks] update steps, each two multiplications into a
+       subtraction, chained through the subtractions, closed by the
+       loop-exit comparison. *)
+    let blocks = max 1 (size / 3) in
+    let n = (3 * blocks) + 1 in
+    let ops =
+      Array.init n (fun i ->
+          if i = n - 1 then Op.Comp
+          else if i mod 3 = 2 then Op.Sub
+          else Op.Mul)
+    in
+    let edges =
+      List.concat
+        (List.init blocks (fun j ->
+             let m1 = 3 * j and m2 = (3 * j) + 1 and s = (3 * j) + 2 in
+             let chain = if j = 0 then [] else [ ((3 * j) - 1, m1) ] in
+             chain @ [ (m1, s); (m2, s) ]))
+      @ [ (n - 2, n - 1) ]
+    in
+    { ops; edges = normalize_edges n edges }
 
 (* Dropping node [i]: survivors keep their relative order, edges
    touching [i] disappear, the rest re-index.  The a < b orientation

@@ -28,12 +28,35 @@ type spec = {
 (** A graph blueprint: everything {!graph_of_spec} needs, in a shape
     the shrinker can edit. *)
 
-val graph_of_spec : spec -> Dfg.t
-(** Materialize.  Total: a well-formed spec always builds. *)
+val graph_of_spec : ?name:string -> spec -> Dfg.t
+(** Materialize under [name] (default ["rand"]).  Total: a well-formed
+    spec always builds. *)
 
-val spec_to_text : spec -> string
+val spec_to_text : ?name:string -> spec -> string
 (** The graph in the textual [.dfg] format — printed with failing fuzz
-    cases so a counterexample can be replayed through the CLI. *)
+    cases so a counterexample can be replayed through the CLI, and
+    written out by the corpus factory. *)
+
+(** {1 Structured corpus families} *)
+
+type family = Chain | Fanout | Fir | Diffeq
+(** Benchmark-corpus shapes: a dependence chain with no parallelism, a
+    broadcast-and-reduce layer, the FIR multiply-accumulate ladder,
+    and chained DiffEq update blocks.  Each stresses a different
+    schedule/share regime of the bound plane. *)
+
+val families : family list
+(** All families, in emission order. *)
+
+val family_name : family -> string
+val family_of_name : string -> family option
+
+val family_spec : family -> size:int -> Rng.t -> spec
+(** A structured blueprint of roughly [size] nodes (clamped to at
+    least 2; [Fir]/[Diffeq] round to their block granularity).  The
+    rng only flavors operation kinds where the family's shape leaves
+    them free, so the structure is a deterministic function of
+    [(family, size)]. *)
 
 val random_spec : ?max_nodes:int -> Rng.t -> spec
 (** A random DAG blueprint with 1 to [max_nodes] (default 12) nodes,

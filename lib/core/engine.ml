@@ -141,6 +141,17 @@ type ctx = {
   rank : int array;  (* inverse of [topo]: position of each id *)
   mutable schedule_latency : int;
   mutable design : Design.t option;
+  mutable ad_lo : int;
+  mutable ad_hi : int;
+      (* Certified area-bound interval.  Every decision the pipeline
+         takes that depends on [ad] is a comparison [a <= ad] for some
+         integer area [a]; each one narrows [ad_lo, ad_hi] to the area
+         bounds for which the comparison resolves the same way.  On
+         completion the interval is exactly the set of bounds that
+         provably replay the identical decision path — and therefore
+         the identical result.  The design-space explorer fills whole
+         grid intervals from one synthesis call on the strength of
+         this. *)
   trace : trace_event -> unit;
 }
 
@@ -220,6 +231,8 @@ let create ?(scheduler = `Density) ?cache ?(use_cache = true) ?(domains = 1)
       rank;
       schedule_latency = 0;
       design = None;
+      ad_lo = 1;
+      ad_hi = max_int;
       trace;
     }
   in
@@ -408,6 +421,25 @@ let the_design ctx =
   | Some d -> d
   | None -> failwith "Engine: pass ran before a design was realized"
 
+(* The one comparison through which every pass consults the area
+   bound.  [a <= ad] holds for all ad' >= a, fails for all ad' < a;
+   recording the tighter side keeps [ad_lo, ad_hi] equal to the exact
+   set of bounds replaying this decision path.  Decisions must never
+   read [ad_lo]/[ad_hi] back — the interval is an output, not state. *)
+let fits ctx a =
+  if a <= ctx.ad then begin
+    if a > ctx.ad_lo then ctx.ad_lo <- a;
+    true
+  end
+  else begin
+    if a - 1 < ctx.ad_hi then ctx.ad_hi <- a - 1;
+    false
+  end
+
+let merge_certificate ctx (lo, hi) =
+  if lo > ctx.ad_lo then ctx.ad_lo <- lo;
+  if hi < ctx.ad_hi then ctx.ad_hi <- hi
+
 (* --- passes -------------------------------------------------------- *)
 
 type pass = { name : string; run : ctx -> (unit, failure) result }
@@ -486,7 +518,10 @@ let exploit_slack =
         | Error e -> Error (Scheduling_error e)
         | Ok d0 ->
           ctx.design <- Some d0;
-          while Design.area (the_design ctx) > ctx.ad && ctx.schedule_latency < ctx.ld do
+          while
+            (not (fits ctx (Design.area (the_design ctx))))
+            && ctx.schedule_latency < ctx.ld
+          do
             ctx.schedule_latency <- ctx.schedule_latency + 1;
             match realize_current ctx with
             | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
@@ -508,7 +543,7 @@ let meet_area =
     run =
       (fun ctx ->
         let made_progress = ref true in
-        while Design.area (the_design ctx) > ctx.ad && !made_progress do
+        while (not (fits ctx (Design.area (the_design ctx)))) && !made_progress do
           let nodes_by_area =
             List.stable_sort
               (fun (a : Dfg.node) b ->
@@ -565,14 +600,14 @@ let recovery =
     name = "recovery";
     run =
       (fun ctx ->
-        if Design.area (the_design ctx) > ctx.ad then begin
+        if not (fits ctx (Design.area (the_design ctx))) then begin
           ctx.schedule_latency <- ctx.ld;
           (match realize_current ctx with
           | Error e -> failwith ("Reliability_centric: reschedule failed: " ^ e)
           | Ok d -> ctx.design <- Some d);
           let classes = List.map fst (Dfg.count_by_class ctx.graph) in
           let made_progress = ref true in
-          while Design.area (the_design ctx) > ctx.ad && !made_progress do
+          while (not (fits ctx (Design.area (the_design ctx)))) && !made_progress do
             let area_before = Design.area (the_design ctx) in
             (* The historical triple [List.exists] accepted the first
                candidate, in (class, version, subset) order, whose move
@@ -668,13 +703,13 @@ let refine =
     name = "refine";
     run =
       (fun ctx ->
-        if Design.area (the_design ctx) <= ctx.ad then begin
+        if fits ctx (Design.area (the_design ctx)) then begin
           (* Full latency budget maximizes sharing headroom for the
              upgrades, as long as it does not itself break the bound. *)
           (match realize ctx ~latency:ctx.ld with
           | Error _ -> ()
           | Ok d ->
-            if Design.area d <= ctx.ad then begin
+            if fits ctx (Design.area d) then begin
               ctx.design <- Some d;
               ctx.schedule_latency <- ctx.ld
             end);
@@ -690,7 +725,7 @@ let refine =
                 match realize_current ectx with
                 | Error _ -> None
                 | Ok d ->
-                  if Design.area d <= ectx.ad && Design.reliability d > base_r +. 1e-15
+                  if fits ectx (Design.area d) && Design.reliability d > base_r +. 1e-15
                   then Some d
                   else None
             in
@@ -734,18 +769,29 @@ let refine =
                     | None -> None
                     | Some d -> Some (ids, v, Design.reliability d))
                   candidates
-              else
-                Rchls_util.Pool.map ~domains:ctx.domains
-                  (fun (ids, v) ->
-                    let w = clone_for_worker ctx in
-                    let r =
-                      match evaluate_move w ~ids ~to_version:v ~base_r with
-                      | None -> None
-                      | Some d -> Some (ids, v, Design.reliability d)
-                    in
-                    cache_merge ~into:ctx.cache w.cache;
-                    r)
-                  candidates
+              else begin
+                (* Workers record their [fits] comparisons on private
+                   clones; every candidate is evaluated in both the
+                   sequential and the parallel branch, so merging the
+                   clone intervals (max of los, min of his — order
+                   irrelevant) reproduces exactly the interval the
+                   sequential scan would have recorded. *)
+                let probed =
+                  Rchls_util.Pool.map ~domains:ctx.domains
+                    (fun (ids, v) ->
+                      let w = clone_for_worker ctx in
+                      let r =
+                        match evaluate_move w ~ids ~to_version:v ~base_r with
+                        | None -> None
+                        | Some d -> Some (ids, v, Design.reliability d)
+                      in
+                      cache_merge ~into:ctx.cache w.cache;
+                      (r, (w.ad_lo, w.ad_hi)))
+                    candidates
+                in
+                List.iter (fun (_, interval) -> merge_certificate ctx interval) probed;
+                List.map fst probed
+              end
             in
             let best = ref None in
             List.iter
@@ -765,7 +811,7 @@ let refine =
                 try_move ctx ~ids ~to_version:v
                   ~guard:(fun () -> current_latency ctx <= ctx.ld)
                   ~accept:(fun d ->
-                    Design.area d <= ctx.ad && Design.reliability d > base_r +. 1e-15)
+                    fits ctx (Design.area d) && Design.reliability d > base_r +. 1e-15)
               with
               | None -> ()
               | Some d ->
@@ -810,7 +856,7 @@ let finalize ctx =
   match ctx.design with
   | None -> Error (Scheduling_error "pipeline realized no design")
   | Some d ->
-    if Design.area d > ctx.ad then
+    if not (fits ctx (Design.area d)) then
       Error (Area_infeasible { best_achieved = Design.area d })
     else if Design.latency d > ctx.ld then
       Error (Latency_infeasible { best_achievable = Design.latency d })
@@ -842,7 +888,8 @@ let check_classes g lib =
     (Dfg.count_by_class g)
 
 let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
-    ?(trace = fun _ -> ()) ?(use_cache = true) ?cache ?domains g lib ~ld ~ad =
+    ?(trace = fun _ -> ()) ?(use_cache = true) ?cache ?domains ?certificate g lib
+    ~ld ~ad =
   if ld <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive latency bound";
   if ad <= 0 then invalid_arg "Reliability_centric.synthesize: non-positive area bound";
   check_classes g lib;
@@ -870,13 +917,21 @@ let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
   let domains =
     match domains with Some d -> max 1 d | None -> Rchls_util.Pool.num_domains ()
   in
+  (* The certified interval of the whole call is the intersection of
+     the intervals of every pipeline direction run: the result is a
+     function of all of them, so it is provably identical exactly where
+     all of their decision paths are. *)
+  let cert_lo = ref 1 and cert_hi = ref max_int in
   let run_from direction initial =
     Trace.with_span "engine.pipeline" ~attrs:[ ("direction", Trace.Str direction) ]
     @@ fun () ->
     let ctx =
       create ~scheduler ~cache ~use_cache ~domains ~trace g lib ~ld ~ad ~initial
     in
-    run_pipeline pipeline ctx
+    let r = run_pipeline pipeline ctx in
+    if ctx.ad_lo > !cert_lo then cert_lo := ctx.ad_lo;
+    if ctx.ad_hi < !cert_hi then cert_hi := ctx.ad_hi;
+    r
   in
   let top_down () =
     run_from "top-down" (fun (nd : Dfg.node) ->
@@ -886,11 +941,16 @@ let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
     run_from "bottom-up" (fun (nd : Dfg.node) ->
         Library.fastest lib (Op.resource_class nd.op))
   in
-  match strategy with
-  | `Figure6 -> top_down ()
-  | `Bottom_up -> bottom_up ()
-  | `Best -> (
-    match (top_down (), bottom_up ()) with
-    | (Ok a as ra), Ok b -> if Design.reliability a >= Design.reliability b then ra else Ok b
-    | (Ok _ as r), Error _ | Error _, (Ok _ as r) -> r
-    | (Error _ as e), Error _ -> e)
+  let result =
+    match strategy with
+    | `Figure6 -> top_down ()
+    | `Bottom_up -> bottom_up ()
+    | `Best -> (
+      match (top_down (), bottom_up ()) with
+      | (Ok a as ra), Ok b ->
+        if Design.reliability a >= Design.reliability b then ra else Ok b
+      | (Ok _ as r), Error _ | Error _, (Ok _ as r) -> r
+      | (Error _ as e), Error _ -> e)
+  in
+  (match certificate with Some c -> c := (!cert_lo, !cert_hi) | None -> ());
+  result

@@ -213,6 +213,7 @@ val synthesize :
   ?use_cache:bool ->
   ?cache:cache ->
   ?domains:int ->
+  ?certificate:(int * int) ref ->
   Dfg.t ->
   Library.t ->
   ld:int ->
@@ -226,4 +227,19 @@ val synthesize :
     [Rchls_util.Pool.num_domains ()]) fans refine/recovery move
     evaluation over worker domains — results are independent of it.
     {!Reliability_centric.synthesize} is this function with
-    [use_cache] defaulted. *)
+    [use_cache] defaulted.
+
+    [certificate], when supplied, receives the {e certified area-bound
+    interval} [(lo, hi)] of the run: every decision the pipeline takes
+    that depends on [ad] is an integer comparison [a <= ad], and the
+    interval is the exact set of area bounds for which every such
+    comparison (across all directions run) resolves as it did — so for
+    every [ad'] in [lo <= ad' <= hi], [synthesize ... ~ad:ad'] returns
+    the {e identical} result (same design or same failure).  Always
+    contains [ad] itself ([1 <= lo <= ad <= hi]); [hi = max_int] means
+    unbounded above (e.g. a latency-infeasible run never consulted the
+    area bound at all).  The interval is identical for every [domains]
+    value (all move candidates are evaluated in both the sequential
+    and the parallel branches, and interval merging is order-free).
+    The design-space explorer derives whole grid rows from single
+    synthesis calls on the strength of this. *)

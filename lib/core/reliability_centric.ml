@@ -41,5 +41,7 @@ type strategy = [ `Figure6 | `Bottom_up | `Best ]
 let most_reliable_assignment _g lib (nd : Dfg.node) =
   Library.most_reliable lib (Op.resource_class nd.op)
 
-let synthesize ?scheduler ?refine ?strategy ?trace ?cache ?domains g lib ~ld ~ad =
-  Engine.synthesize ?scheduler ?refine ?strategy ?trace ?cache ?domains g lib ~ld ~ad
+let synthesize ?scheduler ?refine ?strategy ?trace ?cache ?domains ?certificate g
+    lib ~ld ~ad =
+  Engine.synthesize ?scheduler ?refine ?strategy ?trace ?cache ?domains
+    ?certificate g lib ~ld ~ad

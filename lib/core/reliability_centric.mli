@@ -51,6 +51,7 @@ val synthesize :
   ?trace:(trace_event -> unit) ->
   ?cache:Engine.cache ->
   ?domains:int ->
+  ?certificate:(int * int) ref ->
   Dfg.t ->
   Library.t ->
   ld:int ->
@@ -74,8 +75,9 @@ val synthesize :
     - the [`Bottom_up] starting point, combined by [`Best].
 
     This is a thin driver over the pass-pipeline engine: see {!Engine}
-    for the stage decomposition, the memoized evaluation cache and the
-    telemetry counters. *)
+    for the stage decomposition, the memoized evaluation cache, the
+    telemetry counters, and the [certificate] contract (the exact
+    interval of area bounds proven to return the identical result). *)
 
 val most_reliable_assignment : Dfg.t -> Library.t -> Dfg.node -> Resource.t
 (** The initial allocation (line 3). *)

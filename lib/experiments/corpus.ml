@@ -1,0 +1,137 @@
+module Gen = Rchls_check.Gen
+module Rng = Rchls_util.Rng
+module Fnv = Rchls_util.Fnv
+module Json = Rchls_util.Json
+
+let version = "rchls.corpus/1"
+let manifest_file = "MANIFEST.json"
+
+type entry = {
+  file : string;
+  family : string;
+  graph_name : string;
+  nodes : int;
+  edges : int;
+}
+
+type t = { dir : string; seed : int; entries : entry list }
+
+(* Every graph draws from its own stream keyed by (corpus seed, index),
+   so a corpus is reproducible per graph: regenerating with a larger
+   [count] extends it without rewriting the existing members. *)
+let graph_key seed i =
+  Int64.to_int (Fnv.fold_int (Fnv.fold_int Fnv.seed seed) i)
+
+let entry_of_index ~seed i =
+  let family = List.nth Gen.families (i mod List.length Gen.families) in
+  let rng = Rng.create (graph_key seed i) in
+  let size = 4 + Rng.int rng 12 in
+  let spec = Gen.family_spec family ~size rng in
+  let graph_name = Printf.sprintf "%s-%d" (Gen.family_name family) i in
+  (spec, {
+     file = graph_name ^ ".dfg";
+     family = Gen.family_name family;
+     graph_name;
+     nodes = Array.length spec.Gen.ops;
+     edges = List.length spec.Gen.edges;
+   })
+
+let entry_json e =
+  Json.Obj
+    [
+      ("file", Json.Str e.file);
+      ("family", Json.Str e.family);
+      ("name", Json.Str e.graph_name);
+      ("nodes", Json.Int e.nodes);
+      ("edges", Json.Int e.edges);
+    ]
+
+let manifest_json t =
+  Json.Obj
+    [
+      ("version", Json.Str version);
+      ("seed", Json.Int t.seed);
+      ("count", Json.Int (List.length t.entries));
+      ("graphs", Json.List (List.map entry_json t.entries));
+    ]
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let generate ~dir ~seed ~count =
+  if count <= 0 then invalid_arg "Corpus.generate: non-positive count";
+  mkdir_p dir;
+  let entries =
+    List.init count (fun i ->
+        let spec, e = entry_of_index ~seed i in
+        write_file (Filename.concat dir e.file)
+          (Gen.spec_to_text ~name:e.graph_name spec);
+        e)
+  in
+  let t = { dir; seed; entries } in
+  write_file
+    (Filename.concat dir manifest_file)
+    (Json.to_string ~pretty:true (manifest_json t) ^ "\n");
+  t
+
+let ( let* ) = Result.bind
+
+(* Strict manifest decoding, in the spirit of the API codecs: a field
+   of the wrong shape is an error, not a silent default. *)
+let load ~dir =
+  let path = Filename.concat dir manifest_file in
+  let* text =
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error m -> Error (Printf.sprintf "Corpus.load: %s" m)
+  in
+  let* doc =
+    Result.map_error (fun m -> Printf.sprintf "Corpus.load: %s: %s" path m)
+      (Json.of_string text)
+  in
+  let field name conv doc =
+    match Option.bind (Json.member name doc) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Corpus.load: %s: missing or invalid %S" path name)
+  in
+  let* v = field "version" Json.to_string_opt doc in
+  let* () =
+    if v = version then Ok ()
+    else
+      Error
+        (Printf.sprintf "Corpus.load: %s: version %S, this build reads %S" path v
+           version)
+  in
+  let* seed = field "seed" Json.to_int_opt doc in
+  let* graphs = field "graphs" Json.to_list_opt doc in
+  let* entries =
+    List.fold_left
+      (fun acc g ->
+        let* acc = acc in
+        let* file = field "file" Json.to_string_opt g in
+        let* family = field "family" Json.to_string_opt g in
+        let* graph_name = field "name" Json.to_string_opt g in
+        let* nodes = field "nodes" Json.to_int_opt g in
+        let* edges = field "edges" Json.to_int_opt g in
+        Ok ({ file; family; graph_name; nodes; edges } :: acc))
+      (Ok []) graphs
+  in
+  Ok { dir; seed; entries = List.rev entries }
+
+let load_graph t e =
+  let path = Filename.concat t.dir e.file in
+  let* text =
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error m -> Error (Printf.sprintf "Corpus.load_graph: %s" m)
+  in
+  Result.map_error
+    (fun m -> Printf.sprintf "Corpus.load_graph: %s: %s" path m)
+    (Rchls_dfg.Parse.of_text text)

@@ -1,0 +1,41 @@
+(** The generated benchmark corpus: a versioned directory of
+    structured-family [.dfg] graphs ([rchls corpus] emits one, [rchls
+    explore] sweeps one).
+
+    A corpus directory holds one [.dfg] file per graph plus a
+    [MANIFEST.json] ({!version} ["rchls.corpus/1"]) recording the
+    generation seed and, per graph, its file, family, name and size.
+    Graph [i] draws from a private stream keyed by [(seed, i)], so the
+    corpus is a deterministic function of [(seed, count)] and
+    regenerating with a larger [count] extends it in place. *)
+
+val version : string
+(** ["rchls.corpus/1"] — the manifest schema this build reads and
+    writes. *)
+
+val manifest_file : string
+(** ["MANIFEST.json"]. *)
+
+type entry = {
+  file : string;  (** file name within the corpus directory *)
+  family : string;  (** a [Gen.family_name] *)
+  graph_name : string;  (** the graph's [dfg] name, e.g. ["fir-2"] *)
+  nodes : int;
+  edges : int;
+}
+
+type t = { dir : string; seed : int; entries : entry list }
+
+val generate : dir:string -> seed:int -> count:int -> t
+(** Write [count] graphs (families round-robin over [Gen.families],
+    sizes 4-15 nodes drawn per graph) and the manifest into [dir]
+    (created as needed).  Raises [Invalid_argument] on a non-positive
+    [count]. *)
+
+val load : dir:string -> (t, string) result
+(** Read a corpus back from its manifest.  Strict: a missing file, a
+    malformed document, a wrong [version] or an ill-typed field is an
+    [Error], never a silent default. *)
+
+val load_graph : t -> entry -> (Rchls_dfg.Dfg.t, string) result
+(** Parse one member graph from disk. *)

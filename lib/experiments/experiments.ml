@@ -184,8 +184,11 @@ let fig8a () =
   let cells =
     Sweep.run Sweep.Ours Benchmarks.fir16 Library.table1 ~lds ~ads:[ 8 ]
   in
+  let grid = Sweep.Grid.of_cells cells in
   let series =
-    List.map (fun ld -> (ld, (Sweep.cell_at_exn cells ~ld ~ad:8).Sweep.reliability)) lds
+    List.map
+      (fun ld -> (ld, (Sweep.Grid.find_exn grid ~ld ~ad:8).Sweep.reliability))
+      lds
   in
   series_table "Figure 8(a): FIR reliability vs latency bound (Ad=8)" "Latency" series
     Paper_data.fig8a_latency
@@ -195,8 +198,11 @@ let fig8b () =
   let cells =
     Sweep.run Sweep.Ours Benchmarks.fir16 Library.table1 ~lds:[ 10 ] ~ads
   in
+  let grid = Sweep.Grid.of_cells cells in
   let series =
-    List.map (fun ad -> (ad, (Sweep.cell_at_exn cells ~ld:10 ~ad).Sweep.reliability)) ads
+    List.map
+      (fun ad -> (ad, (Sweep.Grid.find_exn grid ~ld:10 ~ad).Sweep.reliability))
+      ads
   in
   series_table "Figure 8(b): FIR reliability vs area bound (Ld=10)" "Area" series
     Paper_data.fig8b_area
@@ -207,9 +213,9 @@ let table2 title g (paper_rows : Paper_data.table2_row list) =
   let lds = List.sort_uniq compare (List.map (fun r -> r.Paper_data.ld) paper_rows) in
   let ads = List.sort_uniq compare (List.map (fun r -> r.Paper_data.ad) paper_rows) in
   let lib = Library.table1 in
-  let base = Sweep.run Sweep.Baseline g lib ~lds ~ads in
-  let ours = Sweep.run Sweep.Ours g lib ~lds ~ads in
-  let comb = Sweep.run Sweep.Combined g lib ~lds ~ads in
+  let base = Sweep.Grid.of_cells (Sweep.run Sweep.Baseline g lib ~lds ~ads) in
+  let ours = Sweep.Grid.of_cells (Sweep.run Sweep.Ours g lib ~lds ~ads) in
+  let comb = Sweep.Grid.of_cells (Sweep.run Sweep.Combined g lib ~lds ~ads) in
   let t =
     Tablefmt.create
       ~aligns:
@@ -222,9 +228,9 @@ let table2 title g (paper_rows : Paper_data.table2_row list) =
   List.iter
     (fun (row : Paper_data.table2_row) ->
       let ld = row.ld and ad = row.ad in
-      let b = (Sweep.cell_at_exn base ~ld ~ad).Sweep.reliability in
-      let o = (Sweep.cell_at_exn ours ~ld ~ad).Sweep.reliability in
-      let c = (Sweep.cell_at_exn comb ~ld ~ad).Sweep.reliability in
+      let b = (Sweep.Grid.find_exn base ~ld ~ad).Sweep.reliability in
+      let o = (Sweep.Grid.find_exn ours ~ld ~ad).Sweep.reliability in
+      let c = (Sweep.Grid.find_exn comb ~ld ~ad).Sweep.reliability in
       let impr x =
         match (b, x) with
         | Some b, Some x -> Tablefmt.pct_cell (Sweep.improvement_pct b x)
@@ -280,11 +286,11 @@ let fig9 () =
       let ads = List.sort_uniq compare (List.map (fun r -> r.Paper_data.ad) rows) in
       let lib = Library.table1 in
       let avg approach =
-        let cells = Sweep.run approach g lib ~lds ~ads in
+        let grid = Sweep.Grid.of_cells (Sweep.run approach g lib ~lds ~ads) in
         let vals =
           List.filter_map
             (fun (row : Paper_data.table2_row) ->
-              (Sweep.cell_at_exn cells ~ld:row.ld ~ad:row.ad).Sweep.reliability)
+              (Sweep.Grid.find_exn grid ~ld:row.ld ~ad:row.ad).Sweep.reliability)
             rows
         in
         match vals with

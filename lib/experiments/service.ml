@@ -135,7 +135,8 @@ let cache_key job =
   | Request.Fuzz _ -> Ok (Request.cache_key job)
   | Request.Synth { graph; library; _ }
   | Request.Check { graph; library; _ }
-  | Request.Sweep { graph; library; _ } ->
+  | Request.Sweep { graph; library; _ }
+  | Request.Explore { graph; library; _ } ->
     let* r = resolve graph library in
     Ok
       (Request.cache_key ~graph_text:r.graph_text ~library_text:r.library_text
@@ -181,6 +182,22 @@ let run_sweep ?service ?resolved ?domains (s : Request.sweep) =
        (approach_of_api s.approach)
        r.graph r.library ~lds:s.lds ~ads:s.ads)
 
+(* Empty bound lists mean "plan the plane from the inputs" — the API
+   decode default when the explore request omits lds/ads. *)
+let run_explore ?service ?resolved ?domains (s : Request.sweep) =
+  let* r = resolved_or ?resolved s.graph s.library in
+  let scheduler = scheduler_of_api s.scheduler in
+  let cache = shared_cache ?service ~resolved:r scheduler in
+  let planned = lazy (Explore.plan r.graph r.library) in
+  let lds = match s.lds with [] -> fst (Lazy.force planned) | lds -> lds in
+  let ads = match s.ads with [] -> snd (Lazy.force planned) | ads -> ads in
+  let cells, stats =
+    Sweep.run_with_stats ~scheduler ?domains ?cache
+      (approach_of_api s.approach)
+      r.graph r.library ~lds ~ads
+  in
+  Ok (Explore.frontier cells, stats)
+
 let run_fuzz (f : Request.fuzz) =
   match
     Fuzz.run ~max_nodes:f.max_nodes ?properties:f.properties ~seed:f.seed
@@ -207,6 +224,24 @@ let payload_of_check result =
 
 let payload_of_sweep cells =
   Response.Sweep_cells (List.map cell_of_sweep cells)
+
+let payload_of_explore (points, (stats : Explore.stats)) =
+  Response.Explore_frontier
+    {
+      Response.points =
+        List.map
+          (fun (p : Explore.point) ->
+            {
+              Response.f_ld = p.p_ld;
+              f_ad = p.p_ad;
+              f_reliability = p.p_reliability;
+              f_area = p.p_area;
+            })
+          points;
+      cells = stats.cells;
+      evaluated = stats.evaluated;
+      derived = stats.derived;
+    }
 
 let payload_of_fuzz outcomes =
   Response.Fuzz_report (List.map outcome_of_fuzz outcomes)
@@ -263,6 +298,10 @@ let run_job ?service ?domains job =
     | Request.Sweep s -> (
       match run_sweep ?service ?domains s with
       | Ok cells -> Ok (payload_of_sweep cells)
+      | Error msg -> bad msg)
+    | Request.Explore s -> (
+      match run_explore ?service ?domains s with
+      | Ok r -> Ok (payload_of_explore r)
       | Error msg -> bad msg)
     | Request.Fuzz f -> (
       match run_fuzz f with

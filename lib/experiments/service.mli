@@ -100,6 +100,17 @@ val run_sweep :
   Request.sweep ->
   (Sweep.cell list, string) result
 
+val run_explore :
+  ?service:t ->
+  ?resolved:resolved ->
+  ?domains:int ->
+  Request.sweep ->
+  (Explore.point list * Explore.stats, string) result
+(** The frontier-guided explorer over the request's bound plane —
+    empty [lds]/[ads] are planned automatically ({!Explore.plan}).
+    Returns the Pareto frontier and the evaluated/derived cell
+    counts. *)
+
 val run_fuzz : Request.fuzz -> (Fuzz.outcome list, string) result
 (** Unknown property names come back as [Error] (the executor never
     raises). *)
@@ -110,6 +121,8 @@ val payload_of_synth : (Design.t, Rc.failure) result -> Response.payload
 val payload_of_check :
   (Design.t * string list, Rc.failure) result -> Response.payload
 val payload_of_sweep : Sweep.cell list -> Response.payload
+val payload_of_explore :
+  Explore.point list * Explore.stats -> Response.payload
 val payload_of_fuzz : Fuzz.outcome list -> Response.payload
 
 val stats_payload : unit -> Response.payload

@@ -1,8 +1,26 @@
 module Rc = Rchls_core.Reliability_centric
 
-let synthesize ?scheduler ?strategy ?cache ?domains g lib ~ld ~ad =
+let synthesize ?scheduler ?strategy ?cache ?domains ?certificate g lib ~ld ~ad =
   Rchls_util.Trace.with_span "redundancy.combined" @@ fun () ->
   Rchls_util.Telemetry.incr "redundancy.runs";
-  match Rc.synthesize ?scheduler ?strategy ?cache ?domains g lib ~ld ~ad with
-  | Error e -> Error e
-  | Ok d -> Ok (Orailoglu.add_redundancy (Nmr_design.of_design d) ~ad)
+  let set c = match certificate with Some r -> r := c | None -> () in
+  let eng = ref (1, max_int) in
+  match
+    Rc.synthesize ?scheduler ?strategy ?cache ?domains ~certificate:eng g lib
+      ~ld ~ad
+  with
+  | Error e ->
+    set !eng;
+    Error e
+  | Ok d ->
+    let red = ref (1, max_int) in
+    let t =
+      Orailoglu.add_redundancy ~certificate:red (Nmr_design.of_design d) ~ad
+    in
+    (* Within the engine interval the selected design is identical;
+       within the redundancy interval the greedy takes the identical
+       upgrades on it — so the combined result is certified on the
+       intersection. *)
+    let elo, ehi = !eng and rlo, rhi = !red in
+    set (max elo rlo, min ehi rhi);
+    Ok t

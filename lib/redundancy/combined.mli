@@ -12,10 +12,13 @@ val synthesize :
   ?strategy:Rc.strategy ->
   ?cache:Rchls_core.Engine.cache ->
   ?domains:int ->
+  ?certificate:(int * int) ref ->
   Rchls_dfg.Dfg.t ->
   Rchls_charlib.Library.t ->
   ld:int ->
   ad:int ->
   (Nmr_design.t, Rc.failure) result
 (** Version selection under [ld]/[ad], then greedy redundancy insertion
-    in the remaining area. *)
+    in the remaining area.  [certificate] receives the intersection of
+    the engine's and the insertion's certified area-bound intervals:
+    the whole combined result is identical for every [ad'] in it. *)

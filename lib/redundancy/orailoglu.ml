@@ -54,12 +54,30 @@ let upgrade_candidates t =
          | Nmr_design.Tmr -> [])
        (Nmr_design.levels t))
 
-let add_redundancy t ~ad =
+let add_redundancy ?certificate t ~ad =
+  (* The greedy trajectory depends on [ad] only through each step's
+     affordable set: a positive-gain candidate is in it iff
+     [area t + cost <= ad].  Recording those comparisons confines [ad]
+     to the interval of bounds replaying the identical step sequence —
+     the certificate the design-space explorer derives cells from.
+     Zero-gain candidates are excluded for every bound, so their cost
+     comparison constrains nothing. *)
+  let lo = ref 1 and hi = ref max_int in
+  let fits a =
+    if a <= ad then begin
+      if a > !lo then lo := a;
+      true
+    end
+    else begin
+      if a - 1 < !hi then hi := a - 1;
+      false
+    end
+  in
   let rec go t =
-    let slack = ad - Nmr_design.area t in
+    let area = Nmr_design.area t in
     let affordable =
       List.filter
-        (fun (_, _, cost, gain) -> cost <= slack && gain > 0.)
+        (fun (_, _, cost, gain) -> gain > 0. && fits (area + cost))
         (upgrade_candidates t)
     in
     match affordable with
@@ -75,15 +93,30 @@ let add_redundancy t ~ad =
       let i, l, _, _ = best in
       go (Nmr_design.protect t ~instance_index:i l)
   in
-  go t
+  let t' = go t in
+  (match certificate with Some c -> c := (!lo, !hi) | None -> ());
+  t'
 
-let synthesize ?(scheduler = `Density) g lib ~ld ~ad =
+let synthesize ?(scheduler = `Density) ?certificate g lib ~ld ~ad =
   Rchls_util.Trace.with_span "redundancy.orailoglu" @@ fun () ->
   Rchls_util.Telemetry.incr "redundancy.runs";
+  let set c = match certificate with Some r -> r := c | None -> () in
   match base_design ~scheduler g lib ~ld with
-  | Error e -> Error e
+  | Error e ->
+    (* The base design never consults the area bound. *)
+    set (1, max_int);
+    Error e
   | Ok d ->
     let t = Nmr_design.of_design d in
-    if Nmr_design.area t > ad then
-      Error (Rc.Area_infeasible { best_achieved = Nmr_design.area t })
-    else Ok (add_redundancy t ~ad)
+    let a = Nmr_design.area t in
+    if a > ad then begin
+      set (1, a - 1);
+      Error (Rc.Area_infeasible { best_achieved = a })
+    end
+    else begin
+      let inner = ref (1, max_int) in
+      let t' = add_redundancy ~certificate:inner t ~ad in
+      let ilo, ihi = !inner in
+      set (max a ilo, ihi);
+      Ok t'
+    end

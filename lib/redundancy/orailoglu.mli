@@ -22,15 +22,24 @@ val base_design :
 
 val synthesize :
   ?scheduler:Design.scheduler ->
+  ?certificate:(int * int) ref ->
   Rchls_dfg.Dfg.t ->
   Library.t ->
   ld:int ->
   ad:int ->
   (Nmr_design.t, Rc.failure) result
 (** Baseline flow: {!base_design}, then greedy redundancy insertion
-    within the area bound. *)
+    within the area bound.  [certificate] receives the certified
+    area-bound interval [(lo, hi)]: for every [ad'] in it the call
+    returns the identical result (same contract as
+    [Engine.synthesize]'s certificate — every [ad]-dependent decision
+    is an integer comparison whose outcome is constant over the
+    interval). *)
 
-val add_redundancy : Nmr_design.t -> ad:int -> Nmr_design.t
+val add_redundancy :
+  ?certificate:(int * int) ref -> Nmr_design.t -> ad:int -> Nmr_design.t
 (** The greedy insertion alone: repeatedly apply the protection upgrade
     with the highest log-reliability gain per area unit that still fits
-    [ad].  Exposed for the combined approach and for tests. *)
+    [ad].  Exposed for the combined approach and for tests.
+    [certificate] receives the interval of area bounds replaying the
+    identical upgrade sequence on this input. *)

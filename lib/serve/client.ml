@@ -28,6 +28,14 @@ let connect_tcp ~host ~port =
     connect (Unix.ADDR_INET (inet, port)) (Printf.sprintf "%s:%d" host port)
   | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
 
+(* A receive timeout on the socket itself (SO_RCVTIMEO): a blocked
+   [recv] then fails instead of hanging forever on a stuck or
+   saturated daemon.  Non-positive values are ignored. *)
+let set_receive_timeout t seconds =
+  if seconds > 0. then
+    Unix.setsockopt_float (Unix.descr_of_in_channel t.ic) Unix.SO_RCVTIMEO
+      seconds
+
 let send_raw t line =
   try
     output_string t.oc line;
@@ -42,6 +50,11 @@ let recv_raw t =
   match input_line t.ic with
   | line -> Ok line
   | exception End_of_file -> Error "recv: connection closed by server"
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    ->
+    Error "recv: timed out waiting for a response"
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("recv: " ^ Unix.error_message err)
   | exception Sys_error e -> Error ("recv: " ^ e)
 
 let recv t =

@@ -12,6 +12,12 @@ type t
 val connect_unix : string -> (t, string) result
 val connect_tcp : host:string -> port:int -> (t, string) result
 
+val set_receive_timeout : t -> float -> unit
+(** Arm a socket receive timeout (seconds; non-positive values are
+    ignored): a {!recv} that waits longer fails with
+    ["recv: timed out waiting for a response"] instead of blocking
+    forever on a stuck daemon.  Backs [rchls request --timeout]. *)
+
 val send : t -> Rchls_api.Request.t -> (unit, string) result
 
 val send_raw : t -> string -> (unit, string) result

@@ -187,7 +187,7 @@ module Campaign = struct
     let all = candidate_nets nl in
     let chosen = Sampling.select config.sampling all in
     let rng = Rng.create config.seed in
-    let jobs = List.map (fun net -> (net, Rng.split rng)) chosen in
+    let jobs = Array.of_list (List.map (fun net -> (net, Rng.split rng)) chosen) in
     let fraction =
       match all with
       | [] -> 1.
@@ -222,15 +222,16 @@ module Campaign = struct
   let compute config nl =
     let jobs, fraction = jobs_of config nl in
     let nodes =
-      Pool.map ?domains:config.domains
-        (fun (net, rng) ->
-          let st_ok, st_flip = packed_states nl in
-          let observed, injected =
-            traced_node config ~net (fun () ->
-                packed_node nl st_ok st_flip rng config net)
-          in
-          node_result_of nl ~net ~observed ~injected)
-        jobs
+      Array.to_list
+        (Pool.map_array ?domains:config.domains
+           (fun (net, rng) ->
+             let st_ok, st_flip = packed_states nl in
+             let observed, injected =
+               traced_node config ~net (fun () ->
+                   packed_node nl st_ok st_flip rng config net)
+             in
+             node_result_of nl ~net ~observed ~injected)
+           jobs)
     in
     finish config nl ~fraction nodes
 
@@ -239,14 +240,15 @@ module Campaign = struct
     let jobs, fraction = jobs_of config nl in
     let st_ok = Eval.create nl and st_flip = Eval.create nl in
     let nodes =
-      List.map
-        (fun (net, rng) ->
-          let observed, injected =
-            traced_node config ~net (fun () ->
-                scalar_node nl st_ok st_flip rng config net)
-          in
-          node_result_of nl ~net ~observed ~injected)
-        jobs
+      Array.to_list
+        (Array.map
+           (fun (net, rng) ->
+             let observed, injected =
+               traced_node config ~net (fun () ->
+                   scalar_node nl st_ok st_flip rng config net)
+             in
+             node_result_of nl ~net ~observed ~injected)
+           jobs)
     in
     finish config nl ~fraction nodes
 

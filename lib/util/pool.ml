@@ -6,31 +6,43 @@ let num_domains () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* Shared worker core: items pulled off an atomic index, results
+   written back by index.  [k] has already been clamped to [1, n]. *)
+let map_core k f items =
+  let n = Array.length items in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        out.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* The calling domain is worker number [k]; spawn the other k-1. *)
+  let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.map
+    (function
+      | Some (Ok y) -> y
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    out
+
+let clamp_domains domains n =
+  min (match domains with Some d -> max 1 d | None -> num_domains ()) n
+
 let map ?domains f xs =
   let n = List.length xs in
-  let k = min (match domains with Some d -> max 1 d | None -> num_domains ()) n in
+  let k = clamp_domains domains n in
   if k <= 1 then List.map f xs
-  else begin
-    let items = Array.of_list xs in
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          out.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    (* The calling domain is worker number [k]; spawn the other k-1. *)
-    let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list out
-    |> List.map (function
-         | Some (Ok y) -> y
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  end
+  else Array.to_list (map_core k f (Array.of_list xs))
+
+let map_array ?domains f xs =
+  let n = Array.length xs in
+  let k = clamp_domains domains n in
+  if k <= 1 then Array.map f xs else map_core k f xs

@@ -21,3 +21,10 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     one element) no domain is spawned and this is [List.map f xs].
     The first exception raised by [f] (in item order) is re-raised
     after all domains have been joined. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} for arrays: no list<->array shuffling on corpus-sized
+    fan-outs whose inputs are already arrays (sweep grids, fault
+    vectors).  Same contract: input order preserved, [f] called
+    concurrently, first exception (in item order) re-raised after the
+    join.  The input array is not mutated. *)

@@ -95,6 +95,7 @@ let gen_job =
       [
         map (fun s -> Request.Synth s) gen_synth;
         map (fun s -> Request.Sweep s) gen_sweep;
+        map (fun s -> Request.Explore s) gen_sweep;
         map (fun s -> Request.Check s) gen_synth;
         map (fun f -> Request.Fuzz f) gen_fuzz;
         return Request.Ping;
@@ -136,6 +137,22 @@ let gen_cell =
       (tup4 gen_bound gen_bound
          (opt (float_bound_inclusive 1.))
          (opt gen_bound)))
+
+let gen_frontier_point =
+  Gen.(
+    map
+      (fun (f_ld, f_ad, f_reliability, f_area) ->
+        { Response.f_ld; f_ad; f_reliability; f_area })
+      (tup4 gen_bound gen_bound (float_bound_inclusive 1.) gen_bound))
+
+let gen_explore_summary =
+  Gen.(
+    map
+      (fun (points, cells, evaluated, derived) ->
+        { Response.points; cells; evaluated; derived })
+      (tup4
+         (list_size (int_range 0 5) gen_frontier_point)
+         gen_bound gen_bound gen_bound))
 
 let gen_fuzz_outcome =
   Gen.(
@@ -203,6 +220,7 @@ let gen_payload =
         map
           (fun (result, violations) -> Response.Check_report { result; violations })
           (tup2 gen_design_result (list_size (int_range 0 3) gen_text));
+        map (fun e -> Response.Explore_frontier e) gen_explore_summary;
         map
           (fun os -> Response.Fuzz_report os)
           (list_size (int_range 0 3) gen_fuzz_outcome);
@@ -317,6 +335,43 @@ let test_defaults_applied () =
       && s.Request.scheduler = Request.Density
       && s.Request.library = Request.Lib_default)
   | _ -> Alcotest.fail "decoded to the wrong job"
+
+let test_explore_bounds_optional () =
+  (* An explore job is a sweep whose bound lists may be omitted — the
+     executor then plans the plane itself. *)
+  let r =
+    check_ok "minimal explore"
+      (Request.of_string
+         (req_line {|"job":"explore","params":{"graph":{"name":"fig4"}}|}))
+  in
+  (match r.Request.job with
+  | Request.Explore s ->
+    Alcotest.(check bool) "bounds empty" true
+      (s.Request.lds = [] && s.Request.ads = [])
+  | _ -> Alcotest.fail "decoded to the wrong job");
+  ignore
+    (expect_error "sweep still requires bounds"
+       (req_line {|"job":"sweep","params":{"graph":{"name":"fig4"}}|}))
+
+let test_explore_job_executes () =
+  let r =
+    check_ok "explore request"
+      (Request.of_string
+         (req_line {|"job":"explore","params":{"graph":{"name":"fig4"}}|}))
+  in
+  match Service.run_job r.Request.job with
+  | Ok (Response.Explore_frontier s) ->
+    Alcotest.(check bool) "frontier non-empty" true (s.Response.points <> []);
+    Alcotest.(check int) "cells = evaluated + derived" s.Response.cells
+      (s.Response.evaluated + s.Response.derived);
+    Alcotest.(check bool) "pruning derived cells" true (s.Response.derived > 0);
+    List.iter
+      (fun (p : Response.frontier_point) ->
+        Alcotest.(check bool) "reliability in (0,1]" true
+          (p.Response.f_reliability > 0. && p.Response.f_reliability <= 1.))
+      s.Response.points
+  | Ok _ -> Alcotest.fail "explore returned the wrong payload kind"
+  | Error e -> Alcotest.fail e.Response.message
 
 let test_response_unknown_field_rejected () =
   match
@@ -828,6 +883,10 @@ let () =
           Alcotest.test_case "missing fields rejected" `Quick
             test_missing_required_rejected;
           Alcotest.test_case "defaults applied" `Quick test_defaults_applied;
+          Alcotest.test_case "explore bounds optional" `Quick
+            test_explore_bounds_optional;
+          Alcotest.test_case "explore job executes" `Slow
+            test_explore_job_executes;
           Alcotest.test_case "response strictness" `Quick
             test_response_unknown_field_rejected;
         ] );

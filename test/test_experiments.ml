@@ -166,6 +166,157 @@ let test_paper_internal_consistency () =
     ((0.999 ** 16.) *. (0.969 ** 7.));
   Alcotest.(check (float 5e-6)) "0.45509 = 0.969^25" 0.45509 (0.969 ** 25.)
 
+(* --- indexed grid --- *)
+
+let test_grid_matches_cell_at () =
+  let lds = [ 5; 6; 7 ] and ads = [ 7; 11; 15 ] in
+  let cells = Sweep.run Sweep.Ours Benchmarks.diffeq lib ~lds ~ads in
+  let grid = Sweep.Grid.of_cells cells in
+  Alcotest.(check int) "size" (List.length cells) (Sweep.Grid.size grid);
+  Alcotest.(check bool) "cells round-trip" true (Sweep.Grid.cells grid = cells);
+  List.iter
+    (fun ld ->
+      List.iter
+        (fun ad ->
+          Alcotest.(check bool) "find = cell_at" true
+            (Sweep.Grid.find grid ~ld ~ad = Sweep.cell_at cells ~ld ~ad);
+          Alcotest.(check bool) "find_exn = cell_at_exn" true
+            (Sweep.Grid.find_exn grid ~ld ~ad = Sweep.cell_at_exn cells ~ld ~ad))
+        ads)
+    lds;
+  Alcotest.(check bool) "missing is None" true
+    (Sweep.Grid.find grid ~ld:99 ~ad:99 = None);
+  Alcotest.(check bool) "missing raises with coordinates" true
+    (try
+       ignore (Sweep.Grid.find_exn grid ~ld:99 ~ad:98);
+       false
+     with Invalid_argument msg -> contains msg "ld=99" && contains msg "ad=98")
+
+(* --- frontier-guided exploration --- *)
+
+module Explore = Rchls_experiments.Explore
+
+let test_pruned_equals_reference () =
+  (* The tentpole invariant on real benchmarks: the pruned sweep is
+     cell-for-cell identical to the exhaustive one, for every
+     approach, and actually derives cells. *)
+  let derived = ref 0 in
+  List.iter
+    (fun (g, lds, ads) ->
+      List.iter
+        (fun approach ->
+          let reference = Sweep.run_reference approach g lib ~lds ~ads in
+          let pruned, stats = Sweep.run_with_stats approach g lib ~lds ~ads in
+          Alcotest.(check bool) "cell-for-cell identical" true
+            (pruned = reference);
+          Alcotest.(check int) "stats add up" stats.Explore.cells
+            (stats.Explore.evaluated + stats.Explore.derived);
+          derived := !derived + stats.Explore.derived)
+        [ Sweep.Baseline; Sweep.Ours; Sweep.Combined ])
+    [
+      (Benchmarks.diffeq, [ 5; 6; 7 ], [ 5; 7; 9; 11; 13; 15 ]);
+      (Benchmarks.fir16, [ 10; 12 ], [ 9; 10; 11; 12; 13 ]);
+    ];
+  (* A dense-enough plane must actually save work somewhere (a single
+     combination may legitimately evaluate every cell). *)
+  Alcotest.(check bool) "cells derived overall" true (!derived > 0)
+
+let test_certificate_replays_identically () =
+  (* A certified interval's promise, checked directly: re-synthesizing
+     at any ad' inside the reported interval returns the identical raw
+     cell. *)
+  let g = Benchmarks.diffeq in
+  List.iter
+    (fun ad ->
+      let raw, (lo, hi) =
+        Explore.raw_cell_certified Explore.Ours g lib ~ld:6 ~ad
+      in
+      Alcotest.(check bool) "interval contains ad" true (lo <= ad && ad <= hi);
+      List.iter
+        (fun ad' ->
+          if ad' >= lo && ad' <= hi then
+            Alcotest.(check bool)
+              (Printf.sprintf "ad'=%d replays ad=%d" ad' ad)
+              true
+              (Explore.raw_cell Explore.Ours g lib ~ld:6 ~ad:ad' = raw))
+        (List.init 20 succ))
+    [ 3; 8; 12; 16 ]
+
+let test_frontier_dominance () =
+  let cell ld ad r a =
+    { Sweep.ld; ad; reliability = Some r; area = Some a }
+  in
+  let infeasible ld ad = { Sweep.ld; ad; reliability = None; area = None } in
+  (* (6,10) dominates (7,12) (faster, smaller, more reliable); (5,8)
+     and (6,10) are incomparable; infeasible cells never appear. *)
+  let pts =
+    Explore.frontier
+      [ cell 5 8 0.90 8; cell 6 10 0.95 9; cell 7 12 0.94 11; infeasible 4 6 ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "frontier coordinates" [ (5, 8); (6, 10) ]
+    (List.map (fun (p : Explore.point) -> (p.Explore.p_ld, p.Explore.p_ad)) pts);
+  Alcotest.(check (list int)) "empty grid" []
+    (List.map (fun (p : Explore.point) -> p.Explore.p_ld) (Explore.frontier []))
+
+(* --- generated corpus --- *)
+
+module Corpus = Rchls_experiments.Corpus
+
+let temp_dir prefix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+
+let test_corpus_roundtrip_and_determinism () =
+  let d1 = temp_dir "rchls-corpus" and d2 = temp_dir "rchls-corpus" in
+  let c1 = Corpus.generate ~dir:d1 ~seed:7 ~count:8 in
+  let c2 = Corpus.generate ~dir:d2 ~seed:7 ~count:8 in
+  Alcotest.(check int) "count" 8 (List.length c1.Corpus.entries);
+  Alcotest.(check bool) "same seed, same manifest entries" true
+    (c1.Corpus.entries = c2.Corpus.entries);
+  let loaded =
+    match Corpus.load ~dir:d1 with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "load round-trips the manifest" true
+    (loaded.Corpus.entries = c1.Corpus.entries
+    && loaded.Corpus.seed = c1.Corpus.seed);
+  List.iter2
+    (fun e1 e2 ->
+      let g1 =
+        match Corpus.load_graph c1 e1 with Ok g -> g | Error m -> Alcotest.fail m
+      in
+      let g2 =
+        match Corpus.load_graph c2 e2 with Ok g -> g | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check string) "graph text identical across runs"
+        (Rchls_dfg.Parse.to_text g1) (Rchls_dfg.Parse.to_text g2))
+    c1.Corpus.entries c2.Corpus.entries;
+  let c3 = Corpus.generate ~dir:(temp_dir "rchls-corpus") ~seed:8 ~count:8 in
+  Alcotest.(check bool) "seed changes the corpus" true
+    (c3.Corpus.entries <> c1.Corpus.entries)
+
+let test_corpus_load_rejects_corruption () =
+  let dir = temp_dir "rchls-corpus" in
+  let c = Corpus.generate ~dir ~seed:1 ~count:2 in
+  (match Corpus.load ~dir:(temp_dir "rchls-missing") with
+  | Ok _ -> Alcotest.fail "missing manifest accepted"
+  | Error _ -> ());
+  let manifest = Filename.concat dir Corpus.manifest_file in
+  let oc = open_out manifest in
+  output_string oc {|{"version":"rchls.corpus/9","seed":1,"entries":[]}|};
+  close_out oc;
+  (match Corpus.load ~dir with
+  | Ok _ -> Alcotest.fail "foreign version accepted"
+  | Error m ->
+    Alcotest.(check bool) "names the version" true (contains m "rchls.corpus"));
+  Sys.remove (Filename.concat dir (List.hd c.Corpus.entries).Corpus.file);
+  match Corpus.load_graph c (List.hd c.Corpus.entries) with
+  | Ok _ -> Alcotest.fail "missing member accepted"
+  | Error _ -> ()
+
 (* --- experiment generators --- *)
 
 let test_generators_produce_tables () =
@@ -197,6 +348,23 @@ let () =
           Alcotest.test_case "grid shape" `Quick test_sweep_grid_shape;
           Alcotest.test_case "envelope monotone" `Slow test_sweep_envelope_monotone;
           Alcotest.test_case "improvement pct" `Quick test_improvement_pct;
+        ] );
+      ( "grid",
+        [ Alcotest.test_case "matches cell_at" `Quick test_grid_matches_cell_at ] );
+      ( "explore",
+        [
+          Alcotest.test_case "pruned = reference" `Slow
+            test_pruned_equals_reference;
+          Alcotest.test_case "certificate replays" `Slow
+            test_certificate_replays_identically;
+          Alcotest.test_case "frontier dominance" `Quick test_frontier_dominance;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip + determinism" `Quick
+            test_corpus_roundtrip_and_determinism;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_corpus_load_rejects_corruption;
         ] );
       ( "paper claims",
         [

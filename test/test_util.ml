@@ -319,6 +319,51 @@ let prop_wilson_brackets_proportion =
       let p = float_of_int successes /. float_of_int trials in
       0. <= lo && lo <= p +. 1e-12 && p <= hi +. 1e-12 && hi <= 1.)
 
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order (%d domains)" domains)
+        (List.map (fun x -> x * x) xs)
+        (Pool.map ~domains (fun x -> x * x) xs))
+    [ 1; 2; 4 ]
+
+let test_pool_map_array_order () =
+  let xs = Array.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      let got = Pool.map_array ~domains (fun x -> x * x) xs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_array order (%d domains)" domains)
+        (Array.map (fun x -> x * x) xs)
+        got;
+      Alcotest.(check (array int)) "input not mutated" (Array.init 100 Fun.id) xs)
+    [ 1; 2; 4 ]
+
+let test_pool_map_array_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map_array succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |] (Pool.map_array succ [| 1 |])
+
+let test_pool_map_array_first_exception () =
+  (* The contract picks the first failing item in input order, however
+     the domains interleave. *)
+  List.iter
+    (fun domains ->
+      match
+        Pool.map_array ~domains
+          (fun x -> if x mod 10 = 3 then failwith (string_of_int x) else x)
+          (Array.init 64 Fun.id)
+      with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "first failure (%d domains)" domains)
+          "3" msg)
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "util"
     [
@@ -372,6 +417,15 @@ let () =
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
           Alcotest.test_case "render units + histograms" `Quick
             test_render_units_and_histograms;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "map_array order" `Quick test_pool_map_array_order;
+          Alcotest.test_case "map_array empty/singleton" `Quick
+            test_pool_map_array_empty_and_singleton;
+          Alcotest.test_case "map_array first exception" `Quick
+            test_pool_map_array_first_exception;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
