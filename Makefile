@@ -1,8 +1,12 @@
 .PHONY: all build test check repro bench bench-json bench-fault bench-telemetry \
-  bench-synth bench-fuzz bench-serve bench-explore fuzz smoke clean
+  bench-synth bench-fuzz bench-serve bench-explore bench-anneal fuzz smoke clean
 
 # Explore benchmark knobs (see `bench explore` in bench/main.ml).
 EXPLORE_COUNT ?= 20
+
+# Annealing benchmark knobs (see `bench anneal` in bench/main.ml).
+ANNEAL_COUNT ?= 20
+ANNEAL_MOVES ?= 2000
 
 # Fuzzing knobs (see `rchls fuzz --help` and `bench fuzz` in bench/main.ml).
 FUZZ_SEED ?= 42
@@ -82,6 +86,15 @@ bench-serve: build
 bench-explore: build
 	dune exec bench/main.exe -- explore --count $(EXPLORE_COUNT) BENCH_explore.json
 
+# Anneal two knee cells per corpus graph from the greedy seed,
+# validate every annealed design with the independent checker, assert
+# results identical across domain counts, and record the result in
+# BENCH_anneal.json (fails unless every cell is at least as reliable
+# as greedy and at least 25% strictly improve).
+bench-anneal: build
+	dune exec bench/main.exe -- anneal --count $(ANNEAL_COUNT) \
+	  --moves $(ANNEAL_MOVES) BENCH_anneal.json
+
 # Measure the observability layer itself: sharded-counter throughput
 # (with an exactness check under all-domain contention) and the
 # per-span overhead of Trace.with_span with no sink installed.
@@ -101,6 +114,6 @@ clean:
 	dune clean
 	rm -f BENCH_sweep.json BENCH_fault.json BENCH_telemetry.json \
 	  BENCH_synth.json BENCH_fuzz.json BENCH_serve.json \
-	  BENCH_explore.json trace.json report.json fuzz_report.json \
-	  rchls.sock
+	  BENCH_explore.json BENCH_anneal.json trace.json report.json \
+	  fuzz_report.json rchls.sock
 	rm -rf _bench_corpus

@@ -49,6 +49,13 @@
       explorer, asserts the grids and Pareto frontiers byte-identical,
       reports the wall-clock speedup, and fails unless pruning saves
       at least 5x the engine synthesis calls across the corpus)
+   Annealing:           dune exec bench/main.exe -- anneal [BENCH_anneal.json]
+                          [--count N] [--moves M]
+     (generates the same fixed-seed corpus, anneals two knee cells per
+      graph from the greedy seed, validates every annealed design with
+      the independent checker, asserts results identical across domain
+      counts 1/2/4, and fails unless every cell is at least as reliable
+      as greedy and at least 25% of cells strictly improve)
 
    --vectors / --width are shared with `bin/main.exe characterize
    --measured` and apply to the perf characterization kernel and the
@@ -1067,6 +1074,173 @@ let explore_bench ~count out_path =
     exit 1
   end
 
+(* --- annealing benchmark ---------------------------------------------- *)
+
+module Anneal = Rchls_anneal.Anneal
+module Bench_check = Rchls_check.Check
+
+(* A canonical full-precision rendering of one anneal outcome, so
+   "identical across domain counts" is a string comparison. *)
+let anneal_bytes (greedy, annealed, (s : Anneal.stats)) =
+  Printf.sprintf "%.17g,%d,%d|%.17g,%d,%d|%d,%d,%d,%d,%b"
+    (Design.reliability greedy) (Design.area greedy) (Design.latency greedy)
+    (Design.reliability annealed) (Design.area annealed)
+    (Design.latency annealed) s.Anneal.attempted s.Anneal.accepted
+    s.Anneal.pruned s.Anneal.exchanges s.Anneal.improved
+
+let anneal_bench ~count ~moves out_path =
+  let domains = Pool.num_domains () in
+  let dir = "_bench_corpus" in
+  let corpus = Corpus.generate ~dir ~seed:1 ~count in
+  Printf.printf
+    "=== Anneal: parallel tempering vs greedy seed (%d graphs, %d moves/chain, %d domains) ===\n%!"
+    count moves domains;
+  Telemetry.reset ();
+  let lib = Library.table1 in
+  let params = { Anneal.default_params with Anneal.moves } in
+  (* Two knee cells per graph: the plan's tightest latency bound at
+     two and three area units above the smallest bound greedy can
+     still meet.  A full (ld, ad) scan over this corpus shows greedy
+     is optimal almost everywhere else — generous areas leave it at
+     the reliability ceiling, minimal areas leave no version to trade
+     — while at a tight schedule with just enough slack for one or
+     two upgrades the greedy sacrifice order goes measurably wrong on
+     binding-contended (wide) graphs. *)
+  let cells_of g =
+    let lds, ads = Explore.plan g lib in
+    let cap = List.fold_left max 1 ads in
+    let ld = List.hd lds in
+    let rec min_feasible ad =
+      if ad > cap then None
+      else if Result.is_ok (Rc.synthesize g lib ~ld ~ad) then Some ad
+      else min_feasible (ad + 1)
+    in
+    match min_feasible 1 with
+    | None -> []
+    | Some ad -> [ (ld, ad + 2); (ld, ad + 3) ]
+  in
+  let results =
+    List.concat_map
+      (fun (e : Corpus.entry) ->
+        let g =
+          match Corpus.load_graph corpus e with
+          | Ok g -> g
+          | Error m -> failwith m
+        in
+        List.filter_map
+          (fun (ld, ad) ->
+            let t0 = now_s () in
+            let run d = Anneal.synthesize ~domains:d ~params g lib ~ld ~ad in
+            match (run 1, run 2, run 4) with
+            | Ok r1, Ok r2, Ok r4 ->
+              let t1 = now_s () in
+              let greedy, annealed, stats = r1 in
+              let same =
+                anneal_bytes r1 = anneal_bytes r2
+                && anneal_bytes r1 = anneal_bytes r4
+              in
+              let valid = Bench_check.design_violations annealed = [] in
+              let gr = Design.reliability greedy
+              and ar = Design.reliability annealed in
+              Printf.printf
+                "%-12s ld=%3d ad=%3d  greedy %.9f  annealed %.9f  %-8s %s%s %6.3fs\n%!"
+                e.Corpus.graph_name ld ad gr ar
+                (if stats.Anneal.improved then "improved" else "kept")
+                (if valid then "valid" else "INVALID")
+                (if same then "" else " DOMAIN-MISMATCH")
+                (t1 -. t0);
+              Some (e, ld, ad, gr, ar, Design.area greedy,
+                    Design.area annealed, stats, valid, same, t1 -. t0)
+            | _ ->
+              (* Greedy found no design inside these bounds; the cell
+                 carries no annealing signal, so it is skipped (and
+                 printed) rather than gated on. *)
+              Printf.printf "%-12s ld=%3d ad=%3d  infeasible (skipped)\n%!"
+                e.Corpus.graph_name ld ad;
+              None)
+          (cells_of g))
+      corpus.Corpus.entries
+  in
+  let cells = List.length results in
+  let improved =
+    List.length
+      (List.filter (fun (_, _, _, _, _, _, _, s, _, _, _) -> s.Anneal.improved)
+         results)
+  in
+  let all_valid =
+    List.for_all (fun (_, _, _, _, _, _, _, _, v, _, _) -> v) results
+  in
+  let all_dominate =
+    List.for_all (fun (_, _, _, gr, ar, _, _, _, _, _, _) -> ar >= gr) results
+  in
+  let all_domains_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, _, _, same, _) -> same) results
+  in
+  let improved_frac = float_of_int improved /. float_of_int (max 1 cells) in
+  let total_s =
+    List.fold_left (fun acc (_, _, _, _, _, _, _, _, _, _, s) -> acc +. s) 0.
+      results
+  in
+  let gate =
+    cells > 0 && all_valid && all_dominate && all_domains_identical
+    && improved_frac >= 0.25
+  in
+  Printf.printf
+    "total: %d cells %.3fs  improved %d (%.0f%%)  %s, %s, %s  (gate %s)\n%!"
+    cells total_s improved (100. *. improved_frac)
+    (if all_valid then "all valid" else "INVALID DESIGNS")
+    (if all_dominate then "all >= greedy" else "REGRESSION")
+    (if all_domains_identical then "domain-independent" else "DOMAIN-MISMATCH")
+    (if gate then "pass" else "FAIL");
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string buf (Printf.sprintf "  \"graphs\": %d,\n" count);
+  Buffer.add_string buf (Printf.sprintf "  \"moves\": %d,\n" moves);
+  Buffer.add_string buf (Printf.sprintf "  \"cells\": %d,\n" cells);
+  Buffer.add_string buf (Printf.sprintf "  \"improved\": %d,\n" improved);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"improved_frac\": %.3f,\n" improved_frac);
+  Buffer.add_string buf (Printf.sprintf "  \"all_valid\": %b,\n" all_valid);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_dominate_greedy\": %b,\n" all_dominate);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains_identical\": %b,\n" all_domains_identical);
+  Buffer.add_string buf (Printf.sprintf "  \"total_s\": %.6f,\n" total_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"gate_quarter_improved\": %b,\n" gate);
+  Buffer.add_string buf "  \"suites\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun ((e : Corpus.entry), ld, ad, gr, ar, ga, aa,
+                (s : Anneal.stats), valid, same, secs) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"family\": \"%s\", \"ld\": %d, \"ad\": %d, \"greedy_r\": %.17g, \"annealed_r\": %.17g, \"greedy_area\": %d, \"annealed_area\": %d, \"moves\": %d, \"accepted\": %d, \"pruned\": %d, \"exchanges\": %d, \"improved\": %b, \"valid\": %b, \"domains_identical\": %b, \"seconds\": %.6f }"
+              e.Corpus.graph_name e.Corpus.family ld ad gr ar ga aa
+              s.Anneal.attempted s.Anneal.accepted s.Anneal.pruned
+              s.Anneal.exchanges s.Anneal.improved valid same secs)
+          results));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not gate then begin
+    if cells = 0 then prerr_endline "anneal bench: no feasible cells"
+    else if not all_valid then
+      prerr_endline "anneal bench: an annealed design failed validation"
+    else if not all_dominate then
+      prerr_endline "anneal bench: an annealed design regressed below greedy"
+    else if not all_domains_identical then
+      prerr_endline "anneal bench: results differ across domain counts"
+    else
+      Printf.eprintf
+        "anneal bench: improved only %.0f%% of cells, below the 25%% gate\n%!"
+        (100. *. improved_frac);
+    exit 1
+  end
+
 (* Extract the --vectors / --width flags (shared with bin/main.exe's
    measured characterization) from a mode's trailing arguments. *)
 let parse_flags ~vectors ~width rest =
@@ -1148,6 +1322,24 @@ let () =
     let count, positional = split 20 [] rest in
     explore_bench ~count
       (match positional with path :: _ -> path | [] -> "BENCH_explore.json")
+  | _ :: "anneal" :: rest ->
+    let rec split count moves positional = function
+      | [] -> (count, moves, List.rev positional)
+      | "--count" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> split n moves positional tl
+        | _ -> failwith "--count expects a positive integer")
+      | [ "--count" ] -> failwith "--count expects a positive integer"
+      | "--moves" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> split count n positional tl
+        | _ -> failwith "--moves expects a positive integer")
+      | [ "--moves" ] -> failwith "--moves expects a positive integer"
+      | x :: tl -> split count moves (x :: positional) tl
+    in
+    let count, moves, positional = split 20 2000 [] rest in
+    anneal_bench ~count ~moves
+      (match positional with path :: _ -> path | [] -> "BENCH_anneal.json")
   | _ ->
     reproduction None;
     perf ~vectors:8 ~width:8 ()

@@ -297,6 +297,103 @@ let synth_cmd =
       $ scheduler_arg $ dot_arg $ trace_arg $ trace_out_arg $ report_arg $ stats_arg
       $ check_flag)
 
+(* --- anneal --- *)
+
+let anneal_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Annealer RNG seed.")
+  in
+  let moves_arg =
+    Arg.(value & opt int 2000
+         & info [ "moves" ] ~docv:"N" ~doc:"Moves attempted per chain.")
+  in
+  let chains_arg =
+    Arg.(value & opt int 4
+         & info [ "chains" ] ~docv:"N"
+             ~doc:"Replica chains on the temperature ladder.")
+  in
+  let exchange_arg =
+    Arg.(value & opt int 50
+         & info [ "exchange" ] ~docv:"N"
+             ~doc:"Moves between temperature-exchange attempts.")
+  in
+  let run graph_spec lib_file ld ad strategy scheduler seed moves chains exchange
+      trace_out report stats check =
+    let code =
+      with_stats ~err:(report <> None) stats @@ fun () ->
+      with_check check @@ fun () ->
+      with_tracing trace_out @@ fun () ->
+      let job =
+        {
+          Request.graph = Request.Named graph_spec;
+          library = library_source lib_file;
+          ld;
+          ad;
+          strategy;
+          scheduler;
+          seed;
+          moves;
+          chains;
+          exchange;
+        }
+      in
+      let resolved = or_die (Service.resolve job.Request.graph job.Request.library) in
+      let g = resolved.Service.graph and lib = resolved.Service.library in
+      let args =
+        [
+          ("graph", Json.Str graph_spec);
+          ("ld", Json.Int ld);
+          ("ad", Json.Int ad);
+          ("strategy", Json.Str (strategy_name strategy));
+          ("scheduler", Json.Str (scheduler_name scheduler));
+          ("seed", Json.Int seed);
+          ("moves", Json.Int moves);
+          ("chains", Json.Int chains);
+          ("exchange", Json.Int exchange);
+        ]
+      in
+      match or_die (Service.run_anneal ~resolved job) with
+      | Error f ->
+        (match report with
+        | Some `Json ->
+          print_report
+            (Report.make ~command:"anneal" ~args ~graph:g ~library:lib
+               ~result:(Report.failure_json f) ())
+        | None -> Format.printf "%a@." Rc.pp_failure f);
+        2
+      | Ok ((greedy, annealed, s) as r) ->
+        (match report with
+        | Some `Json ->
+          print_report
+            (Report.make ~command:"anneal" ~args ~graph:g ~library:lib
+               ~result:(Response.payload_to_json (Service.payload_of_anneal (Ok r)))
+               ())
+        | None ->
+          Printf.printf "greedy:   latency=%d area=%d R=%.12g\n" (Design.latency greedy)
+            (Design.area greedy) (Design.reliability greedy);
+          Printf.printf "annealed: latency=%d area=%d R=%.12g%s\n"
+            (Design.latency annealed) (Design.area annealed)
+            (Design.reliability annealed)
+            (if s.Rchls_anneal.Anneal.improved then "  (improved)" else "  (greedy kept)");
+          Printf.printf "anneal:   moves=%d accepted=%d pruned=%d exchanges=%d chains=%d\n"
+            s.Rchls_anneal.Anneal.attempted s.Rchls_anneal.Anneal.accepted
+            s.Rchls_anneal.Anneal.pruned s.Rchls_anneal.Anneal.exchanges
+            s.Rchls_anneal.Anneal.chain_count;
+          Format.printf "%a" Design.pp_report annealed);
+        0
+    in
+    if code <> 0 then exit code
+  in
+  let doc =
+    "Synthesize greedily, then improve the design with parallel-tempering \
+     simulated annealing over version/schedule/binding moves."
+  in
+  Cmd.v (Cmd.info "anneal" ~doc)
+    Term.(
+      const run $ graph_arg $ library_arg $ ld_arg $ ad_arg $ strategy_arg
+      $ scheduler_arg $ seed_arg $ moves_arg $ chains_arg $ exchange_arg
+      $ trace_out_arg $ report_arg $ stats_arg $ check_flag)
+
 (* --- sweep --- *)
 
 let ints_arg name docv doc =
@@ -1109,6 +1206,7 @@ let () =
        (Cmd.group info
           [
             synth_cmd;
+            anneal_cmd;
             sweep_cmd;
             characterize_cmd;
             library_cmd;

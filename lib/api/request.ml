@@ -16,6 +16,19 @@ type synth = {
   scheduler : scheduler;
 }
 
+type anneal = {
+  graph : source;
+  library : library_source;
+  ld : int;
+  ad : int;
+  strategy : strategy;
+  scheduler : scheduler;
+  seed : int;
+  moves : int;
+  chains : int;
+  exchange : int;
+}
+
 type sweep = {
   graph : source;
   library : library_source;
@@ -34,6 +47,7 @@ type fuzz = {
 
 type job =
   | Synth of synth
+  | Anneal of anneal
   | Sweep of sweep
   | Explore of sweep
   | Check of synth
@@ -46,6 +60,7 @@ type t = { id : string option; job : job }
 
 let job_kind = function
   | Synth _ -> "synth"
+  | Anneal _ -> "anneal"
   | Sweep _ -> "sweep"
   | Explore _ -> "explore"
   | Check _ -> "check"
@@ -96,6 +111,19 @@ let synth_params (s : synth) =
 
 let params_json = function
   | Synth s | Check s -> synth_params s
+  | Anneal a ->
+    [
+      ("graph", source_json a.graph);
+      ("library", library_json a.library);
+      ("ld", Json.Int a.ld);
+      ("ad", Json.Int a.ad);
+      ("strategy", Json.Str (strategy_name a.strategy));
+      ("scheduler", Json.Str (scheduler_name a.scheduler));
+      ("seed", Json.Int a.seed);
+      ("moves", Json.Int a.moves);
+      ("chains", Json.Int a.chains);
+      ("exchange", Json.Int a.exchange);
+    ]
   | Sweep w | Explore w ->
     [
       ("graph", source_json w.graph);
@@ -174,6 +202,35 @@ let decode_synth ~what params =
   let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
   Ok { graph; library; ld; ad; strategy; scheduler }
 
+(* The synth fields plus the annealer's knobs, every knob defaulted to
+   [Rchls_anneal.Anneal.default_params]'s value — a bare synth request
+   with the job kind flipped to "anneal" is valid. *)
+let decode_anneal ~what params =
+  let* f =
+    Schema.obj ~what
+      ~allowed:
+        [
+          "graph"; "library"; "ld"; "ad"; "strategy"; "scheduler"; "seed"; "moves";
+          "chains"; "exchange";
+        ]
+      params
+  in
+  let* graph =
+    match Schema.mem f "graph" with
+    | Some j -> decode_source ~what:(what ^ ".graph") j
+    | None -> Error (Printf.sprintf "%s: missing field \"graph\"" what)
+  in
+  let* library = decode_library ~what:(what ^ ".library") (Schema.mem f "library") in
+  let* ld = Schema.int_field f ~what "ld" in
+  let* ad = Schema.int_field f ~what "ad" in
+  let* strategy = Schema.enum f ~what "strategy" ~default:Best strategies in
+  let* scheduler = Schema.enum f ~what "scheduler" ~default:Density schedulers in
+  let* seed = Schema.int_default f ~what "seed" ~default:1 in
+  let* moves = Schema.int_default f ~what "moves" ~default:2000 in
+  let* chains = Schema.int_default f ~what "chains" ~default:4 in
+  let* exchange = Schema.int_default f ~what "exchange" ~default:50 in
+  Ok { graph; library; ld; ad; strategy; scheduler; seed; moves; chains; exchange }
+
 let decode_sweep ~what params =
   let* f =
     Schema.obj ~what
@@ -243,6 +300,9 @@ let decode j =
     | "synth" ->
       let* s = decode_synth ~what:"synth.params" params in
       Ok (Synth s)
+    | "anneal" ->
+      let* a = decode_anneal ~what:"anneal.params" params in
+      Ok (Anneal a)
     | "check" ->
       let* s = decode_synth ~what:"check.params" params in
       Ok (Check s)
@@ -267,8 +327,8 @@ let decode j =
     | other ->
       Error
         (Printf.sprintf
-           "request: unknown job kind %S (one of: synth, sweep, explore, \
-            check, fuzz, ping, stats, health)"
+           "request: unknown job kind %S (one of: synth, anneal, sweep, \
+            explore, check, fuzz, ping, stats, health)"
            other)
   in
   Ok { id; job }
@@ -310,5 +370,5 @@ let cache_key ?graph_text ?library_text job =
   match job with
   | Ping | Stats | Health -> None
   | Fuzz _ -> keyed (params_json job)
-  | Synth _ | Check _ | Sweep _ | Explore _ -> (
+  | Synth _ | Anneal _ | Check _ | Sweep _ | Explore _ -> (
     match replace (params_json job) with None -> None | Some ps -> keyed ps)

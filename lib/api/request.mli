@@ -48,6 +48,19 @@ type synth = {
   scheduler : scheduler;  (** default [Density] *)
 }
 
+type anneal = {
+  graph : source;
+  library : library_source;
+  ld : int;
+  ad : int;
+  strategy : strategy;  (** greedy seed strategy; default [Best] *)
+  scheduler : scheduler;  (** default [Density] *)
+  seed : int;  (** annealer RNG seed; default 1 *)
+  moves : int;  (** moves per chain; default 2000 *)
+  chains : int;  (** replica chains; default 4 *)
+  exchange : int;  (** moves between temperature exchanges; default 50 *)
+}
+
 type sweep = {
   graph : source;
   library : library_source;
@@ -66,6 +79,11 @@ type fuzz = {
 
 type job =
   | Synth of synth
+  | Anneal of anneal
+      (** greedy synthesis, then parallel-tempering annealing seeded
+          from the greedy result ([Rchls_anneal]); the response reports
+          both designs plus the move statistics.  Deterministic in the
+          request parameters, so cacheable like {!Synth} *)
   | Sweep of sweep
   | Explore of sweep
       (** frontier-guided exploration: sweep the bound plane with the
@@ -96,8 +114,8 @@ type t = {
 }
 
 val job_kind : job -> string
-(** ["synth" | "sweep" | "explore" | "check" | "fuzz" | "ping" |
-    "stats" | "health"]. *)
+(** ["synth" | "anneal" | "sweep" | "explore" | "check" | "fuzz" |
+    "ping" | "stats" | "health"]. *)
 
 val encode : t -> Json.t
 (** Canonical encoding: every parameter is emitted explicitly (no

@@ -71,8 +71,20 @@ type health = {
   in_flight : int;
 }
 
+type anneal_report = {
+  greedy : (design_summary, failure) result;
+  annealed : (design_summary, failure) result;
+  a_moves : int;
+  a_accepted : int;
+  a_pruned : int;
+  a_exchanges : int;
+  a_chains : int;
+  a_improved : bool;
+}
+
 type payload =
   | Design of (design_summary, failure) result
+  | Anneal_result of anneal_report
   | Sweep_cells of cell list
   | Explore_frontier of explore_summary
   | Check_report of {
@@ -231,8 +243,23 @@ let health_json (h : health) =
       ("in_flight", Json.Int h.in_flight);
     ]
 
+let anneal_report_json (a : anneal_report) =
+  Json.Obj
+    [
+      ("kind", Json.Str "anneal");
+      ("greedy", design_result_to_json a.greedy);
+      ("annealed", design_result_to_json a.annealed);
+      ("moves", Json.Int a.a_moves);
+      ("accepted", Json.Int a.a_accepted);
+      ("pruned", Json.Int a.a_pruned);
+      ("exchanges", Json.Int a.a_exchanges);
+      ("chains", Json.Int a.a_chains);
+      ("improved", Json.Bool a.a_improved);
+    ]
+
 let payload_to_json = function
   | Design r -> design_result_to_json r
+  | Anneal_result a -> anneal_report_json a
   | Sweep_cells cells ->
     Json.Obj
       [ ("kind", Json.Str "sweep"); ("cells", Json.List (List.map cell_json cells)) ]
@@ -524,6 +551,49 @@ let payload_of_json j =
   | "design" ->
     let* r = decode_design_result ~what j in
     Ok (Design r)
+  | "anneal" ->
+    let* f =
+      Schema.obj ~what
+        ~allowed:
+          [
+            "kind"; "greedy"; "annealed"; "moves"; "accepted"; "pruned"; "exchanges";
+            "chains"; "improved";
+          ]
+        j
+    in
+    let* greedy =
+      match Schema.mem f "greedy" with
+      | Some d -> decode_design_result ~what:(what ^ ".greedy") d
+      | None -> Error (what ^ ": missing field \"greedy\"")
+    in
+    let* annealed =
+      match Schema.mem f "annealed" with
+      | Some d -> decode_design_result ~what:(what ^ ".annealed") d
+      | None -> Error (what ^ ": missing field \"annealed\"")
+    in
+    let* a_moves = Schema.int_field f ~what "moves" in
+    let* a_accepted = Schema.int_field f ~what "accepted" in
+    let* a_pruned = Schema.int_field f ~what "pruned" in
+    let* a_exchanges = Schema.int_field f ~what "exchanges" in
+    let* a_chains = Schema.int_field f ~what "chains" in
+    let* a_improved =
+      match Schema.mem f "improved" with
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error (what ^ ": field \"improved\" must be a boolean")
+      | None -> Error (what ^ ": missing field \"improved\"")
+    in
+    Ok
+      (Anneal_result
+         {
+           greedy;
+           annealed;
+           a_moves;
+           a_accepted;
+           a_pruned;
+           a_exchanges;
+           a_chains;
+           a_improved;
+         })
   | "sweep" -> (
     let* f = Schema.obj ~what ~allowed:[ "kind"; "cells" ] j in
     match Schema.mem f "cells" with

@@ -98,10 +98,27 @@ type health = {
   in_flight : int;  (** jobs currently executing on the pool *)
 }
 
+type anneal_report = {
+  greedy : (design_summary, failure) result;
+      (** the greedy engine's seed design *)
+  annealed : (design_summary, failure) result;
+      (** the annealed design — equal to [greedy] when no strict
+          improvement was found; reliability never below the greedy's *)
+  a_moves : int;  (** moves attempted, summed over chains *)
+  a_accepted : int;
+  a_pruned : int;  (** moves skipped by the occupancy lower bound *)
+  a_exchanges : int;  (** accepted temperature swaps *)
+  a_chains : int;
+  a_improved : bool;
+}
+(** Answer to the [anneal] kind: both designs plus move statistics.
+    Wire fields drop the [a_] prefix (["moves"], ["accepted"], ...). *)
+
 type payload =
   | Design of (design_summary, failure) result
       (** a synthesis result: achieved design or structured
           infeasibility *)
+  | Anneal_result of anneal_report
   | Sweep_cells of cell list
   | Explore_frontier of explore_summary
       (** answer to the [explore] kind: the Pareto frontier plus

@@ -56,6 +56,37 @@ let bind sched ~assignment =
   List.iter (fun inst -> List.iter (fun id -> of_node.(id) <- inst) inst.ops) instances;
   { instances; of_node }
 
+let of_instances ~node_count instances =
+  if node_count <= 0 then Error "Binding.of_instances: empty graph"
+  else if instances = [] then Error "Binding.of_instances: no instances"
+  else begin
+    let hosted = Array.make node_count 0 in
+    let bad = ref None in
+    List.iter
+      (fun inst ->
+        List.iter
+          (fun id ->
+            if id < 0 || id >= node_count then
+              (if !bad = None then
+                 bad := Some (Printf.sprintf "unknown node id %d" id))
+            else hosted.(id) <- hosted.(id) + 1)
+          inst.ops)
+      instances;
+    Array.iteri
+      (fun id n ->
+        if n <> 1 && !bad = None then
+          bad := Some (Printf.sprintf "node %d hosted by %d instances" id n))
+      hosted;
+    match !bad with
+    | Some msg -> Error ("Binding.of_instances: " ^ msg)
+    | None ->
+      let of_node = Array.make node_count (List.hd instances) in
+      List.iter
+        (fun inst -> List.iter (fun id -> of_node.(id) <- inst) inst.ops)
+        instances;
+      Ok { instances; of_node }
+  end
+
 let instances t = t.instances
 
 let instance_of_node t id =

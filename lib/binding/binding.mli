@@ -23,6 +23,17 @@ val bind :
     must have been built with delays consistent with [assignment]
     (checked: raises [Invalid_argument] otherwise). *)
 
+val of_instances : node_count:int -> instance list -> (t, string) result
+(** Package an explicit instance partition (a move-based optimizer's
+    binding state, or a deliberately broken binding for the checker's
+    negative tests).  Validates only that the instances partition the
+    node ids [0 .. node_count-1] — every node hosted by exactly one
+    instance — so the node-to-instance map is total.  Deeper legality
+    (version agreement, conflict-freedom per step, distinct
+    [(resource, index)] identities) is deliberately {e not} enforced
+    here: that is [Rchls_check.Check]'s job, and the negative tests
+    need to build bindings that violate it. *)
+
 val instances : t -> instance list
 (** All instances, grouped by version, stable order. *)
 

@@ -71,6 +71,24 @@ let parts_violations ?(eps = 1e-12) ~graph:g ~library:lib ~version_of ~schedule:
     (* 3. Binding: a partition of the operations onto instances of
        their own version, conflict-free per control step. *)
     let hosted = Array.make (Dfg.node_count g) 0 in
+    (* Two instance records with one (resource, index) identity are the
+       same physical functional unit listed twice: each record passes
+       the per-record conflict scan below on its own, the partition
+       still holds (every op appears in one record) and the area total
+       counts the unit twice — so a double-booked unit would slip
+       through every other invariant.  Catch the duplicated identity
+       itself. *)
+    let seen_identities = Hashtbl.create 8 in
+    List.iter
+      (fun (inst : Binding.instance) ->
+        let identity = (inst.resource.Resource.id, inst.index) in
+        if Hashtbl.mem seen_identities identity then
+          fail "binding-duplicate" "instance %s#%d appears in %d binding records"
+            inst.resource.Resource.id inst.index
+            (Hashtbl.find seen_identities identity + 1);
+        Hashtbl.replace seen_identities identity
+          (1 + Option.value ~default:0 (Hashtbl.find_opt seen_identities identity)))
+      (Binding.instances binding);
     List.iter
       (fun (inst : Binding.instance) ->
         List.iter

@@ -16,8 +16,11 @@
       ([start v >= start u + delay u], delays re-read from the
       assignment, not from the schedule);
     - the binding partitions the operations (each hosted by exactly
-      one instance of its own version) and is conflict-free per
-      control step (no instance runs two operations at once);
+      one instance of its own version), names each physical unit once
+      (no two instance records share a [(resource, index)] identity —
+      a double-booked unit split across records would otherwise pass
+      every per-record scan), and is conflict-free per control step
+      (no instance runs two operations at once);
     - the reported latency and area equal the from-scratch
       recomputation exactly, and the reported reliability equals the
       serial product within [eps] (default 1e-12).

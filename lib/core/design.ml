@@ -86,6 +86,34 @@ let realize ?(scheduler = `Density) g lib ~assignment ~latency =
       let arr = Array.init (Dfg.node_count g) (fun id -> assignment (Dfg.node g id)) in
       Ok { graph = g; library = lib; assignment = arr; schedule; binding })
 
+let of_parts g lib ~assignment ~schedule ~binding =
+  match check_assignment g assignment with
+  | Error e -> Error e
+  | Ok () ->
+    let mismatch =
+      Dfg.fold_nodes g ~init:None (fun acc (nd : Dfg.node) ->
+          if acc <> None then acc
+          else
+            let r = assignment nd in
+            if Schedule.delay_of schedule nd.id <> r.Resource.delay then
+              Some
+                (Printf.sprintf "node %s scheduled with delay %d but version %s takes %d"
+                   nd.name (Schedule.delay_of schedule nd.id) r.Resource.id
+                   r.Resource.delay)
+            else
+              let host = Binding.instance_of_node binding nd.id in
+              if host.Binding.resource <> r then
+                Some
+                  (Printf.sprintf "node %s assigned %s but hosted by a %s instance"
+                     nd.name r.Resource.id host.Binding.resource.Resource.id)
+              else None)
+    in
+    (match mismatch with
+    | Some e -> Error ("Design.of_parts: " ^ e)
+    | None ->
+      let arr = Array.init (Dfg.node_count g) (fun id -> assignment (Dfg.node g id)) in
+      Ok { graph = g; library = lib; assignment = arr; schedule; binding })
+
 let realize_exn ?scheduler g lib ~assignment ~latency =
   match realize ?scheduler g lib ~assignment ~latency with
   | Ok t -> t

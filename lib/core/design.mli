@@ -36,6 +36,22 @@ val realize_exn :
   latency:int ->
   t
 
+val of_parts :
+  Dfg.t ->
+  Library.t ->
+  assignment:(Dfg.node -> Resource.t) ->
+  schedule:Rchls_sched.Schedule.t ->
+  binding:Rchls_binding.Binding.t ->
+  (t, string) result
+(** Package explicitly constructed parts (a move-based optimizer's
+    state) into a design without re-running any scheduler or binder.
+    Validates the cheap coherence conditions that keep the accessors
+    meaningful — class-correct assignment, schedule delays equal to
+    the assigned version delays, every node hosted by an instance of
+    its assigned version — and leaves full legality (precedence,
+    conflict-freedom, totals) to [Rchls_check.Check], which every
+    annealed design must pass before it is reported. *)
+
 val graph : t -> Dfg.t
 val library : t -> Library.t
 val schedule : t -> Rchls_sched.Schedule.t

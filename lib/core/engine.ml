@@ -954,3 +954,17 @@ let synthesize ?(scheduler = `Density) ?(refine = true) ?(strategy = `Best)
   in
   (match certificate with Some c -> c := (!cert_lo, !cert_hi) | None -> ());
   result
+
+let synthesize_improved ~improve ?scheduler ?refine ?strategy ?trace ?use_cache
+    ?cache ?domains ?certificate g lib ~ld ~ad =
+  match
+    synthesize ?scheduler ?refine ?strategy ?trace ?use_cache ?cache ?domains
+      ?certificate g lib ~ld ~ad
+  with
+  | Error _ as e -> e
+  | Ok greedy -> (
+    match improve greedy with
+    | Some better when Design.reliability better > Design.reliability greedy ->
+      (match certificate with Some c -> c := (ad, ad) | None -> ());
+      Ok better
+    | Some _ | None -> Ok greedy)

@@ -243,3 +243,30 @@ val synthesize :
     and the parallel branches, and interval merging is order-free).
     The design-space explorer derives whole grid rows from single
     synthesis calls on the strength of this. *)
+
+val synthesize_improved :
+  improve:(Design.t -> Design.t option) ->
+  ?scheduler:Design.scheduler ->
+  ?refine:bool ->
+  ?strategy:strategy ->
+  ?trace:(trace_event -> unit) ->
+  ?use_cache:bool ->
+  ?cache:cache ->
+  ?domains:int ->
+  ?certificate:(int * int) ref ->
+  Dfg.t ->
+  Library.t ->
+  ld:int ->
+  ad:int ->
+  (Design.t, failure) result
+(** The move-based-optimizer entry: run {!synthesize} (the greedy
+    pipeline) and hand a feasible result to [improve] — the annealer,
+    installed from above because [Rchls_anneal] depends on this
+    library.  The improved design replaces the greedy one only when it
+    is {e strictly more reliable}, so the entry's result is never
+    worse than the greedy seed by construction.  Greedy failures pass
+    through untouched ([improve] is not called).  When the improver
+    does replace the result, a supplied [certificate] collapses to the
+    exact bound [(ad, ad)]: the greedy pipeline's certified interval
+    speaks for the greedy decision path only, not for the stochastic
+    improvement on top of it. *)

@@ -5,6 +5,7 @@ module Engine = Rchls_core.Engine
 module Rc = Rchls_core.Reliability_centric
 module Check = Rchls_check.Check
 module Fuzz = Rchls_check.Fuzz
+module Anneal = Rchls_anneal.Anneal
 module Fnv = Rchls_util.Fnv
 module Metrics = Rchls_util.Metrics
 
@@ -134,6 +135,7 @@ let cache_key job =
   | Request.Ping | Request.Stats | Request.Health -> Ok None
   | Request.Fuzz _ -> Ok (Request.cache_key job)
   | Request.Synth { graph; library; _ }
+  | Request.Anneal { graph; library; _ }
   | Request.Check { graph; library; _ }
   | Request.Sweep { graph; library; _ }
   | Request.Explore { graph; library; _ } ->
@@ -163,6 +165,24 @@ let run_synth ?service ?resolved ?domains (s : Request.synth) =
     (Rc.synthesize ~scheduler
        ~strategy:(strategy_of_api s.strategy)
        ?cache ?domains r.graph r.library ~ld:s.ld ~ad:s.ad)
+
+let run_anneal ?service ?resolved ?domains (a : Request.anneal) =
+  let* r = resolved_or ?resolved a.graph a.library in
+  let scheduler = scheduler_of_api a.scheduler in
+  let cache = shared_cache ?service ~resolved:r scheduler in
+  let params =
+    {
+      Anneal.default_params with
+      seed = a.seed;
+      moves = a.moves;
+      chains = a.chains;
+      exchange = a.exchange;
+    }
+  in
+  Ok
+    (Anneal.synthesize ~scheduler
+       ~strategy:(strategy_of_api a.strategy)
+       ?cache ?domains ~params r.graph r.library ~ld:a.ld ~ad:a.ad)
 
 let render_violation v = Format.asprintf "%a" Check.pp_violation v
 
@@ -214,6 +234,34 @@ let payload_of_synth result =
        ~ok:(fun d -> Ok (summary_of_design d))
        ~error:(fun f -> Error (failure_of_core f))
        result)
+
+let payload_of_anneal result =
+  match result with
+  | Ok (greedy, annealed, (s : Anneal.stats)) ->
+    Response.Anneal_result
+      {
+        Response.greedy = Ok (summary_of_design greedy);
+        annealed = Ok (summary_of_design annealed);
+        a_moves = s.attempted;
+        a_accepted = s.accepted;
+        a_pruned = s.pruned;
+        a_exchanges = s.exchanges;
+        a_chains = s.chain_count;
+        a_improved = s.improved;
+      }
+  | Error f ->
+    let failure = Error (failure_of_core f) in
+    Response.Anneal_result
+      {
+        Response.greedy = failure;
+        annealed = failure;
+        a_moves = 0;
+        a_accepted = 0;
+        a_pruned = 0;
+        a_exchanges = 0;
+        a_chains = 0;
+        a_improved = false;
+      }
 
 let payload_of_check result =
   match result with
@@ -290,6 +338,10 @@ let run_job ?service ?domains job =
     | Request.Synth s -> (
       match run_synth ?service ?domains s with
       | Ok r -> Ok (payload_of_synth r)
+      | Error msg -> bad msg)
+    | Request.Anneal a -> (
+      match run_anneal ?service ?domains a with
+      | Ok r -> Ok (payload_of_anneal r)
       | Error msg -> bad msg)
     | Request.Check s -> (
       match run_check ?service ?domains s with

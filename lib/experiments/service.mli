@@ -20,6 +20,7 @@ module Response = Rchls_api.Response
 module Design = Rchls_core.Design
 module Rc = Rchls_core.Reliability_centric
 module Fuzz = Rchls_check.Fuzz
+module Anneal = Rchls_anneal.Anneal
 
 (** {1 API <-> core conversions} *)
 
@@ -81,6 +82,18 @@ val run_synth :
   Request.synth ->
   ((Design.t, Rc.failure) result, string) result
 
+val run_anneal :
+  ?service:t ->
+  ?resolved:resolved ->
+  ?domains:int ->
+  Request.anneal ->
+  ((Design.t * Design.t * Anneal.stats, Rc.failure) result, string) result
+(** Greedy synthesis seeded into the parallel-tempering annealer
+    ([Rchls_anneal.Anneal.synthesize]): [Ok (greedy, annealed, stats)],
+    with the annealed design never less reliable than the greedy seed.
+    Deterministic in the request (the annealer seed is a parameter), so
+    the response cache may serve it like a synth. *)
+
 val run_check :
   ?service:t ->
   ?resolved:resolved ->
@@ -118,6 +131,8 @@ val run_fuzz : Request.fuzz -> (Fuzz.outcome list, string) result
 (** {1 Payload assembly} *)
 
 val payload_of_synth : (Design.t, Rc.failure) result -> Response.payload
+val payload_of_anneal :
+  (Design.t * Design.t * Anneal.stats, Rc.failure) result -> Response.payload
 val payload_of_check :
   (Design.t * string list, Rc.failure) result -> Response.payload
 val payload_of_sweep : Sweep.cell list -> Response.payload

@@ -43,6 +43,7 @@ let make_exn g ~delay ~starts =
 
 let graph t = t.graph
 let start t id = t.starts.(id)
+let starts t = Array.copy t.starts
 let finish t id = t.starts.(id) + t.delays.(id)
 let delay_of t id = t.delays.(id)
 let latency t = t.latency

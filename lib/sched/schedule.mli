@@ -20,6 +20,10 @@ val graph : t -> Dfg.t
 val start : t -> Dfg.node_id -> int
 (** Start step of a node. *)
 
+val starts : t -> int array
+(** A fresh copy of the whole start vector, indexed by node id — the
+    seed state of move-based optimizers ({!Rchls_anneal}). *)
+
 val finish : t -> Dfg.node_id -> int
 (** First step after the node completes: [start + delay]. *)
 

@@ -89,11 +89,34 @@ let gen_fuzz =
       (tup4 (int_range 0 10_000) (int_range 1 1000) (int_range 2 20)
          (opt (list_size (int_range 0 3) gen_name))))
 
+let gen_anneal =
+  Gen.(
+    map
+      (fun ((graph, library, ld, ad, strategy, scheduler), (seed, moves, chains, exchange)) ->
+        {
+          Request.graph;
+          library;
+          ld;
+          ad;
+          strategy;
+          scheduler;
+          seed;
+          moves;
+          chains;
+          exchange;
+        })
+      (tup2
+         (tup6 gen_source gen_library_source gen_bound gen_bound gen_strategy
+            gen_scheduler)
+         (tup4 (int_range 0 10_000) (int_range 0 10_000) (int_range 1 16)
+            (int_range 1 500))))
+
 let gen_job =
   Gen.(
     oneof
       [
         map (fun s -> Request.Synth s) gen_synth;
+        map (fun a -> Request.Anneal a) gen_anneal;
         map (fun s -> Request.Sweep s) gen_sweep;
         map (fun s -> Request.Explore s) gen_sweep;
         map (fun s -> Request.Check s) gen_synth;
@@ -215,6 +238,22 @@ let gen_payload =
       [
         map (fun r -> Response.Design r) gen_design_result;
         map
+          (fun ((greedy, annealed), (a_moves, a_accepted, a_pruned, a_exchanges, a_chains, a_improved)) ->
+            Response.Anneal_result
+              {
+                Response.greedy;
+                annealed;
+                a_moves;
+                a_accepted;
+                a_pruned;
+                a_exchanges;
+                a_chains;
+                a_improved;
+              })
+          (tup2
+             (tup2 gen_design_result gen_design_result)
+             (tup6 gen_bound gen_bound gen_bound gen_bound (int_range 1 16) bool));
+        map
           (fun cells -> Response.Sweep_cells cells)
           (list_size (int_range 0 6) gen_cell);
         map
@@ -335,6 +374,31 @@ let test_defaults_applied () =
       && s.Request.scheduler = Request.Density
       && s.Request.library = Request.Lib_default)
   | _ -> Alcotest.fail "decoded to the wrong job"
+
+let test_anneal_decode () =
+  (* Annealer knobs default; unknown keys are rejected like any job. *)
+  let r =
+    check_ok "minimal anneal"
+      (Request.of_string
+         (req_line {|"job":"anneal","params":{"graph":{"name":"ewf"},"ld":19,"ad":18}|}))
+  in
+  (match r.Request.job with
+  | Request.Anneal a ->
+    Alcotest.(check bool) "knob defaults" true
+      (a.Request.seed = 1 && a.Request.moves = 2000 && a.Request.chains = 4
+      && a.Request.exchange = 50
+      && a.Request.strategy = Request.Best
+      && a.Request.scheduler = Request.Density)
+  | _ -> Alcotest.fail "decoded to the wrong job");
+  let e =
+    expect_error "typo'd anneal knob"
+      (req_line
+         {|"job":"anneal","params":{"graph":{"name":"ewf"},"ld":19,"ad":18,"movess":9}|})
+  in
+  Alcotest.(check bool) "names the field" true (contains ~affix:"movess" e);
+  ignore
+    (expect_error "anneal requires bounds"
+       (req_line {|"job":"anneal","params":{"graph":{"name":"ewf"},"ld":19}|}))
 
 let test_explore_bounds_optional () =
   (* An explore job is a sweep whose bound lists may be omitted — the
@@ -883,6 +947,7 @@ let () =
           Alcotest.test_case "missing fields rejected" `Quick
             test_missing_required_rejected;
           Alcotest.test_case "defaults applied" `Quick test_defaults_applied;
+          Alcotest.test_case "anneal decode" `Quick test_anneal_decode;
           Alcotest.test_case "explore bounds optional" `Quick
             test_explore_bounds_optional;
           Alcotest.test_case "explore job executes" `Slow

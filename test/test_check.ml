@@ -7,6 +7,7 @@
 open Rchls_dfg
 module Resource = Rchls_charlib.Resource
 module Library = Rchls_charlib.Library
+module Binding = Rchls_binding.Binding
 module Design = Rchls_core.Design
 module Engine = Rchls_core.Engine
 module Rc = Rchls_core.Reliability_centric
@@ -162,6 +163,45 @@ let test_detects_foreign_library () =
   in
   Alcotest.(check bool) "missing versions caught" true
     (List.mem "assignment-library" (invariants (parts_with ~library:foreign d)))
+
+(* A binding whose records double-book one functional unit: two
+   instance records claiming the same (resource, index) identity.
+   [Binding.of_instances] deliberately accepts it (the node partition
+   is still total) — catching it is the checker's job. *)
+let test_detects_double_booked_instance () =
+  let d = design_of Benchmarks.diffeq in
+  let split_done = ref false in
+  let instances =
+    List.concat_map
+      (fun (inst : Binding.instance) ->
+        match inst.ops with
+        | a :: (_ :: _ as rest) when not !split_done ->
+          split_done := true;
+          [ { inst with Binding.ops = [ a ] }; { inst with Binding.ops = rest } ]
+        | _ -> [ inst ])
+      (Binding.instances (Design.binding d))
+  in
+  if not !split_done then Alcotest.fail "no shared instance to split";
+  let binding =
+    match
+      Binding.of_instances ~node_count:(Dfg.node_count (Design.graph d)) instances
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "of_instances rejected a total partition: %s" e
+  in
+  let vs =
+    invariants
+      (Check.parts_violations ~graph:(Design.graph d) ~library:(Design.library d)
+         ~version_of:(Design.version_of d) ~schedule:(Design.schedule d) ~binding
+         ~reported:
+           {
+             Check.latency = Design.latency d;
+             area = Design.area d;
+             reliability = Design.reliability d;
+           }
+         ())
+  in
+  Alcotest.(check bool) "double booking caught" true (List.mem "binding-duplicate" vs)
 
 let test_check_exn_and_counters () =
   Check.reset_stats ();
@@ -362,6 +402,8 @@ let () =
           Alcotest.test_case "wrong totals" `Quick test_detects_wrong_totals;
           Alcotest.test_case "tampered assignment" `Quick test_detects_tampered_assignment;
           Alcotest.test_case "foreign library" `Quick test_detects_foreign_library;
+          Alcotest.test_case "double-booked instance" `Quick
+            test_detects_double_booked_instance;
           Alcotest.test_case "exn + counters" `Quick test_check_exn_and_counters;
         ] );
       ( "engine-hook",
